@@ -1,0 +1,746 @@
+(* Benchmark harness: one Bechamel test (or family) per figure / evaluation
+   claim / ablation in DESIGN.md's experiment index.  The paper's evaluation
+   (§8) is qualitative, so each experiment prints the measured shape next to
+   the paper's claim; EXPERIMENTS.md records the correspondence. *)
+
+open Bechamel
+open Toolkit
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Prop = Swm_xlib.Prop
+module Event = Swm_xlib.Event
+module Xrdb = Swm_xrdb.Xrdb
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Vdesk = Swm_core.Vdesk
+module Panner = Swm_core.Panner
+module Functions = Swm_core.Functions
+module Bindings = Swm_core.Bindings
+module Session = Swm_core.Session
+module Icons = Swm_core.Icons
+module Templates = Swm_core.Templates
+module Config = Swm_core.Config
+module Wobj = Swm_oi.Wobj
+module Panel_spec = Swm_oi.Panel_spec
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+module Workload = Swm_clients.Workload
+module Twm_like = Swm_baselines.Twm_like
+module Gwm_like = Swm_baselines.Gwm_like
+module Mlisp = Swm_baselines.Mlisp
+
+(* -------- runner -------- *)
+
+type result = { rname : string; ns_per_run : float; r2 : float option }
+
+let run_tests tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  List.concat_map
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          { rname = name; ns_per_run = ns; r2 = Analyze.OLS.r_square ols } :: acc)
+        results [])
+    tests
+
+let pp_ns ppf ns =
+  if Float.is_nan ns then Format.fprintf ppf "n/a"
+  else if ns > 1e9 then Format.fprintf ppf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Format.fprintf ppf "%.2f us" (ns /. 1e3)
+  else Format.fprintf ppf "%.0f ns" ns
+
+let report ~experiment ~claim results =
+  Format.printf "@.== %s@.   paper: %s@." experiment claim;
+  List.iter
+    (fun r ->
+      Format.printf "   %-38s %10s%s@." r.rname
+        (Format.asprintf "%a" pp_ns r.ns_per_run)
+        (match r.r2 with
+        | Some r2 when r2 < 0.9 -> Printf.sprintf "   (r2=%.2f)" r2
+        | Some _ | None -> ""))
+    (List.sort (fun a b -> compare a.rname b.rname) results);
+  results
+
+let find name results =
+  match List.find_opt (fun r -> r.rname = name) results with
+  | Some r -> r.ns_per_run
+  | None -> nan
+
+let verdict fmt = Format.printf ("   -> " ^^ fmt ^^ "@.")
+
+(* -------- fixtures -------- *)
+
+let quiet_resources = [ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ]
+
+let fresh_wm ?(resources = quiet_resources) () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources server in
+  (server, wm)
+
+(* Manage-and-unmanage one client end to end (launch, MapRequest, decorate,
+   destroy, cleanup): the unit of WM work in eval1/eval6. *)
+let manage_cycle_swm server wm spec =
+  let app = Client_app.launch server spec in
+  ignore (Wm.step wm);
+  Client_app.destroy app;
+  ignore (Wm.step wm)
+
+(* -------- F1/F2: decoration and root panel construction -------- *)
+
+let bench_figures () =
+  let server, wm = fresh_wm () in
+  let ctx = Wm.ctx wm in
+  let scr = Ctx.screen ctx 0 in
+  let xterm_spec =
+    Client_app.spec ~instance:"xterm" ~class_:"XTerm" ~us_position:true
+      (Geom.rect 40 48 320 160)
+  in
+  let lookup n = Config.panel_definition ctx.Ctx.cfg ~screen:0 n in
+  let results =
+    run_tests
+      [
+        Test.make ~name:"fig1/decorate-openlook"
+          (Staged.stage (fun () -> manage_cycle_swm server wm xterm_spec));
+        Test.make ~name:"fig2/root-panel-build"
+          (Staged.stage (fun () ->
+               match
+                 Panel_spec.build scr.Ctx.tk ~lookup ~kind:Wobj.Panel
+                   ~name:"RootPanel"
+               with
+               | Ok panel ->
+                   Wobj.realize panel ~parent_window:scr.Ctx.root
+                     ~at:(Geom.point 8 8);
+                   Wobj.unrealize panel
+               | Error msg -> failwith msg));
+      ]
+  in
+  ignore
+    (report ~experiment:"F1/F2: object construction (Figures 1 and 2)"
+       ~claim:
+         "decorations and root panels are assembled at runtime from resource \
+          definitions"
+       results)
+
+(* -------- F3: panner refresh -------- *)
+
+let bench_panner () =
+  let mk n =
+    let server = Server.create () in
+    let wm = Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server in
+    let ctx = Wm.ctx wm in
+    let _apps =
+      Workload.launch server
+        { Workload.default_params with count = n; area = (3000, 2400) }
+    in
+    ignore (Wm.step wm);
+    (ctx, n)
+  in
+  let fixtures = List.map mk [ 5; 25; 100 ] in
+  let tests =
+    List.map
+      (fun (ctx, n) ->
+        Test.make
+          ~name:(Printf.sprintf "fig3/panner-refresh-%03d" n)
+          (Staged.stage (fun () -> Panner.refresh ctx ~screen:0)))
+      fixtures
+  in
+  let results =
+    report ~experiment:"F3: Virtual Desktop panner (Figure 3)"
+      ~claim:"the panner shows a miniature of every window; refresh scales with N"
+      (run_tests tests)
+  in
+  let t5 = find "fig3/panner-refresh-005" results
+  and t100 = find "fig3/panner-refresh-100" results in
+  verdict "refresh(100 windows) / refresh(5 windows) = %.1fx" (t100 /. t5)
+
+(* -------- E1: toolkit-based swm vs direct twm vs interpreted gwm -------- *)
+
+let bench_manage_comparison () =
+  let spec_at i =
+    Client_app.spec
+      ~instance:(Printf.sprintf "bench%d" i)
+      ~class_:"Bench" ~us_position:true
+      (Geom.rect (10 + (i mod 7 * 30)) (10 + (i mod 5 * 40)) 300 200)
+  in
+  (* swm *)
+  let server_swm, wm = fresh_wm () in
+  let counter = ref 0 in
+  (* twm-like *)
+  let server_twm = Server.create () in
+  let twm = Twm_like.start server_twm in
+  (* gwm-like *)
+  let server_gwm = Server.create () in
+  let gwm =
+    match Gwm_like.start server_gwm with Ok g -> g | Error msg -> failwith msg
+  in
+  let manage_cycle_direct server step destroyed_step spec =
+    let app = Client_app.launch server spec in
+    ignore (step ());
+    Client_app.destroy app;
+    ignore (destroyed_step ())
+  in
+  let results =
+    report
+      ~experiment:"E1: manage cost, toolkit WM vs direct-Xlib WM vs Lisp WM (paper §8)"
+      ~claim:
+        "a toolkit-based WM has somewhat slower performance than one written \
+         directly on top of Xlib; the flexibility is worth the trade-off"
+      (run_tests
+         [
+           Test.make ~name:"eval1/manage-swm"
+             (Staged.stage (fun () ->
+                  incr counter;
+                  manage_cycle_swm server_swm wm (spec_at !counter)));
+           Test.make ~name:"eval1/manage-twm"
+             (Staged.stage (fun () ->
+                  incr counter;
+                  manage_cycle_direct server_twm
+                    (fun () -> Twm_like.step twm)
+                    (fun () -> Twm_like.step twm)
+                    (spec_at !counter)));
+           Test.make ~name:"eval1/manage-gwm"
+             (Staged.stage (fun () ->
+                  incr counter;
+                  manage_cycle_direct server_gwm
+                    (fun () -> Gwm_like.step gwm)
+                    (fun () -> Gwm_like.step gwm)
+                    (spec_at !counter)));
+         ])
+  in
+  let swm_t = find "eval1/manage-swm" results
+  and twm_t = find "eval1/manage-twm" results
+  and gwm_t = find "eval1/manage-gwm" results in
+  verdict "swm/twm = %.1fx (paper expects >1: toolkit overhead); gwm/twm = %.1fx"
+    (swm_t /. twm_t) (gwm_t /. twm_t);
+  (* Machine-independent overhead: protocol requests per manage cycle. *)
+  let requests_per_cycle server run =
+    let before = Server.request_count server in
+    run ();
+    Server.request_count server - before
+  in
+  incr counter;
+  let swm_reqs =
+    requests_per_cycle server_swm (fun () ->
+        manage_cycle_swm server_swm wm (spec_at !counter))
+  in
+  incr counter;
+  let twm_reqs =
+    requests_per_cycle server_twm (fun () ->
+        manage_cycle_direct server_twm
+          (fun () -> Twm_like.step twm)
+          (fun () -> Twm_like.step twm)
+          (spec_at !counter))
+  in
+  incr counter;
+  let gwm_reqs =
+    requests_per_cycle server_gwm (fun () ->
+        manage_cycle_direct server_gwm
+          (fun () -> Gwm_like.step gwm)
+          (fun () -> Gwm_like.step gwm)
+          (spec_at !counter))
+  in
+  verdict
+    "protocol requests per manage cycle: swm=%d twm=%d gwm=%d (swm/twm = %.1fx, \
+     timing-independent)"
+    swm_reqs twm_reqs gwm_reqs
+    (float_of_int swm_reqs /. float_of_int (max 1 twm_reqs))
+
+let bench_dispatch_comparison () =
+  (* Click-to-raise round trip under each WM. *)
+  let server_swm, wm = fresh_wm () in
+  let app = Stock.xterm server_swm ~at:(Geom.point 100 100) () in
+  ignore (Wm.step wm);
+  let client = Option.get (Wm.find_client wm (Client_app.window app)) in
+  let title =
+    match client.Ctx.deco with
+    | Some deco ->
+        Wobj.window (Option.get (Wobj.find_descendant deco ~name:"name"))
+    | None -> failwith "no deco"
+  in
+  let title_abs = Server.root_geometry server_swm title in
+  Server.warp_pointer server_swm ~screen:0
+    (Geom.point (title_abs.x + 2) (title_abs.y + 2));
+  ignore (Wm.step wm);
+
+  let server_twm = Server.create () in
+  let twm = Twm_like.start server_twm in
+  let app2 = Stock.xterm server_twm ~at:(Geom.point 100 100) () in
+  ignore (Twm_like.step twm);
+  let frame2 = Option.get (Twm_like.frame_of twm (Client_app.window app2)) in
+  let f2 = Server.root_geometry server_twm frame2 in
+  Server.warp_pointer server_twm ~screen:0 (Geom.point (f2.x + 5) (f2.y + 5));
+  ignore (Twm_like.step twm);
+
+  let server_gwm = Server.create () in
+  let gwm = match Gwm_like.start server_gwm with Ok g -> g | Error m -> failwith m in
+  let app3 = Stock.xterm server_gwm ~at:(Geom.point 100 100) () in
+  ignore (Gwm_like.step gwm);
+  let frame3 = Option.get (Gwm_like.frame_of gwm (Client_app.window app3)) in
+  let f3 = Server.root_geometry server_gwm frame3 in
+  Server.warp_pointer server_gwm ~screen:0 (Geom.point (f3.x + 5) (f3.y + 5));
+  ignore (Gwm_like.step gwm);
+
+  let results =
+    report ~experiment:"E1b: event dispatch (title click -> f.raise)"
+      ~claim:"binding lookup through objects and the resource DB vs hard-wired dispatch"
+      (run_tests
+         [
+           Test.make ~name:"eval1/dispatch-swm"
+             (Staged.stage (fun () ->
+                  Server.press_button server_swm 2;
+                  ignore (Wm.step wm)));
+           Test.make ~name:"eval1/dispatch-twm"
+             (Staged.stage (fun () ->
+                  Server.press_button server_twm 1;
+                  ignore (Twm_like.step twm)));
+           Test.make ~name:"eval1/dispatch-gwm"
+             (Staged.stage (fun () ->
+                  Server.press_button server_gwm 1;
+                  ignore (Gwm_like.step gwm)));
+         ])
+  in
+  let s = find "eval1/dispatch-swm" results
+  and t = find "eval1/dispatch-twm" results
+  and g = find "eval1/dispatch-gwm" results in
+  verdict "dispatch: swm/twm = %.1fx, gwm/twm = %.1fx" (s /. t) (g /. t)
+
+(* -------- E2: resource database vs flat init file -------- *)
+
+let bench_config () =
+  let db = Xrdb.create () in
+  (match Xrdb.load_string db Templates.open_look with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  (* Pad with per-class entries like a heavily customised session. *)
+  for i = 0 to 199 do
+    Xrdb.put db
+      (Printf.sprintf "swm*Class%d*decoration" i)
+      (Printf.sprintf "panel%d" i)
+  done;
+  let twm_config =
+    {|
+BorderWidth 2
+TitleHeight 20
+NoTitle { XClock XBiff XLoad XEyes Clock }
+Button1 = : title : f.raise
+Button2 = : title : f.move
+Button3 = : title : f.iconify
+|}
+  in
+  let parsed_twm =
+    match Twm_like.parse_twmrc twm_config with Ok c -> c | Error m -> failwith m
+  in
+  let names = [ "swm"; "color"; "screen0"; "xclock"; "xclock"; "decoration" ] in
+  let classes = [ "Swm"; "Color"; "Screen"; "XClock"; "XClock"; "Decoration" ] in
+  let results =
+    report ~experiment:"E2: X resource database vs separate init file (paper §8)"
+      ~claim:
+        "twm's separate init file was its biggest mistake; the resource DB \
+         costs a precedence search per lookup but unifies configuration"
+      (run_tests
+         [
+           Test.make ~name:"eval2/xrdb-query-221-entries"
+             (Staged.stage (fun () -> ignore (Xrdb.query db ~names ~classes)));
+           Test.make ~name:"eval2/twmrc-lookup"
+             (Staged.stage (fun () ->
+                  ignore (List.mem "XClock" parsed_twm.Twm_like.no_title)));
+           Test.make ~name:"eval2/xrdb-load-template"
+             (Staged.stage (fun () ->
+                  let fresh = Xrdb.create () in
+                  ignore (Xrdb.load_string fresh Templates.open_look)));
+           Test.make ~name:"eval2/twmrc-parse"
+             (Staged.stage (fun () -> ignore (Twm_like.parse_twmrc twm_config)));
+         ])
+  in
+  let q = find "eval2/xrdb-query-221-entries" results
+  and l = find "eval2/twmrc-lookup" results in
+  verdict "per-lookup premium for generality: %.0fx (absolute cost still %s)"
+    (q /. l)
+    (Format.asprintf "%a" pp_ns q)
+
+(* -------- E3: panning -------- *)
+
+let bench_pan () =
+  let mk n sticky_fraction =
+    let server = Server.create () in
+    let wm = Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server in
+    let ctx = Wm.ctx wm in
+    let apps =
+      Workload.launch server
+        { Workload.default_params with count = n; area = (3000, 2200) }
+    in
+    ignore (Wm.step wm);
+    List.iteri
+      (fun i app ->
+        if float_of_int i < sticky_fraction *. float_of_int n then
+          match Wm.find_client wm (Client_app.window app) with
+          | Some client -> Vdesk.set_sticky ctx client true
+          | None -> ())
+      apps;
+    ctx
+  in
+  let flip = ref false in
+  let pan ctx () =
+    flip := not !flip;
+    Vdesk.pan_to ctx ~screen:0 (if !flip then Geom.point 1200 900 else Geom.point 0 0)
+  in
+  let ctx10 = mk 10 0.0 and ctx100 = mk 100 0.0 and ctx400 = mk 400 0.0 in
+  let ctx100s = mk 100 0.2 in
+  let results =
+    report ~experiment:"E3: Virtual Desktop panning (paper §6)"
+      ~claim:
+        "panning moves one desktop window; cost is independent of the number \
+         of windows (no ConfigureNotify storm), sticky windows stay put"
+      (run_tests
+         [
+           Test.make ~name:"eval3/pan-010" (Staged.stage (pan ctx10));
+           Test.make ~name:"eval3/pan-100" (Staged.stage (pan ctx100));
+           Test.make ~name:"eval3/pan-400" (Staged.stage (pan ctx400));
+           Test.make ~name:"eval3/pan-100-sticky20pc" (Staged.stage (pan ctx100s));
+         ])
+  in
+  let t10 = find "eval3/pan-010" results and t400 = find "eval3/pan-400" results in
+  verdict "pan(400 windows) / pan(10 windows) = %.2fx (flat = the desktop wins)"
+    (t400 /. t10)
+
+(* -------- E4: session save / restart matching -------- *)
+
+let bench_session () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:quiet_resources server in
+  let ctx = Wm.ctx wm in
+  let _apps = Workload.launch server { Workload.default_params with count = 50 } in
+  ignore (Wm.step wm);
+  let hints = Functions.places_hints ctx in
+  let commands = List.map (fun h -> h.Session.command) hints in
+  let results =
+    report ~experiment:"E4: session management (paper §7)"
+      ~claim:
+        "f.places writes an .xinitrc replacement; on restart clients are \
+         matched by WM_COMMAND and restored regardless of toolkit or host"
+      (run_tests
+         [
+           Test.make ~name:"eval4/places-50-clients"
+             (Staged.stage (fun () -> ignore (Functions.places_hints ctx)));
+           Test.make ~name:"eval4/places-file-format"
+             (Staged.stage (fun () ->
+                  ignore
+                    (Session.places_file ~display:":0" ~local_host:"localhost" hints)));
+           Test.make ~name:"eval4/restart-match-50"
+             (Staged.stage (fun () ->
+                  let table = Session.create_table () in
+                  List.iter (Session.add table) hints;
+                  List.iter
+                    (fun command ->
+                      ignore (Session.take_match table ~command ~host:None))
+                    commands));
+         ])
+  in
+  ignore results
+
+(* -------- E5: bindings -------- *)
+
+let bench_bindings () =
+  let src =
+    String.concat " "
+      (List.init 20 (fun i ->
+           Printf.sprintf "<Btn%d> : f.raise f.lower f.warpVertical(%d)"
+             ((i mod 5) + 1) i))
+  in
+  let parsed = Bindings.parse_exn src in
+  let event =
+    Event.Button_press
+      {
+        window = Xid.of_int 1;
+        button = 3;
+        mods = Swm_xlib.Keysym.no_mods;
+        pos = Geom.point 0 0;
+        root_pos = Geom.point 0 0;
+      }
+  in
+  let results =
+    report ~experiment:"E5: bindings (paper §4.2)"
+      ~claim:"any number of bindings, any number of functions per binding"
+      (run_tests
+         [
+           Test.make ~name:"eval5/parse-20-bindings"
+             (Staged.stage (fun () -> ignore (Bindings.parse src)));
+           Test.make ~name:"eval5/dispatch-lookup"
+             (Staged.stage (fun () -> ignore (Bindings.lookup parsed event)));
+         ])
+  in
+  ignore results
+
+(* -------- E6: shaped decoration -------- *)
+
+let bench_shape () =
+  let server, wm = fresh_wm () in
+  let counter = ref 0 in
+  let round_spec () =
+    incr counter;
+    Client_app.spec
+      ~instance:(Printf.sprintf "oclock%d" !counter)
+      ~class_:"Clock" ~us_position:true (Geom.rect 60 60 120 120)
+  in
+  let manage_shaped () =
+    let spec = round_spec () in
+    let app = Client_app.launch server spec in
+    Server.shape_set server (Client_app.conn app) (Client_app.window app)
+      (Swm_xlib.Region.disc ~cx:60 ~cy:60 ~r:60);
+    ignore (Wm.step wm);
+    Client_app.destroy app;
+    ignore (Wm.step wm)
+  in
+  let manage_plain () =
+    let spec = round_spec () in
+    manage_cycle_swm server wm spec
+  in
+  let results =
+    report ~experiment:"E6: SHAPE support (paper §5)"
+      ~claim:
+        "shaped clients get shaped decorations selected through the 'shaped' \
+         resource prefix (oclock/xeyes show no visible decoration)"
+      (run_tests
+         [
+           Test.make ~name:"eval6/manage-shaped" (Staged.stage manage_shaped);
+           Test.make ~name:"eval6/manage-plain" (Staged.stage manage_plain);
+         ])
+  in
+  let s = find "eval6/manage-shaped" results and p = find "eval6/manage-plain" results in
+  verdict
+    "shaped/plain manage cost = %.2fx (the shapeit panel is bare: region \
+     plumbing costs less than a full title bar)"
+    (s /. p)
+
+(* -------- E7: placement under pan -------- *)
+
+let bench_placement () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\nswm*panner: False\n" ] server in
+  let ctx = Wm.ctx wm in
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 1000 1000);
+  let counter = ref 0 in
+  let cycle ~us ~p () =
+    incr counter;
+    let spec =
+      Client_app.spec
+        ~instance:(Printf.sprintf "place%d" !counter)
+        ~us_position:us ~p_position:p (Geom.rect 100 100 80 80)
+    in
+    manage_cycle_swm server wm spec
+  in
+  let results =
+    report ~experiment:"E7: USPosition vs PPosition on the desktop (paper §6.3.2)"
+      ~claim:
+        "USPosition is absolute on the desktop; PPosition is relative to the \
+         visible viewport"
+      (run_tests
+         [
+           Test.make ~name:"eval7/place-usposition"
+             (Staged.stage (cycle ~us:true ~p:false));
+           Test.make ~name:"eval7/place-pposition"
+             (Staged.stage (cycle ~us:false ~p:true));
+           Test.make ~name:"eval7/place-default"
+             (Staged.stage (cycle ~us:false ~p:false));
+         ])
+  in
+  ignore results
+
+(* -------- A1: specific vs non-specific resources -------- *)
+
+let bench_specific_lookup () =
+  let mk extra_entries =
+    let server = Server.create () in
+    let db = Xrdb.create () in
+    (match Xrdb.load_string db Templates.open_look with
+    | Ok _ -> ()
+    | Error m -> failwith m);
+    for i = 0 to extra_entries - 1 do
+      Xrdb.put db
+        (Printf.sprintf "swm.color.screen0.Class%d.inst%d.decoration" i i)
+        "x"
+    done;
+    Config.create db server
+  in
+  let cfg0 = mk 0 and cfg500 = mk 500 in
+  let scope =
+    { Config.instance = "xclock"; class_ = "XClock"; shaped = false; sticky = false }
+  in
+  let results =
+    report ~experiment:"A1 (ablation): specific-resource lookup cost (paper §3)"
+      ~claim:
+        "per-class/instance decoration selection is a database query, not a \
+         code path; cost grows with the number of specific entries"
+      (run_tests
+         [
+           Test.make ~name:"abl1/lookup-base-template"
+             (Staged.stage (fun () ->
+                  ignore (Config.query_client cfg0 ~screen:0 scope "decoration")));
+           Test.make ~name:"abl1/lookup-500-specific"
+             (Staged.stage (fun () ->
+                  ignore (Config.query_client cfg500 ~screen:0 scope "decoration")));
+         ])
+  in
+  ignore results
+
+(* -------- A2: multiple desktops -------- *)
+
+let bench_multi_desktop () =
+  let server = Server.create () in
+  let wm =
+    Wm.start
+      ~resources:[ Templates.open_look; "swm*rootPanels:\nswm*desktops: 4\nswm*panner: False\n" ]
+      server
+  in
+  let ctx = Wm.ctx wm in
+  let _apps = Workload.launch server { Workload.default_params with count = 40 } in
+  ignore (Wm.step wm);
+  let current = ref 0 in
+  let results =
+    report ~experiment:"A2 (ablation): multiple Virtual Desktops (paper §6.3.1)"
+      ~claim:
+        "SWM_ROOT would also allow multiple Virtual Desktops (the paper's \
+         'not sure how useful' aside)"
+      (run_tests
+         [
+           Test.make ~name:"abl2/switch-desktop-40-clients"
+             (Staged.stage (fun () ->
+                  current := (!current + 1) mod 4;
+                  Vdesk.switch_desktop ctx ~screen:0 !current));
+         ])
+  in
+  ignore results
+
+(* -------- A3: policy in Lisp vs policy in resources -------- *)
+
+let bench_policy_cost () =
+  let env = Mlisp.base_env () in
+  (match
+     Mlisp.eval_program env
+       "(define (pick-action button) (if (= button 1) 'raise (if (= button 2) 'move 'iconify)))"
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  let pick = match Mlisp.lookup env "pick-action" with Some f -> f | None -> failwith "?" in
+  let bindings =
+    Bindings.parse_exn "<Btn1> : f.raise <Btn2> : f.move <Btn3> : f.iconify"
+  in
+  let event button =
+    Event.Button_press
+      {
+        window = Xid.of_int 1;
+        button;
+        mods = Swm_xlib.Keysym.no_mods;
+        pos = Geom.point 0 0;
+        root_pos = Geom.point 0 0;
+      }
+  in
+  let button = ref 0 in
+  let results =
+    report ~experiment:"A3 (ablation): policy via Lisp (gwm) vs resources (swm)"
+      ~claim:
+        "gwm is policy-free but interprets Lisp per event; swm resolves a \
+         parsed binding table"
+      (run_tests
+         [
+           Test.make ~name:"abl3/lisp-policy-decision"
+             (Staged.stage (fun () ->
+                  button := (!button mod 3) + 1;
+                  ignore (Mlisp.call env pick [ Mlisp.Int !button ])));
+           Test.make ~name:"abl3/bindings-policy-decision"
+             (Staged.stage (fun () ->
+                  button := (!button mod 3) + 1;
+                  ignore (Bindings.lookup bindings (event !button))));
+         ])
+  in
+  let l = find "abl3/lisp-policy-decision" results
+  and b = find "abl3/bindings-policy-decision" results in
+  verdict "lisp/bindings per-decision = %.1fx" (l /. b)
+
+(* -------- extensions: scrollbars, cpp preprocessing, holders -------- *)
+
+let bench_extensions () =
+  let server = Server.create () in
+  let wm =
+    Wm.start
+      ~resources:
+        [ Templates.open_look;
+          "swm*rootPanels:\nswm*scrollbars: True\nswm*iconHolders: box\n" ]
+      server
+  in
+  let ctx = Wm.ctx wm in
+  let _apps = Workload.launch_n server 20 in
+  ignore (Wm.step wm);
+  let flip = ref false in
+  let results =
+    report ~experiment:"EXT: scrollbars / cpp / icon holders"
+      ~claim:"the remaining §6 panning method and §3/§4.1.5 machinery"
+      (run_tests
+         [
+           Test.make ~name:"ext/scrollbar-refresh"
+             (Staged.stage (fun () ->
+                  flip := not !flip;
+                  Vdesk.pan_to ctx ~screen:0
+                    (if !flip then Geom.point 900 700 else Geom.point 0 0);
+                  Swm_core.Scrollbar.refresh ctx ~screen:0));
+           Test.make ~name:"ext/cpp-load-template"
+             (Staged.stage (fun () ->
+                  let db = Xrdb.create () in
+                  ignore
+                    (Xrdb.load_string_cpp ~defines:[ ("COLOR", "1") ] db
+                       Templates.open_look)));
+           Test.make ~name:"ext/holder-relayout"
+             (Staged.stage (fun () ->
+                  match Icons.find_holder ctx ~screen:0 "box" with
+                  | Some holder -> Icons.scroll_holder ctx holder 0
+                  | None -> ()));
+           (let req =
+              Swm_xlib.Wire.Configure_window
+                ( Xid.of_int 42,
+                  { Event.no_changes with cx = Some 10; cy = Some 20;
+                    cw = Some 300; ch = Some 200 } )
+            in
+            let bytes = Swm_xlib.Wire.encode_request req in
+            Test.make ~name:"ext/wire-encode-decode"
+              (Staged.stage (fun () ->
+                   let b = Swm_xlib.Wire.encode_request req in
+                   ignore (Swm_xlib.Wire.decode_request b ~pos:0);
+                   ignore bytes)));
+         ])
+  in
+  ignore results
+
+let () =
+  Format.printf "swm benchmark harness — one experiment per DESIGN.md index entry@.";
+  bench_figures ();
+  bench_panner ();
+  bench_manage_comparison ();
+  bench_dispatch_comparison ();
+  bench_config ();
+  bench_pan ();
+  bench_session ();
+  bench_bindings ();
+  bench_shape ();
+  bench_placement ();
+  bench_specific_lookup ();
+  bench_multi_desktop ();
+  bench_policy_cost ();
+  bench_extensions ();
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+bin/swm_main.ml: Array Format List Logs Printf Swm_clients Swm_core Swm_xlib Sys

@@ -1,0 +1,1 @@
+bin/swm_render.ml: Array Option Printf Swm_clients Swm_core Swm_oi Swm_xlib Sys

@@ -1,0 +1,1 @@
+bin/swm_render.mli:

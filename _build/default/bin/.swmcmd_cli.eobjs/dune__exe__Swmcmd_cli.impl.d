@@ -1,0 +1,1 @@
+bin/swmcmd_cli.ml: Array List Printf String Swm_clients Swm_core Swm_xlib Sys

@@ -1,0 +1,1 @@
+bin/swmcmd_cli.mli:

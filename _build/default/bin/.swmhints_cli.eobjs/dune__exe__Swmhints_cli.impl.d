@@ -1,0 +1,1 @@
+bin/swmhints_cli.ml: Arg Cmd Cmdliner Format In_channel List Option Swm_core Swm_xlib Term

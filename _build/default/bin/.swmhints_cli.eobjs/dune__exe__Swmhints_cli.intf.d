@@ -1,0 +1,1 @@
+bin/swmhints_cli.mli:

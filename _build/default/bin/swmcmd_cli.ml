@@ -1,0 +1,46 @@
+(* swmcmd: demonstrate the out-of-process command protocol (paper §4.3).
+
+   Since the simulated server lives in one process, this CLI shows the
+   protocol round-trip: a client connection writes SWM_COMMAND on the root,
+   the WM's event loop picks it up and executes it.  Commands are taken
+   from argv (joined), e.g.:
+
+     swmcmd_cli "f.iconify(XTerm)" *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Swmcmd = Swm_core.Swmcmd
+module Templates = Swm_core.Templates
+module Stock = Swm_clients.Stock
+
+let () =
+  let command =
+    if Array.length Sys.argv > 1 then
+      String.concat " " (Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)))
+    else "f.iconify(XTerm)"
+  in
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look ] server in
+  let ctx = Wm.ctx wm in
+  let _xterm = Stock.xterm server ~at:(Geom.point 60 80) () in
+  let _xclock = Stock.xclock server ~at:(Geom.point 600 60) () in
+  ignore (Wm.step wm);
+
+  (* An unrelated client sends the command. *)
+  let sender = Server.connect server ~name:"swmcmd" in
+  Swmcmd.send server sender ~screen:0 command;
+  ignore (Wm.step wm);
+
+  Printf.printf "sent: %s\n" command;
+  List.iter
+    (fun (c : Ctx.client) ->
+      Printf.printf "client %-10s class=%-8s state=%s sticky=%b\n" c.Ctx.instance
+        c.Ctx.class_
+        (Swm_xlib.Prop.wm_state_to_string c.Ctx.state)
+        c.Ctx.sticky)
+    (Ctx.all_clients ctx);
+  match ctx.Ctx.mode with
+  | Ctx.Prompting _ -> print_endline "swm is now prompting for a target window"
+  | _ -> ()

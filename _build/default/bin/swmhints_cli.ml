@@ -1,0 +1,121 @@
+(* swmhints: the session-hint utility from paper §7.
+
+   The real swmhints appends its arguments to a root-window property for
+   swm to interpret when clients get reparented.  This CLI exercises the
+   exact encoding against the library:
+
+     swmhints_cli encode -g 120x120+1010+359 -i +0+0 -s NormalState \
+         -c "oclock -geom 100x100"
+     swmhints_cli decode '-geometry 120x120+1010+359 -cmd "oclock"'
+     swmhints_cli check <places-file     # validate a whole places file *)
+
+module Session = Swm_core.Session
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+open Cmdliner
+
+let geometry_conv =
+  let parse s =
+    match Geom.parse s with
+    | Ok { Geom.width = Some w; height = Some h;
+           xoff = Some (Geom.From_start x); yoff = Some (Geom.From_start y) } ->
+        Ok (Geom.rect x y w h)
+    | Ok _ -> Error (`Msg "geometry must be WxH+X+Y")
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf (r : Geom.rect) =
+    Format.fprintf ppf "%dx%d+%d+%d" r.w r.h r.x r.y
+  in
+  Arg.conv (parse, print)
+
+let state_conv =
+  let parse s =
+    match Prop.wm_state_of_string s with
+    | Some state -> Ok state
+    | None -> Error (`Msg "state must be NormalState or IconicState")
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Prop.wm_state_to_string s))
+
+(* ---- encode ---- *)
+
+let encode geometry icon state sticky host command =
+  let icon_geometry =
+    Option.map (fun (r : Geom.rect) -> Geom.point r.x r.y) icon
+  in
+  let hint =
+    { Session.geometry; icon_geometry; state; sticky; command; host }
+  in
+  print_endline (Session.hint_to_args hint)
+
+let encode_cmd =
+  let geometry =
+    Arg.(
+      required
+      & opt (some geometry_conv) None
+      & info [ "g"; "geometry" ] ~docv:"WxH+X+Y" ~doc:"Window geometry.")
+  in
+  let icon =
+    Arg.(
+      value
+      & opt (some geometry_conv) None
+      & info [ "i"; "icongeometry" ] ~docv:"+X+Y" ~doc:"Icon position.")
+  in
+  let state =
+    Arg.(
+      value
+      & opt state_conv Prop.Normal
+      & info [ "s"; "state" ] ~docv:"STATE" ~doc:"NormalState or IconicState.")
+  in
+  let sticky = Arg.(value & flag & info [ "sticky" ] ~doc:"Sticky window.") in
+  let host =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "host" ] ~docv:"HOST" ~doc:"WM_CLIENT_MACHINE for remote clients.")
+  in
+  let command =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "cmd" ] ~docv:"COMMAND" ~doc:"The WM_COMMAND string.")
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Encode a session hint as swmhints arguments")
+    Term.(const encode $ geometry $ icon $ state $ sticky $ host $ command)
+
+(* ---- decode ---- *)
+
+let decode line =
+  match Session.hint_of_args line with
+  | Ok hint ->
+      Format.printf "%a@." Session.pp_hint hint;
+      `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let decode_cmd =
+  let line =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ARGS")
+  in
+  Cmd.v
+    (Cmd.info "decode" ~doc:"Parse an swmhints argument string")
+    Term.(ret (const decode $ line))
+
+(* ---- check ---- *)
+
+let check_places () =
+  let text = In_channel.input_all In_channel.stdin in
+  match Session.parse_places_file text with
+  | Ok hints ->
+      Format.printf "%d session hint(s):@." (List.length hints);
+      List.iter (fun h -> Format.printf "  %a@." Session.pp_hint h) hints;
+      `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate a places file read from stdin")
+    Term.(ret (const check_places $ const ()))
+
+let () =
+  let doc = "swm session hints (paper \xc2\xa77)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "swmhints" ~doc) [ encode_cmd; decode_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/motif_policy.ml: Format List Swm_clients Swm_core Swm_oi Swm_xlib

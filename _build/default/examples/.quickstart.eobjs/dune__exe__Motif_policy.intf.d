@@ -1,0 +1,1 @@
+examples/motif_policy.mli:

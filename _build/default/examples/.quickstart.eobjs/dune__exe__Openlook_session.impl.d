@@ -1,0 +1,1 @@
+examples/openlook_session.ml: Format List Option Result Swm_clients Swm_core Swm_xlib

@@ -1,0 +1,1 @@
+examples/openlook_session.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Option Swm_clients Swm_core Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+examples/swmcmd_remote.ml: Format List Option String Swm_clients Swm_core Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+examples/swmcmd_remote.mli:

@@ -1,0 +1,1 @@
+examples/virtual_rooms.ml: Format List Option String Swm_clients Swm_core Swm_xlib

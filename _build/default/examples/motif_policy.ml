@@ -1,0 +1,62 @@
+(* Policy without programming (paper §1, §3): the same window manager binary
+   runs an OSF/Motif-style policy and then a custom one, purely by loading
+   different resource text — swm's answer to "easy to use XOR configurable".
+
+     dune exec examples/motif_policy.exe *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Templates = Swm_core.Templates
+module Wobj = Swm_oi.Wobj
+module Stock = Swm_clients.Stock
+module Client_app = Swm_clients.Client_app
+
+(* A policy nobody shipped: title bar *below* the window, close button on
+   the left, no menus.  Twelve lines of resources, no code. *)
+let upside_down_policy =
+  {|
+swm*decoration: underBar
+Swm*panel.underBar: \
+    panel client +0+0 \
+    button close +0+1 \
+    button name +C+1 \
+    button shove -0+1
+swm*button.close.bindings: <Btn1> : f.delete
+swm*button.name.bindings: <Btn1> : f.move <Btn2> : f.raise
+swm*button.shove.bindings: <Btn1> : f.lower
+swm*virtualDesktop: False
+|}
+
+let show_decoration server wm app =
+  match Wm.find_client wm (Client_app.window app) with
+  | Some client ->
+      (match client.Ctx.deco with
+      | Some deco ->
+          Format.printf "decorated with %S; objects:@." (Wobj.name deco);
+          let rec walk indent obj =
+            Format.printf "  %s%s %S at %a@." indent
+              (Wobj.kind_name (Wobj.kind obj))
+              (Wobj.name obj) Geom.pp_rect (Wobj.geometry obj);
+            List.iter (walk (indent ^ "  ")) (Wobj.children obj)
+          in
+          walk "" deco
+      | None -> Format.printf "undecorated@.");
+      print_endline
+        (Swm_xlib.Render.to_string
+           (Swm_xlib.Render.render_window server client.Ctx.frame ~scale:8 ()))
+  | None -> Format.printf "not managed?@."
+
+let run_policy name resources =
+  Format.printf "@.===== %s =====@." name;
+  let server = Server.create () in
+  let wm = Wm.start ~resources server in
+  let app = Stock.xterm server ~at:(Geom.point 40 40) () in
+  ignore (Wm.step wm);
+  show_decoration server wm app
+
+let () =
+  run_policy "OSF/Motif emulation (shipped template)" [ Templates.motif ];
+  run_policy "a policy of your own: title bar underneath"
+    [ upside_down_policy ]

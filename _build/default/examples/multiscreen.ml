@@ -1,0 +1,70 @@
+(* Multi-screen management (paper §3): one swm manages every screen of the
+   server, with per-screen policy from the resource database — here a
+   colour screen 0 running the full OpenLook+ look and a monochrome
+   screen 1 running a minimal title-only decoration, exactly the
+   per-screen/monochrome scoping the paper's resource syntax exists for.
+
+     dune exec examples/multiscreen.exe *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Render = Swm_xlib.Render
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Templates = Swm_core.Templates
+module Wobj = Swm_oi.Wobj
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let per_screen_policy =
+  {|
+! Screen 1 is the mono head: no virtual desktop, spartan decoration.
+Swm*panel.monoBar: button name +C+0 panel client +0+1
+swm.monochrome.screen1*decoration: monoBar
+swm.monochrome.screen1.virtualDesktop: False
+|}
+
+let () =
+  let server =
+    Server.create
+      ~screens:
+        [
+          { Server.size = (1152, 900); monochrome = false };
+          { Server.size = (1024, 768); monochrome = true };
+        ]
+      ()
+  in
+  let wm = Wm.start ~resources:[ Templates.open_look; per_screen_policy ] server in
+
+  (* One client on each head. *)
+  let colour_term = Stock.xterm server ~at:(Geom.point 60 80) () in
+  let mono_conn = Server.connect server ~name:"monoterm" in
+  let mono_win =
+    Server.create_window server mono_conn
+      ~parent:(Server.root server ~screen:1)
+      ~geom:(Geom.rect 40 60 484 316) ~background:'t' ~label:"monoterm" ()
+  in
+  Server.change_property server mono_conn mono_win ~name:Swm_xlib.Prop.wm_class
+    (Swm_xlib.Prop.Wm_class { instance = "monoterm"; class_ = "XTerm" });
+  Server.change_property server mono_conn mono_win ~name:Swm_xlib.Prop.wm_name
+    (Swm_xlib.Prop.String "monoterm");
+  Server.map_window server mono_conn mono_win;
+  ignore (Wm.step wm);
+
+  List.iter
+    (fun (client : Ctx.client) ->
+      Format.printf "screen %d: %-10s decorated with %-10s (%s)@." client.Ctx.screen
+        client.Ctx.instance
+        (match client.Ctx.deco with
+        | Some deco -> Wobj.name deco
+        | None -> "<none>")
+        (if Server.screen_monochrome server ~screen:client.Ctx.screen then
+           "monochrome"
+         else "colour"))
+    (List.sort
+       (fun (a : Ctx.client) b -> compare a.Ctx.screen b.Ctx.screen)
+       (Ctx.all_clients (Wm.ctx wm)));
+  ignore colour_term;
+
+  Format.printf "@.--- screen 1 (monochrome head) ---@.";
+  print_string (Render.to_string (Render.render server ~screen:1 ~scale:16 ()))

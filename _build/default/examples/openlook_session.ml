@@ -1,0 +1,98 @@
+(* Session management end to end (paper §7): a user arranges a working
+   environment — editor, terminals, a clock on another host — saves it with
+   f.places, logs out (X shuts down), and logs back in: the swmhints lines
+   replay and every client comes back where it was, iconic state, sticky
+   state and all.
+
+     dune exec examples/openlook_session.exe *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Functions = Swm_core.Functions
+module Session = Swm_core.Session
+module Icons = Swm_core.Icons
+module Vdesk = Swm_core.Vdesk
+module Templates = Swm_core.Templates
+module Stock = Swm_clients.Stock
+module Client_app = Swm_clients.Client_app
+
+let describe label ctx =
+  Format.printf "%s@." label;
+  List.iter
+    (fun (c : Ctx.client) ->
+      let g = Swm_xlib.Server.geometry ctx.Ctx.server c.Ctx.frame in
+      Format.printf "  %-10s %-8s at %4d,%4d  %s%s@." c.Ctx.instance c.Ctx.class_
+        g.Geom.x g.Geom.y
+        (Prop.wm_state_to_string c.Ctx.state)
+        (if c.Ctx.sticky then " sticky" else ""))
+    (List.sort
+       (fun (a : Ctx.client) b -> compare a.Ctx.instance b.Ctx.instance)
+       (Ctx.all_clients ctx))
+
+let () =
+  (* ---- the first login ---- *)
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look ] server in
+  let ctx = Wm.ctx wm in
+
+  let emacs =
+    Client_app.launch server
+      (Client_app.spec ~instance:"emacs" ~class_:"Emacs"
+         ~command:"emacs -geometry 600x640 notes.txt" ~us_position:true
+         (Geom.rect 40 60 600 640))
+  in
+  let term1 = Stock.xterm server ~at:(Geom.point 680 60) () in
+  let term2 = Stock.xterm server ~at:(Geom.point 680 420) ~instance:"xterm2" () in
+  let clock =
+    Client_app.launch server
+      (Client_app.spec ~instance:"xclock" ~class_:"XClock" ~command:"xclock"
+         ~host:"bigiron" ~us_position:true (Geom.rect 1000 40 100 100))
+  in
+  ignore (Wm.step wm);
+
+  (* Arrange: clock sticky (visible from every desktop corner), one terminal
+     iconified out of the way. *)
+  Vdesk.set_sticky ctx (Option.get (Wm.find_client wm (Client_app.window clock))) true;
+  Icons.iconify ctx (Option.get (Wm.find_client wm (Client_app.window term2)));
+  ignore (Wm.step wm);
+  describe "session as arranged:" ctx;
+
+  (* Save: f.places produces the .xinitrc replacement. *)
+  Functions.execute ctx
+    (Functions.invocation ~screen:0 ())
+    [ { Swm_core.Bindings.fname = "f.places"; farg = None } ];
+  let places = Option.get ctx.Ctx.last_places in
+  Format.printf "@.the .xinitrc replacement written by f.places:@.%s@." places;
+
+  (* ---- X shuts down; a new day, a new server ---- *)
+  let server2 = Server.create () in
+  (* The places file runs: each swmhints line lands in SWM_PLACES... *)
+  let hints = Result.get_ok (Session.parse_places_file places) in
+  let swmhints_conn = Server.connect server2 ~name:"swmhints" in
+  List.iter
+    (fun hint ->
+      Server.append_string_property server2 swmhints_conn
+        (Server.root server2 ~screen:0)
+        ~name:Prop.swm_places (Session.hint_to_args hint))
+    hints;
+  (* ...and the clients restart, knowing nothing of their old geometry. *)
+  let _emacs2 =
+    Client_app.launch server2
+      (Client_app.spec ~instance:"emacs" ~class_:"Emacs"
+         ~command:"emacs -geometry 600x640 notes.txt" (Geom.rect 0 0 600 640))
+  in
+  let _term1' = Stock.xterm server2 () in
+  let _term2' = Stock.xterm server2 ~instance:"xterm2" () in
+  let _clock2 =
+    Client_app.launch server2
+      (Client_app.spec ~instance:"xclock" ~class_:"XClock" ~command:"xclock"
+         ~host:"bigiron" (Geom.rect 0 0 100 100))
+  in
+  ignore (emacs, term1);
+
+  let wm2 = Wm.start ~resources:[ Templates.open_look ] server2 in
+  ignore (Wm.step wm2);
+  describe "session after restart (restored from SWM_PLACES):" (Wm.ctx wm2)

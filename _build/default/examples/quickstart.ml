@@ -1,0 +1,51 @@
+(* Quickstart: start a simulated X server, run swm with the OpenLook+
+   template, launch a client, interact, and render the screen.
+
+     dune exec examples/quickstart.exe *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Render = Swm_xlib.Render
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Templates = Swm_core.Templates
+module Stock = Swm_clients.Stock
+module Client_app = Swm_clients.Client_app
+
+let () =
+  (* 1. A server: one 1152x900 colour screen, like a Sun of the era. *)
+  let server = Server.create () in
+
+  (* 2. The window manager, configured purely through resource text. *)
+  let wm = Wm.start ~resources:[ Templates.open_look ] server in
+
+  (* 3. A client connects and maps a window; the WM sees the MapRequest. *)
+  let xterm = Stock.xterm server ~at:(Geom.point 80 100) () in
+  ignore (Wm.step wm);
+
+  let client = Option.get (Wm.find_client wm (Client_app.window xterm)) in
+  Format.printf "managed %S (class %s), frame %a, decorated with %S@."
+    client.Ctx.instance client.Ctx.class_ Swm_xlib.Xid.pp client.Ctx.frame
+    (match client.Ctx.deco with
+    | Some deco -> Swm_oi.Wobj.name deco
+    | None -> "<none>");
+
+  (* 4. Interact: click the title bar's name button (bound to f.move),
+     drag, release. *)
+  let title =
+    Swm_oi.Wobj.window
+      (Option.get (Swm_oi.Wobj.find_descendant (Option.get client.Ctx.deco) ~name:"name"))
+  in
+  let abs = Server.root_geometry server title in
+  Server.warp_pointer server ~screen:0 (Geom.point (abs.x + 4) (abs.y + 4));
+  Server.press_button server 1;
+  ignore (Wm.step wm);
+  Server.warp_pointer server ~screen:0 (Geom.point (abs.x + 304) (abs.y + 154));
+  ignore (Wm.step wm);
+  Server.release_button server 1;
+  ignore (Wm.step wm);
+  let fgeom = Server.geometry server client.Ctx.frame in
+  Format.printf "dragged the window by its title bar to %d,%d@." fgeom.x fgeom.y;
+
+  (* 5. Render what the user would see. *)
+  print_endline (Wm.render_screen wm ~screen:0)

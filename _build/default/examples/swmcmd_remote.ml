@@ -1,0 +1,89 @@
+(* Driving the window manager from outside (paper §4.3): any client can
+   execute window-manager commands by writing the SWM_COMMAND property on
+   the root window — the paper's example is typing `swmcmd f.raise` into an
+   xterm, whereupon swm prompts for a window to raise.  The same channel can
+   reconfigure decorations while swm runs ("changing the shape of a button
+   to indicate the status of a process").
+
+     dune exec examples/swmcmd_remote.exe *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Swmcmd = Swm_core.Swmcmd
+module Templates = Swm_core.Templates
+module Stock = Swm_clients.Stock
+module Client_app = Swm_clients.Client_app
+
+let () =
+  let server = Server.create () in
+  let wm =
+    Wm.start ~resources:[ Templates.open_look; "swm*virtualDesktop: False\n" ] server
+  in
+  let ctx = Wm.ctx wm in
+  let term = Stock.xterm server ~at:(Geom.point 80 120) () in
+  let clock = Stock.xclock server ~at:(Geom.point 700 80) () in
+  ignore (Wm.step wm);
+
+  let state_of app =
+    (Option.get (Wm.find_client wm (Client_app.window app))).Ctx.state
+  in
+
+  (* The "swmcmd" shell utility: an unrelated connection. *)
+  let swmcmd = Server.connect server ~name:"swmcmd" in
+
+  (* 1. Batch commands by class — no pointer needed. *)
+  Swmcmd.send server swmcmd ~screen:0 "f.iconify(XClock)";
+  ignore (Wm.step wm);
+  Format.printf "after `swmcmd f.iconify(XClock)`: xclock is %s@."
+    (Prop.wm_state_to_string (state_of clock));
+
+  (* 2. The paper's interactive example: `swmcmd f.raise` prompts. *)
+  Swmcmd.send server swmcmd ~screen:0 "f.raise";
+  ignore (Wm.step wm);
+  (match ctx.Ctx.mode with
+  | Ctx.Prompting _ ->
+      Format.printf "after `swmcmd f.raise`: pointer is a question mark, pick a window...@."
+  | _ -> Format.printf "unexpected: not prompting@.");
+  (* The user clicks the xterm. *)
+  let fgeom =
+    Server.root_geometry server
+      (Option.get (Wm.find_client wm (Client_app.window term))).Ctx.frame
+  in
+  Server.warp_pointer server ~screen:0 (Geom.point (fgeom.x + 10) (fgeom.y + 40));
+  Server.press_button server 1;
+  ignore (Wm.step wm);
+  Format.printf "...clicked the xterm; it is now on top: %b@."
+    (match
+       List.rev (Server.children_of server (Server.root server ~screen:0))
+     with
+    | top :: _ ->
+        Swm_xlib.Xid.equal top
+          (Option.get (Wm.find_client wm (Client_app.window term))).Ctx.frame
+    | [] -> false);
+
+  (* 3. Several commands in one write, like a shell script would. *)
+  Swmcmd.send server swmcmd ~screen:0 "f.deiconify(XClock)";
+  Swmcmd.send server swmcmd ~screen:0 "f.exec(make -C ~/src world)";
+  ignore (Wm.step wm);
+  Format.printf "after batch: xclock is %s; f.exec log: %s@."
+    (Prop.wm_state_to_string (state_of clock))
+    (String.concat "; " (Wm.ctx wm).Ctx.executed);
+
+  (* 4. The paper's closing suggestion: "changing the shape of a button to
+     indicate the status of a process" — a build script flips the nail
+     button's face while the build runs. *)
+  Swmcmd.send server swmcmd ~screen:0 "f.setLabel(nail,BUILDING)";
+  ignore (Wm.step wm);
+  let nail_label () =
+    let client = Option.get (Wm.find_client wm (Client_app.window term)) in
+    let deco = Option.get client.Ctx.deco in
+    Swm_oi.Wobj.label (Option.get (Swm_oi.Wobj.find_descendant deco ~name:"nail"))
+  in
+  Format.printf "while the build runs, the xterm's nail button reads: %S@."
+    (nail_label ());
+  Swmcmd.send server swmcmd ~screen:0 "f.setLabel(nail,OK)";
+  ignore (Wm.step wm);
+  Format.printf "when it finishes: %S@." (nail_label ())

@@ -1,0 +1,1 @@
+lib/baselines/gwm_like.ml: List Mlisp Option String Swm_xlib

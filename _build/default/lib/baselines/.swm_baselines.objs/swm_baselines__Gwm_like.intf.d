@@ -1,0 +1,1 @@
+lib/baselines/gwm_like.mli: Swm_xlib

@@ -1,0 +1,1 @@
+lib/baselines/gwm_policies.mli:

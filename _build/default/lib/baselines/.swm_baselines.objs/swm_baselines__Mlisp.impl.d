@@ -1,0 +1,1 @@
+lib/baselines/mlisp.ml: Buffer Format Hashtbl List Printf Result String

@@ -1,0 +1,1 @@
+lib/baselines/mlisp.mli: Format

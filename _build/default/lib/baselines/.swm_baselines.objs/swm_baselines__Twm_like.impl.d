@@ -1,0 +1,1 @@
+lib/baselines/twm_like.ml: Buffer List Option Printf String Swm_xlib

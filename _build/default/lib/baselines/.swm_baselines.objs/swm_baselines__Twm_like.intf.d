@@ -1,0 +1,1 @@
+lib/baselines/twm_like.mli: Swm_xlib

@@ -1,0 +1,1 @@
+lib/baselines/xplaces.ml: Buffer List Printf String Swm_xlib

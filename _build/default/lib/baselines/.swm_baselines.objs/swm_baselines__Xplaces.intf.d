@@ -1,0 +1,1 @@
+lib/baselines/xplaces.mli: Swm_xlib

@@ -1,0 +1,242 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Prop = Swm_xlib.Prop
+module Event = Swm_xlib.Event
+
+type managed = {
+  cwin : Xid.t;
+  mutable frame : Xid.t;
+  mutable title : Xid.t;
+  mutable iconic : bool;
+}
+
+type t = {
+  server : Server.t;
+  conn : Server.conn;
+  root : Xid.t;
+  env : Mlisp.env;
+  table : managed Xid.Tbl.t;
+}
+
+let default_policy =
+  {|
+; gwm-like policy: titled frames, click-to-raise, button-3 iconify.
+(define title-height 20)
+(define border-width 2)
+
+(define (on-manage win)
+  (decorate win title-height border-width))
+
+(define (on-button win button context)
+  (if (string=? context "title")
+      (if (= button 1) (raise-window win)
+        (if (= button 2) (lower-window win)
+          (if (= button 3) (iconify-window win) #f)))
+    (if (string=? context "icon")
+        (deiconify-window win)
+      #f)))
+|}
+
+let int_of = function Mlisp.Int n -> n | v -> raise (Mlisp.Error ("expected int, got " ^ Mlisp.to_string v))
+
+let xid_of = function
+  | Mlisp.Int n -> Xid.of_int n
+  | v -> raise (Mlisp.Error ("expected window id, got " ^ Mlisp.to_string v))
+
+let managed_count wm =
+  Xid.Tbl.fold (fun k m acc -> if Xid.equal k m.cwin then acc + 1 else acc) wm.table 0
+
+let frame_of wm cwin =
+  match Xid.Tbl.find_opt wm.table cwin with Some m -> Some m.frame | None -> None
+
+let read_name wm win =
+  match Server.get_property wm.server win ~name:Prop.wm_name with
+  | Some (Prop.String s) -> s
+  | Some _ | None -> "untitled"
+
+(* The [decorate] primitive: frame + title, registered against this WM. *)
+let decorate wm cwin title_height border_width =
+  if (not (Xid.Tbl.mem wm.table cwin)) && Server.window_exists wm.server cwin then begin
+    let cgeom = Server.geometry wm.server cwin in
+    let frame =
+      Server.create_window wm.server wm.conn ~parent:wm.root
+        ~geom:(Geom.rect cgeom.x cgeom.y cgeom.w (cgeom.h + title_height))
+        ~border:border_width ~background:' ' ()
+    in
+    let title =
+      Server.create_window wm.server wm.conn ~parent:frame
+        ~geom:(Geom.rect 0 0 cgeom.w title_height)
+        ~background:'~' ~label:(read_name wm cwin) ()
+    in
+    Server.select_input wm.server wm.conn title
+      [ Event.Button_press_mask; Event.Button_release_mask ];
+    Server.map_window wm.server wm.conn title;
+    Server.reparent_window wm.server wm.conn cwin ~new_parent:frame
+      ~pos:(Geom.point 0 title_height);
+    Server.add_to_save_set wm.server wm.conn cwin;
+    Server.select_input wm.server wm.conn cwin
+      [ Event.Structure_notify; Event.Property_change ];
+    Server.map_window wm.server wm.conn cwin;
+    Server.map_window wm.server wm.conn frame;
+    let m = { cwin; frame; title; iconic = false } in
+    Xid.Tbl.replace wm.table cwin m;
+    Xid.Tbl.replace wm.table frame m;
+    Xid.Tbl.replace wm.table title m
+  end
+
+let register_primitives wm =
+  let env = wm.env in
+  let with_managed v f =
+    match Xid.Tbl.find_opt wm.table (xid_of v) with
+    | Some m -> f m
+    | None -> ()
+  in
+  Mlisp.register env "decorate" (function
+    | [ win; th; bw ] ->
+        decorate wm (xid_of win) (int_of th) (int_of bw);
+        Mlisp.Bool true
+    | _ -> raise (Mlisp.Error "decorate: (decorate win title-height border)"));
+  Mlisp.register env "raise-window" (function
+    | [ v ] ->
+        with_managed v (fun m -> Server.raise_window wm.server wm.conn m.frame);
+        Mlisp.Bool true
+    | _ -> raise (Mlisp.Error "raise-window: one argument"));
+  Mlisp.register env "lower-window" (function
+    | [ v ] ->
+        with_managed v (fun m -> Server.lower_window wm.server wm.conn m.frame);
+        Mlisp.Bool true
+    | _ -> raise (Mlisp.Error "lower-window: one argument"));
+  Mlisp.register env "iconify-window" (function
+    | [ v ] ->
+        with_managed v (fun m ->
+            if not m.iconic then begin
+              Server.unmap_window wm.server wm.conn m.frame;
+              m.iconic <- true
+            end);
+        Mlisp.Bool true
+    | _ -> raise (Mlisp.Error "iconify-window: one argument"));
+  Mlisp.register env "deiconify-window" (function
+    | [ v ] ->
+        with_managed v (fun m ->
+            if m.iconic then begin
+              Server.map_window wm.server wm.conn m.frame;
+              m.iconic <- false
+            end);
+        Mlisp.Bool true
+    | _ -> raise (Mlisp.Error "deiconify-window: one argument"));
+  Mlisp.register env "move-window" (function
+    | [ v; x; y ] ->
+        with_managed v (fun m ->
+            let g = Server.geometry wm.server m.frame in
+            Server.move_resize wm.server wm.conn m.frame
+              { g with Geom.x = int_of x; y = int_of y });
+        Mlisp.Bool true
+    | _ -> raise (Mlisp.Error "move-window: (move-window win x y)"));
+  Mlisp.register env "window-name" (function
+    | [ v ] -> Mlisp.Str (read_name wm (xid_of v))
+    | _ -> raise (Mlisp.Error "window-name: one argument"));
+  Mlisp.register env "managed-count" (function
+    | [] -> Mlisp.Int (managed_count wm)
+    | _ -> raise (Mlisp.Error "managed-count: no arguments"))
+
+let call_hook wm name args =
+  match Mlisp.lookup wm.env name with
+  | Some fn -> ( try ignore (Mlisp.call wm.env fn args) with Mlisp.Error _ -> ())
+  | None -> ()
+
+let context_of wm (m : managed) win =
+  if Xid.equal win m.title then "title"
+  else if Xid.equal win wm.root then "root"
+  else "frame"
+
+let handle_event wm event =
+  match event with
+  | Event.Map_request { window; _ } -> (
+      match Xid.Tbl.find_opt wm.table window with
+      | Some m ->
+          if m.iconic then begin
+            Server.map_window wm.server wm.conn m.frame;
+            m.iconic <- false
+          end
+      | None -> call_hook wm "on-manage" [ Mlisp.Int (Xid.to_int window) ])
+  | Event.Button_press { window; button; _ } -> (
+      match Xid.Tbl.find_opt wm.table window with
+      | Some m ->
+          call_hook wm "on-button"
+            [
+              Mlisp.Int (Xid.to_int m.cwin);
+              Mlisp.Int button;
+              Mlisp.Str (context_of wm m window);
+            ]
+      | None -> ())
+  | Event.Destroy_notify { window } -> (
+      match Xid.Tbl.find_opt wm.table window with
+      | Some m when Xid.equal window m.cwin ->
+          if Server.window_exists wm.server m.frame then
+            Server.destroy_window wm.server m.frame;
+          Xid.Tbl.remove wm.table m.cwin;
+          Xid.Tbl.remove wm.table m.frame;
+          Xid.Tbl.remove wm.table m.title
+      | Some _ | None -> ())
+  | Event.Property_notify { window; name; _ } when String.equal name Prop.wm_name -> (
+      match Xid.Tbl.find_opt wm.table window with
+      | Some m -> Server.set_label wm.server m.title (Some (read_name wm m.cwin))
+      | None -> ())
+  | Event.Configure_request { window; changes; _ } -> (
+      match Xid.Tbl.find_opt wm.table window with
+      | Some m ->
+          let cgeom = Server.geometry wm.server m.cwin in
+          let w = Option.value changes.cw ~default:cgeom.w in
+          let h = Option.value changes.ch ~default:cgeom.h in
+          let th = (Server.geometry wm.server m.title).h in
+          Server.move_resize wm.server wm.conn m.cwin (Geom.rect 0 th w h);
+          let fgeom = Server.geometry wm.server m.frame in
+          Server.move_resize wm.server wm.conn m.frame
+            { fgeom with Geom.w; h = h + th }
+      | None -> Server.configure_window wm.server wm.conn window changes)
+  | _ -> ()
+
+let step wm =
+  let count = ref 0 in
+  let rec drain () =
+    match Server.next_event wm.conn with
+    | Some event ->
+        incr count;
+        handle_event wm event;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  !count
+
+let start ?(policy = default_policy) server =
+  let conn = Server.connect server ~name:"gwm" in
+  let root = Server.root server ~screen:0 in
+  Server.select_input server conn root
+    [
+      Event.Substructure_redirect;
+      Event.Substructure_notify;
+      Event.Button_press_mask;
+      Event.Button_release_mask;
+    ];
+  let wm = { server; conn; root; env = Mlisp.base_env (); table = Xid.Tbl.create 64 } in
+  register_primitives wm;
+  match Mlisp.eval_program wm.env policy with
+  | Error msg ->
+      Server.disconnect server conn;
+      Error msg
+  | Ok _ ->
+      List.iter
+        (fun child ->
+          if Server.is_mapped server child && not (Server.override_redirect server child)
+          then call_hook wm "on-manage" [ Mlisp.Int (Xid.to_int child) ])
+        (Server.children_of server root);
+      Ok wm
+
+let eval wm src =
+  match Mlisp.eval_program wm.env src with
+  | Ok v -> Ok (Mlisp.to_string v)
+  | Error _ as e -> e
+
+let shutdown wm = Server.disconnect wm.server wm.conn

@@ -1,0 +1,31 @@
+(** A gwm-style window manager baseline.
+
+    The paper's second comparator: "policy-free, but requires command of
+    the Lisp language to implement a particular look-and-feel".  This WM's
+    entire policy is a {!Mlisp} program: the host calls the user-defined
+    Lisp functions [(on-manage win)] and [(on-button win button context)],
+    and the program drives the WM through registered primitives
+    ([raise-window], [iconify-window], [set-title-height], ...).
+
+    It exists to measure the configurability/performance trade-off from the
+    other side: arbitrary policy, but every decision crosses the
+    interpreter. *)
+
+type t
+
+val default_policy : string
+(** A Lisp program reproducing roughly the {!Twm_like} policy: title bar,
+    click-to-raise, button-3 iconify. *)
+
+val start : ?policy:string -> Swm_xlib.Server.t -> (t, string) result
+(** Evaluate the policy program and claim screen 0.  Returns [Error] when
+    the program does not parse or its top level fails. *)
+
+val step : t -> int
+val managed_count : t -> int
+val frame_of : t -> Swm_xlib.Xid.t -> Swm_xlib.Xid.t option
+val eval : t -> string -> (string, string) result
+(** Evaluate an expression against the running WM (gwm's interactive
+    channel); returns the printed result. *)
+
+val shutdown : t -> unit

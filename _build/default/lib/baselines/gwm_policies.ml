@@ -1,0 +1,49 @@
+let titled = Gwm_like.default_policy
+
+let cascade =
+  {|
+; cascade placement: position is a function of how many windows exist.
+(define placed 0)
+(define (on-manage win)
+  (decorate win 20 2)
+  (move-window win (+ 30 (* 35 (mod placed 10)))
+                   (+ 30 (* 35 (mod placed 10))))
+  (set! placed (+ placed 1)))
+
+(define (on-button win button context)
+  (if (= button 1) (raise-window win) #f))
+|}
+
+let click_to_iconify_all =
+  {|
+(define managed '())
+(define (on-manage win)
+  (decorate win 20 2)
+  (set! managed (cons win managed)))
+
+(define (iconify-each lst)
+  (if (null? lst) #t
+    (begin (iconify-window (car lst))
+           (iconify-each (cdr lst)))))
+
+(define (on-button win button context)
+  (if (= button 3)
+      (iconify-each managed)
+    (if (= button 1) (raise-window win) #f)))
+|}
+
+let minimal =
+  {|
+; no decoration: a 0-height title and 0 border is as bare as the host
+; primitives go, like gwm's simplest describe-window.
+(define (on-manage win) (decorate win 1 0))
+(define (on-button win button context) #f)
+|}
+
+let all =
+  [
+    ("titled", titled);
+    ("cascade", cascade);
+    ("click-to-iconify-all", click_to_iconify_all);
+    ("minimal", minimal);
+  ]

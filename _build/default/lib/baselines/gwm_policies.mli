@@ -1,0 +1,25 @@
+(** Sample gwm policies.
+
+    The paper's complaint about gwm is that any policy change "requires
+    command of the Lisp language".  These policies are what that looks
+    like in practice — each is a program, where the equivalent swm policy
+    is a handful of resource lines.  Used by tests and by the
+    configurability benches. *)
+
+val titled : string
+(** The default: title bar, click-to-raise (same as
+    {!Gwm_like.default_policy}). *)
+
+val cascade : string
+(** Auto-placement: ignores the client's position and cascades windows
+    diagonally, counting managed windows in Lisp. *)
+
+val click_to_iconify_all : string
+(** Button 3 anywhere on a title iconifies *every* managed window —
+    demonstrates policy loops over WM state in Lisp. *)
+
+val minimal : string
+(** No decoration at all: just map (gwm's "describe-window nil"
+    style). *)
+
+val all : (string * string) list

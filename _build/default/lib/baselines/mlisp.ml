@@ -1,0 +1,336 @@
+type value =
+  | Int of int
+  | Str of string
+  | Sym of string
+  | Bool of bool
+  | List of value list
+  | Closure of closure
+  | Builtin of string * (value list -> value)
+
+and closure = { params : string list; body : value list; captured : env }
+
+and env = { vars : (string, value) Hashtbl.t; up : env option }
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+(* -------- reader -------- *)
+
+type token = Lparen | Rparen | Quote | Atom of string | String_tok of string
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' ->
+        (* comment to end of line *)
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | '(' ->
+        tokens := Lparen :: !tokens;
+        incr i
+    | ')' ->
+        tokens := Rparen :: !tokens;
+        incr i
+    | '\'' ->
+        tokens := Quote :: !tokens;
+        incr i
+    | '"' ->
+        let buf = Buffer.create 16 in
+        incr i;
+        while !i < n && src.[!i] <> '"' do
+          if src.[!i] = '\\' && !i + 1 < n then begin
+            (match src.[!i + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | c -> Buffer.add_char buf c);
+            i := !i + 2
+          end
+          else begin
+            Buffer.add_char buf src.[!i];
+            incr i
+          end
+        done;
+        if !i >= n then error "unterminated string";
+        incr i;
+        tokens := String_tok (Buffer.contents buf) :: !tokens
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          &&
+          match src.[!i] with
+          | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> false
+          | _ -> true
+        do
+          incr i
+        done;
+        tokens := Atom (String.sub src start (!i - start)) :: !tokens);
+  done;
+  List.rev !tokens
+
+let atom_value text =
+  match int_of_string_opt text with
+  | Some n -> Int n
+  | None -> (
+      match text with
+      | "#t" | "true" -> Bool true
+      | "#f" | "false" -> Bool false
+      | _ -> Sym text)
+
+let parse src =
+  try
+    let rec read = function
+      | [] -> error "unexpected end of input"
+      | Lparen :: rest ->
+          let items, rest = read_list [] rest in
+          (List items, rest)
+      | Rparen :: _ -> error "unexpected ')'"
+      | Quote :: rest ->
+          let v, rest = read rest in
+          (List [ Sym "quote"; v ], rest)
+      | Atom a :: rest -> (atom_value a, rest)
+      | String_tok s :: rest -> (Str s, rest)
+    and read_list acc = function
+      | Rparen :: rest -> (List.rev acc, rest)
+      | tokens ->
+          let v, rest = read tokens in
+          read_list (v :: acc) rest
+    in
+    let rec program acc tokens =
+      match tokens with
+      | [] -> List.rev acc
+      | _ ->
+          let v, rest = read tokens in
+          program (v :: acc) rest
+    in
+    Ok (program [] (tokenize src))
+  with Error msg -> Result.Error msg
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Sym s -> Format.pp_print_string ppf s
+  | Bool true -> Format.pp_print_string ppf "#t"
+  | Bool false -> Format.pp_print_string ppf "#f"
+  | List items ->
+      Format.fprintf ppf "@[<h>(%a)@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp)
+        items
+  | Closure _ -> Format.pp_print_string ppf "#<closure>"
+  | Builtin (name, _) -> Format.fprintf ppf "#<builtin:%s>" name
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* -------- environment -------- *)
+
+let new_env ?up () = { vars = Hashtbl.create 16; up }
+
+let rec lookup env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some v -> Some v
+  | None -> ( match env.up with Some up -> lookup up name | None -> None)
+
+let define env name v = Hashtbl.replace env.vars name v
+let register env name f = define env name (Builtin (name, f))
+
+let rec set env name v =
+  if Hashtbl.mem env.vars name then Hashtbl.replace env.vars name v
+  else
+    match env.up with
+    | Some up -> set up name v
+    | None -> error "set!: unbound variable %s" name
+
+let truthy = function
+  | Bool false -> false
+  | Int 0 -> false
+  | List [] -> false
+  | Bool true | Int _ | Str _ | Sym _ | List _ | Closure _ | Builtin _ -> true
+
+(* -------- evaluator -------- *)
+
+let rec eval env expr =
+  match expr with
+  | Int _ | Str _ | Bool _ | Closure _ | Builtin _ -> expr
+  | Sym name -> (
+      match lookup env name with
+      | Some v -> v
+      | None -> error "unbound variable %s" name)
+  | List [] -> List []
+  | List (Sym "quote" :: args) -> (
+      match args with [ v ] -> v | _ -> error "quote: one argument expected")
+  | List (Sym "if" :: args) -> (
+      match args with
+      | [ c; t ] -> if truthy (eval env c) then eval env t else Bool false
+      | [ c; t; e ] -> if truthy (eval env c) then eval env t else eval env e
+      | _ -> error "if: 2 or 3 arguments expected")
+  | List (Sym "define" :: args) -> (
+      match args with
+      | [ Sym name; v ] ->
+          define env name (eval env v);
+          Sym name
+      | List (Sym name :: params) :: body ->
+          let params =
+            List.map
+              (function Sym p -> p | v -> error "bad parameter %s" (to_string v))
+              params
+          in
+          define env name (Closure { params; body; captured = env });
+          Sym name
+      | _ -> error "define: bad form")
+  | List (Sym "set!" :: args) -> (
+      match args with
+      | [ Sym name; v ] ->
+          let v = eval env v in
+          set env name v;
+          v
+      | _ -> error "set!: bad form")
+  | List (Sym "lambda" :: args) -> (
+      match args with
+      | List params :: body when body <> [] ->
+          let params =
+            List.map
+              (function Sym p -> p | v -> error "bad parameter %s" (to_string v))
+              params
+          in
+          Closure { params; body; captured = env }
+      | _ -> error "lambda: bad form")
+  | List (Sym "let" :: args) -> (
+      match args with
+      | List bindings :: body when body <> [] ->
+          let scope = new_env ~up:env () in
+          List.iter
+            (function
+              | List [ Sym name; v ] -> define scope name (eval env v)
+              | v -> error "let: bad binding %s" (to_string v))
+            bindings;
+          eval_body scope body
+      | _ -> error "let: bad form")
+  | List (Sym "begin" :: body) -> eval_body env body
+  | List (Sym "while" :: cond :: body) ->
+      while truthy (eval env cond) do
+        ignore (eval_body env body)
+      done;
+      Bool false
+  | List (Sym "and" :: body) ->
+      let rec go = function
+        | [] -> Bool true
+        | [ last ] -> eval env last
+        | e :: rest -> if truthy (eval env e) then go rest else Bool false
+      in
+      go body
+  | List (Sym "or" :: body) ->
+      let rec go = function
+        | [] -> Bool false
+        | e :: rest ->
+            let v = eval env e in
+            if truthy v then v else go rest
+      in
+      go body
+  | List (f :: args) ->
+      let fv = eval env f in
+      let argv = List.map (eval env) args in
+      call env fv argv
+
+and eval_body env = function
+  | [] -> Bool false
+  | [ last ] -> eval env last
+  | e :: rest ->
+      ignore (eval env e);
+      eval_body env rest
+
+and call _env fv argv =
+  match fv with
+  | Builtin (_, f) -> f argv
+  | Closure { params; body; captured } ->
+      if List.length params <> List.length argv then
+        error "arity mismatch: expected %d arguments" (List.length params);
+      let scope = new_env ~up:captured () in
+      List.iter2 (define scope) params argv;
+      eval_body scope body
+  | v -> error "not callable: %s" (to_string v)
+
+(* -------- builtins -------- *)
+
+let int_of = function Int n -> n | v -> error "expected integer, got %s" (to_string v)
+
+let compare_chain name cmp args =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if cmp (int_of a) (int_of b) then go rest else Bool false
+    | [ _ ] | [] -> Bool true
+  in
+  match args with [] | [ _ ] -> error "%s: two arguments expected" name | _ -> go args
+
+let base_env () =
+  let env = new_env () in
+  register env "+" (fun args ->
+      Int (List.fold_left (fun acc v -> acc + int_of v) 0 args));
+  register env "*" (fun args ->
+      Int (List.fold_left (fun acc v -> acc * int_of v) 1 args));
+  register env "-" (function
+    | [ Int n ] -> Int (-n)
+    | first :: (_ :: _ as rest) ->
+        Int (List.fold_left (fun acc v -> acc - int_of v) (int_of first) rest)
+    | _ -> error "-: arguments expected");
+  register env "/" (function
+    | [ a; b ] ->
+        let d = int_of b in
+        if d = 0 then error "division by zero" else Int (int_of a / d)
+    | _ -> error "/: two arguments expected");
+  register env "mod" (function
+    | [ a; b ] ->
+        let d = int_of b in
+        if d = 0 then error "mod by zero" else Int (int_of a mod d)
+    | _ -> error "mod: two arguments expected");
+  register env "=" (compare_chain "=" ( = ));
+  register env "<" (compare_chain "<" ( < ));
+  register env ">" (compare_chain ">" ( > ));
+  register env "<=" (compare_chain "<=" ( <= ));
+  register env ">=" (compare_chain ">=" ( >= ));
+  register env "not" (function [ v ] -> Bool (not (truthy v)) | _ -> error "not: one argument");
+  register env "eq?" (function
+    | [ a; b ] -> Bool (a = b)
+    | _ -> error "eq?: two arguments");
+  register env "list" (fun args -> List args);
+  register env "cons" (function
+    | [ v; List l ] -> List (v :: l)
+    | _ -> error "cons: value and list expected");
+  register env "car" (function
+    | [ List (x :: _) ] -> x
+    | _ -> error "car: non-empty list expected");
+  register env "cdr" (function
+    | [ List (_ :: rest) ] -> List rest
+    | _ -> error "cdr: non-empty list expected");
+  register env "null?" (function [ List [] ] -> Bool true | [ _ ] -> Bool false
+    | _ -> error "null?: one argument");
+  register env "length" (function
+    | [ List l ] -> Int (List.length l)
+    | [ Str s ] -> Int (String.length s)
+    | _ -> error "length: list or string expected");
+  register env "append" (fun args ->
+      List
+        (List.concat_map
+           (function List l -> l | v -> error "append: list expected, got %s" (to_string v))
+           args));
+  register env "string-append" (fun args ->
+      Str
+        (String.concat ""
+           (List.map
+              (function Str s -> s | Sym s -> s | Int n -> string_of_int n
+                | v -> error "string-append: %s" (to_string v))
+              args)));
+  register env "string=?" (function
+    | [ Str a; Str b ] -> Bool (String.equal a b)
+    | _ -> error "string=?: two strings expected");
+  env
+
+let eval_program env src =
+  match parse src with
+  | Result.Error _ as e -> e
+  | Ok exprs -> (
+      try Ok (List.fold_left (fun _ e -> eval env e) (Bool false) exprs)
+      with Error msg -> Result.Error msg)

@@ -1,0 +1,1 @@
+lib/clients/client_app.ml: List Option Printf String Swm_xlib

@@ -1,0 +1,1 @@
+lib/clients/client_app.mli: Swm_xlib

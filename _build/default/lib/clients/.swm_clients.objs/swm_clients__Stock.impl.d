@@ -1,0 +1,1 @@
+lib/clients/stock.ml: Client_app Swm_xlib

@@ -1,0 +1,1 @@
+lib/clients/stock.mli: Client_app Swm_xlib

@@ -1,0 +1,1 @@
+lib/clients/workload.ml: Array Client_app List Printf Random Swm_xlib

@@ -1,0 +1,1 @@
+lib/clients/workload.mli: Client_app Swm_xlib

@@ -1,0 +1,79 @@
+(** A simulated X client application.
+
+    Each app owns a connection, a top-level window with the standard ICCCM
+    properties (WM_CLASS, WM_NAME, WM_COMMAND, WM_CLIENT_MACHINE,
+    WM_NORMAL_HINTS, WM_HINTS), and a tiny event-processing loop that keeps
+    track of where the client *believes* it is — fed only by the
+    ConfigureNotify events it receives, exactly like a real toolkit.  That
+    belief is what swm's SWM_ROOT/PPosition machinery exists to keep
+    correct (paper §6.3). *)
+
+type t
+
+type spec = {
+  instance : string;
+  class_ : string;
+  command : string;  (** the WM_COMMAND string *)
+  host : string;  (** WM_CLIENT_MACHINE *)
+  geom : Swm_xlib.Geom.rect;
+  us_position : bool;
+  p_position : bool;
+  initial_state : Swm_xlib.Prop.wm_state;
+  icon_position : Swm_xlib.Geom.point option;
+  background : char;
+  graceful_delete : bool;
+      (** advertise WM_DELETE_WINDOW and close politely when asked *)
+}
+
+val spec :
+  ?instance:string ->
+  ?class_:string ->
+  ?command:string ->
+  ?host:string ->
+  ?us_position:bool ->
+  ?p_position:bool ->
+  ?initial_state:Swm_xlib.Prop.wm_state ->
+  ?icon_position:Swm_xlib.Geom.point ->
+  ?background:char ->
+  ?graceful_delete:bool ->
+  Swm_xlib.Geom.rect ->
+  spec
+(** Defaults: instance ["app"], class ["App"], command derived from the
+    instance and geometry, host ["localhost"], no position hints, Normal
+    initial state. *)
+
+val launch : Swm_xlib.Server.t -> ?screen:int -> spec -> t
+(** Connect, create the top-level window with its properties, and map it
+    (generating the MapRequest the WM will see). *)
+
+val window : t -> Swm_xlib.Xid.t
+val conn : t -> Swm_xlib.Server.conn
+val app_spec : t -> spec
+
+val process_events : t -> int
+(** Drain the app's queue, updating its believed position; returns the
+    number of events seen. *)
+
+val believed_position : t -> Swm_xlib.Geom.point option
+(** Root-relative position per the last (synthetic or real) ConfigureNotify
+    the app received; [None] before any arrived. *)
+
+val set_name : t -> string -> unit
+val set_icon_name : t -> string -> unit
+val resize_self : t -> int * int -> unit
+(** Issue a ConfigureRequest for a new size, as an app would. *)
+
+val move_self : t -> Swm_xlib.Geom.point -> unit
+val withdraw : t -> unit
+(** Unmap the top-level (ICCCM withdrawal). *)
+
+val destroy : t -> unit
+
+(** {1 Popup positioning (the paper's dialog-box problem)} *)
+
+val popup_dialog : t -> use_swm_root:bool -> Swm_xlib.Xid.t * Swm_xlib.Geom.point
+(** Create and map an override-redirect dialog centred on where the app
+    believes its window is.  With [use_swm_root] the app positions the
+    dialog relative to the window named by the SWM_ROOT property (the fixed
+    toolkit of §6.3.1); without it, relative to the real root (the broken
+    pre-swm behaviour).  Returns the dialog window and the position used. *)

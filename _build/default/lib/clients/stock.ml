@@ -1,0 +1,55 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Region = Swm_xlib.Region
+
+let place ?at (w, h) =
+  match at with
+  | Some p -> Geom.rect p.Geom.px p.Geom.py w h
+  | None -> Geom.rect 0 0 w h
+
+let launch_simple server ?(screen = 0) ?at ~instance ~class_ ~size ~background () =
+  let geom = place ?at size in
+  Client_app.launch server ~screen
+    (Client_app.spec ~instance ~class_ ~background
+       ~us_position:(at <> None) geom)
+
+let xclock server ?screen ?at () =
+  launch_simple server ?screen ?at ~instance:"xclock" ~class_:"XClock"
+    ~size:(100, 100) ~background:'c' ()
+
+let xterm server ?screen ?at ?(instance = "xterm") () =
+  launch_simple server ?screen ?at ~instance ~class_:"XTerm" ~size:(484, 316)
+    ~background:'t' ()
+
+let xlogo server ?screen ?at () =
+  launch_simple server ?screen ?at ~instance:"xlogo" ~class_:"XLogo" ~size:(64, 64)
+    ~background:'l' ()
+
+let xbiff server ?screen ?at () =
+  launch_simple server ?screen ?at ~instance:"xbiff" ~class_:"XBiff" ~size:(48, 48)
+    ~background:'b' ()
+
+let launch_shaped server ?(screen = 0) ?at ~instance ~class_ ~size ~background ~shape
+    () =
+  let geom = place ?at size in
+  let app =
+    Client_app.launch server ~screen
+      (Client_app.spec ~instance ~class_ ~background ~us_position:(at <> None) geom)
+  in
+  Server.shape_set server (Client_app.conn app) (Client_app.window app) shape;
+  app
+
+let oclock server ?screen ?at () =
+  let size = (120, 120) in
+  let r = fst size / 2 in
+  launch_shaped server ?screen ?at ~instance:"oclock" ~class_:"Clock" ~size
+    ~background:'o'
+    ~shape:(Region.disc ~cx:r ~cy:r ~r)
+    ()
+
+let xeyes server ?screen ?at () =
+  let size = (160, 100) in
+  let eye r cx cy = Region.disc ~cx ~cy ~r in
+  let shape = Region.union (eye 50 40 50) (eye 50 120 50) in
+  launch_shaped server ?screen ?at ~instance:"xeyes" ~class_:"XEyes" ~size
+    ~background:'e' ~shape ()

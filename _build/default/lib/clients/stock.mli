@@ -1,0 +1,28 @@
+(** Stock simulated clients: the programs the paper mentions by name.
+
+    Each returns a launched {!Client_app.t}; the shaped ones (oclock,
+    xeyes) set a SHAPE bounding region on their window before mapping, so
+    swm's [shaped*decoration] machinery kicks in (paper §5). *)
+
+val xclock : Swm_xlib.Server.t -> ?screen:int -> ?at:Swm_xlib.Geom.point -> unit -> Client_app.t
+(** 100x100, class [xclock.XClock] — the canonical sticky candidate. *)
+
+val xterm :
+  Swm_xlib.Server.t ->
+  ?screen:int ->
+  ?at:Swm_xlib.Geom.point ->
+  ?instance:string ->
+  unit ->
+  Client_app.t
+(** 484x316, class [xterm.XTerm]. *)
+
+val xlogo : Swm_xlib.Server.t -> ?screen:int -> ?at:Swm_xlib.Geom.point -> unit -> Client_app.t
+
+val oclock : Swm_xlib.Server.t -> ?screen:int -> ?at:Swm_xlib.Geom.point -> unit -> Client_app.t
+(** Round (shaped) clock, class [oclock.Clock]. *)
+
+val xeyes : Swm_xlib.Server.t -> ?screen:int -> ?at:Swm_xlib.Geom.point -> unit -> Client_app.t
+(** Two discs (shaped), class [xeyes.XEyes]. *)
+
+val xbiff : Swm_xlib.Server.t -> ?screen:int -> ?at:Swm_xlib.Geom.point -> unit -> Client_app.t
+(** Mail notifier, 48x48 — the other stock sticky-window example. *)

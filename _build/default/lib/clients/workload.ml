@@ -1,0 +1,67 @@
+module Geom = Swm_xlib.Geom
+
+type params = {
+  count : int;
+  area : int * int;
+  shaped_fraction : float;
+  us_position_fraction : float;
+  p_position_fraction : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    count = 10;
+    area = (1152, 900);
+    shaped_fraction = 0.0;
+    us_position_fraction = 0.5;
+    p_position_fraction = 0.25;
+    seed = 42;
+  }
+
+let class_table =
+  [|
+    ("xterm", "XTerm", (484, 316), 't');
+    ("xclock", "XClock", (100, 100), 'c');
+    ("xlogo", "XLogo", (64, 64), 'l');
+    ("emacs", "Emacs", (600, 640), 'E');
+    ("xmh", "Xmh", (420, 500), 'M');
+    ("xbiff", "XBiff", (48, 48), 'b');
+  |]
+
+let specs params =
+  let rng = Random.State.make [| params.seed |] in
+  let aw, ah = params.area in
+  List.init params.count (fun i ->
+      let instance, class_, (w, h), background =
+        class_table.(Random.State.int rng (Array.length class_table))
+      in
+      let x = Random.State.int rng (max 1 (aw - w)) in
+      let y = Random.State.int rng (max 1 (ah - h)) in
+      let roll = Random.State.float rng 1.0 in
+      let us_position = roll < params.us_position_fraction in
+      let p_position =
+        (not us_position)
+        && roll < params.us_position_fraction +. params.p_position_fraction
+      in
+      let instance = Printf.sprintf "%s%d" instance i in
+      Client_app.spec ~instance ~class_ ~us_position ~p_position ~background
+        ~command:(Printf.sprintf "%s -geometry %dx%d+%d+%d" instance w h x y)
+        (Geom.rect x y w h))
+
+let launch server ?(screen = 0) params =
+  let rng = Random.State.make [| params.seed + 1 |] in
+  List.map
+    (fun spec ->
+      let app = Client_app.launch server ~screen spec in
+      if Random.State.float rng 1.0 < params.shaped_fraction then begin
+        let geom = (Client_app.app_spec app).Client_app.geom in
+        let r = min geom.w geom.h / 2 in
+        Swm_xlib.Server.shape_set server (Client_app.conn app)
+          (Client_app.window app)
+          (Swm_xlib.Region.disc ~cx:(geom.w / 2) ~cy:(geom.h / 2) ~r)
+      end;
+      app)
+    (specs params)
+
+let launch_n server ?screen n = launch server ?screen { default_params with count = n }

@@ -1,0 +1,25 @@
+(** Deterministic workload generation for tests and benchmarks.
+
+    Produces populations of simulated clients with a seeded PRNG so bench
+    runs are reproducible: mixed classes, sizes and positions spread over a
+    desktop-sized area, a configurable fraction of shaped clients and of
+    position-hinted clients. *)
+
+type params = {
+  count : int;
+  area : int * int;  (** positions drawn within this (desktop) area *)
+  shaped_fraction : float;
+  us_position_fraction : float;
+  p_position_fraction : float;
+  seed : int;
+}
+
+val default_params : params
+
+val specs : params -> Client_app.spec list
+(** The generated client specs (pure; same seed, same result). *)
+
+val launch : Swm_xlib.Server.t -> ?screen:int -> params -> Client_app.t list
+
+val launch_n : Swm_xlib.Server.t -> ?screen:int -> int -> Client_app.t list
+(** [launch_n server n] — defaults with [count = n]. *)

@@ -1,0 +1,1 @@
+lib/oi/menu.ml: Swm_xlib Wobj

@@ -1,0 +1,1 @@
+lib/oi/menu.mli: Swm_xlib Wobj

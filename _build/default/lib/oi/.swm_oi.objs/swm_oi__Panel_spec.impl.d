@@ -1,0 +1,1 @@
+lib/oi/panel_spec.ml: List Printf String Swm_xlib Wobj

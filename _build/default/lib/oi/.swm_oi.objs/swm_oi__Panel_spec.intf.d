@@ -1,0 +1,1 @@
+lib/oi/panel_spec.mli: Swm_xlib Wobj

@@ -1,0 +1,1 @@
+lib/oi/wobj.ml: Hashtbl List Option Printf String Swm_xlib

@@ -1,0 +1,1 @@
+lib/oi/wobj.mli: Swm_xlib

@@ -1,0 +1,40 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+
+type t = { menu_obj : Wobj.t; tk : Wobj.toolkit; mutable posted : bool }
+
+let create tk menu_obj =
+  let server = Wobj.toolkit_server tk in
+  let root = Server.root server ~screen:(Wobj.toolkit_screen tk) in
+  if not (Wobj.is_realized menu_obj) then begin
+    (* Menus bypass the window manager. *)
+    Wobj.realize ~override_redirect:true menu_obj ~parent_window:root
+      ~at:(Geom.point 0 0);
+    Server.unmap_window server (Wobj.toolkit_conn tk) (Wobj.window menu_obj)
+  end;
+  { menu_obj; tk; posted = false }
+
+let obj menu = menu.menu_obj
+
+let post menu ~at =
+  let server = Wobj.toolkit_server menu.tk in
+  let conn = Wobj.toolkit_conn menu.tk in
+  let win = Wobj.window menu.menu_obj in
+  let geom = Wobj.geometry menu.menu_obj in
+  Server.move_resize server conn win { geom with Geom.x = at.Geom.px; y = at.Geom.py };
+  Server.raise_window server conn win;
+  Server.map_window server conn win;
+  menu.posted <- true
+
+let unpost menu =
+  if menu.posted then begin
+    let server = Wobj.toolkit_server menu.tk in
+    Server.unmap_window server (Wobj.toolkit_conn menu.tk) (Wobj.window menu.menu_obj);
+    menu.posted <- false
+  end
+
+let is_posted menu = menu.posted
+
+let destroy menu =
+  unpost menu;
+  Wobj.unrealize menu.menu_obj

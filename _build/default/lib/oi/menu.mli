@@ -1,0 +1,18 @@
+(** Pop-up menus.
+
+    A menu is an object tree (usually buttons stacked in rows) realized as an
+    override-redirect top-level window, mapped at the pointer when posted and
+    unmapped when unposted. *)
+
+type t
+
+val create : Wobj.toolkit -> Wobj.t -> t
+(** Wrap an object tree (built e.g. by {!Panel_spec.build} with kind
+    [Menu]) as a poppable menu.  Realizes it, unmapped, on the toolkit's
+    screen root. *)
+
+val obj : t -> Wobj.t
+val post : t -> at:Swm_xlib.Geom.point -> unit
+val unpost : t -> unit
+val is_posted : t -> bool
+val destroy : t -> unit

@@ -1,0 +1,127 @@
+(** The OI toolkit: generic window objects.
+
+    swm deals with four basic object kinds — panels, buttons, text objects
+    and menus (paper §4).  All four share one representation, so any object
+    "can be treated as a generic base class object when dealing with
+    attribute settings" (§2): attributes (colour, cursor, bindings, shape)
+    are looked up uniformly through the X resource database, and layout
+    treats children generically.
+
+    Objects form trees; each realized object owns one X window.  Panels
+    arrange children in rows, with the column/row position of each child
+    taken from an X geometry string (["+0+1"] = column 0, row 1; ["+C+0"] =
+    centred in row 0; ["-0+0"] = rightmost in row 0). *)
+
+type kind = Panel | Button | Text | Menu
+
+val kind_name : kind -> string
+(** The resource component: ["panel"], ["button"], ["text"], ["menu"]. *)
+
+val kind_class : kind -> string
+
+type toolkit
+type t
+
+(** {1 Toolkit} *)
+
+val create_toolkit :
+  server:Swm_xlib.Server.t ->
+  conn:Swm_xlib.Server.conn ->
+  screen:int ->
+  query:(names:string list -> classes:string list -> string option) ->
+  toolkit
+(** [query] resolves an attribute path (names/classes *below* whatever
+    application- and screen-level prefix the WM established) against the
+    resource database. *)
+
+val toolkit_server : toolkit -> Swm_xlib.Server.t
+val toolkit_conn : toolkit -> Swm_xlib.Server.conn
+val toolkit_screen : toolkit -> int
+
+val char_cell : toolkit -> int * int
+(** Pixel size of one character of the (simulated) font. *)
+
+val find_object : toolkit -> Swm_xlib.Xid.t -> t option
+(** Dispatch: the object owning that X window, if any. *)
+
+val find_objects_by_name : toolkit -> string -> t list
+(** All realized objects with that name (names need not be unique: every
+    openLook decoration has a [name] button).  Supports the dynamic
+    appearance/bindings functions (paper §4.2). *)
+
+val iter_objects : toolkit -> (t -> unit) -> unit
+
+(** {1 Objects} *)
+
+val make : toolkit -> kind -> name:string -> t
+val name : t -> string
+val kind : t -> kind
+val toolkit : t -> toolkit
+val parent : t -> t option
+val children : t -> t list
+val window : t -> Swm_xlib.Xid.t
+(** Raises [Invalid_argument] if the object is not realized. *)
+
+val is_realized : t -> bool
+
+val add_child : t -> t -> position:Swm_xlib.Geom.spec -> unit
+(** Attach a child to a panel/menu with its row/column position spec.
+    Raises [Invalid_argument] when the parent cannot hold children. *)
+
+val remove_child : t -> t -> unit
+val find_descendant : t -> name:string -> t option
+
+(** {1 Attributes} *)
+
+val set_attr : t -> string -> string -> unit
+(** Local override, shadowing the resource database. *)
+
+val attr : t -> string -> string option
+(** [attr obj "bindings"] — local overrides first, then the resource
+    database under path [<kind>.<name>.<attr>]. *)
+
+val attr_bool : t -> string -> default:bool -> bool
+
+val set_label : t -> string -> unit
+(** Button/text content; triggers re-layout of the enclosing tree when the
+    natural size changes (dynamic appearance, §4.2). *)
+
+val label : t -> string
+
+val set_external_size : t -> (int * int) option -> unit
+(** Impose a size from outside the layout (used for the special [client]
+    panel, whose size is the client window's). *)
+
+val natural_size : t -> int * int
+
+(** {1 Realization and layout} *)
+
+val realize :
+  ?override_redirect:bool ->
+  t ->
+  parent_window:Swm_xlib.Xid.t ->
+  at:Swm_xlib.Geom.point ->
+  unit
+(** Create the X windows for the object tree, lay children out, apply shape
+    attributes, and register every window for dispatch.
+    [override_redirect] (top-level window only) bypasses the window
+    manager — used for menus. *)
+
+val unrealize : t -> unit
+val relayout : t -> unit
+(** Recompute the layout of a realized tree (e.g. after a label change or a
+    client resize) and reconfigure the windows. *)
+
+val geometry : t -> Swm_xlib.Geom.rect
+(** Parent-window-relative geometry of the realized object. *)
+
+val map : t -> unit
+val unmap : t -> unit
+
+(** {1 Action plumbing} *)
+
+val set_handler : t -> (t -> Swm_xlib.Event.t -> unit) option -> unit
+(** Invoked by the WM's dispatch loop when a device event lands on the
+    object's window. *)
+
+val handler : t -> (t -> Swm_xlib.Event.t -> unit) option

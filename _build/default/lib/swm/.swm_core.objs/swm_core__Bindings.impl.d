@@ -1,0 +1,1 @@
+lib/swm/bindings.ml: Format List Option Printf String Swm_xlib

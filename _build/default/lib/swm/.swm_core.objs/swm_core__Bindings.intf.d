@@ -1,0 +1,1 @@
+lib/swm/bindings.mli: Format Swm_xlib

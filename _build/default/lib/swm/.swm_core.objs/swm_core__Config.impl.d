@@ -1,0 +1,1 @@
+lib/swm/config.ml: List Printf String Swm_xlib Swm_xrdb

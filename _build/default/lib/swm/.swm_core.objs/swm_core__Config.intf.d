@@ -1,0 +1,1 @@
+lib/swm/config.mli: Swm_xlib Swm_xrdb

@@ -1,0 +1,1 @@
+lib/swm/ctx.ml: Array Bindings Config Format Hashtbl List Logs Session String Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/ctx.mli: Bindings Config Format Hashtbl Logs Session Swm_oi Swm_xlib

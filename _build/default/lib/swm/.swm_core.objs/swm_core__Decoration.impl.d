@@ -1,0 +1,1 @@
+lib/swm/decoration.ml: Config Ctx Icccm List String Swm_oi Swm_xlib Vdesk

@@ -1,0 +1,1 @@
+lib/swm/decoration.mli: Ctx Swm_oi Swm_xlib

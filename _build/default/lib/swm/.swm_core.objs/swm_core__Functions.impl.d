@@ -1,0 +1,1 @@
+lib/swm/functions.ml: Bindings Config Ctx Decoration Icccm Icons List Option Out_channel Panner Printf Session String Swm_oi Swm_xlib Vdesk

@@ -1,0 +1,1 @@
+lib/swm/functions.mli: Bindings Ctx Session Swm_oi

@@ -1,0 +1,1 @@
+lib/swm/icccm.ml: Ctx Option String Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/icccm.mli: Ctx Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/icons.ml: Config Ctx Icccm List Option Printf String Swm_oi Swm_xlib Vdesk

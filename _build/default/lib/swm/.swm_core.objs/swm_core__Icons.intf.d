@@ -1,0 +1,1 @@
+lib/swm/icons.mli: Ctx Swm_oi Swm_xlib

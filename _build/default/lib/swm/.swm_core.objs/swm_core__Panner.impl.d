@@ -1,0 +1,1 @@
+lib/swm/panner.ml: Array Config Ctx List Scrollbar String Swm_xlib Vdesk

@@ -1,0 +1,1 @@
+lib/swm/panner.mli: Ctx Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/root_panel.ml: Config Ctx List String Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/root_panel.mli: Ctx Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/scrollbar.ml: Config Ctx String Swm_xlib Vdesk

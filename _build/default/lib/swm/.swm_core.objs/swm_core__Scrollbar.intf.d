@@ -1,0 +1,1 @@
+lib/swm/scrollbar.mli: Ctx Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/session.ml: Buffer Format List Printf String Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/session.mli: Format Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/swmcmd.ml: Ctx Functions List String Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/swmcmd.mli: Ctx Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/templates.mli:

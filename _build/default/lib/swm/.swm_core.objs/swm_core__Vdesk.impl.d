@@ -1,0 +1,1 @@
+lib/swm/vdesk.ml: Array Ctx Icccm List Swm_xlib

@@ -1,0 +1,1 @@
+lib/swm/vdesk.mli: Ctx Swm_xlib

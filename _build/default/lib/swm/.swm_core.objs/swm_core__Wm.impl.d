@@ -1,0 +1,1 @@
+lib/swm/wm.ml: Array Bindings Config Ctx Decoration Functions Hashtbl Icccm Icons List Option Panner Root_panel Scrollbar Session String Swm_oi Swm_xlib Swm_xrdb Swmcmd Templates Vdesk

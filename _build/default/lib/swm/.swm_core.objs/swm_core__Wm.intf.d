@@ -1,0 +1,1 @@
+lib/swm/wm.mli: Ctx Swm_xlib

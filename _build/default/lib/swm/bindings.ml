@@ -1,0 +1,210 @@
+module Keysym = Swm_xlib.Keysym
+module Event = Swm_xlib.Event
+
+type event_pattern =
+  | Button of int * Keysym.modifiers
+  | Button_up of int * Keysym.modifiers
+  | Key of Keysym.t * Keysym.modifiers
+  | Enter
+  | Leave
+  | Drop
+
+type func_call = { fname : string; farg : string option }
+type binding = { pattern : event_pattern; funcs : func_call list }
+
+exception Syntax of string
+
+(* The grammar is token-oriented:
+     binding  ::= modifiers? '<' event '>' keysym? ':' func+
+     func     ::= name | name '(' arg ')'
+   A function list ends where the next binding starts, i.e. at a token that
+   contains '<' or is a modifier name directly preceding one. *)
+
+type token = Langle_event of string | Colon | Word of string
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let fail msg = raise (Syntax (Printf.sprintf "%s at index %d" msg !i)) in
+  while !i < n do
+    match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ':' ->
+        tokens := Colon :: !tokens;
+        incr i
+    | '<' -> (
+        match String.index_from_opt src !i '>' with
+        | None -> fail "unterminated '<'"
+        | Some close ->
+            tokens := Langle_event (String.sub src (!i + 1) (close - !i - 1)) :: !tokens;
+            i := close + 1)
+    | _ ->
+        let start = !i in
+        (* Words may carry a parenthesised argument which can contain
+           spaces, e.g. f.exec(xterm -geom 80x24). *)
+        let depth = ref 0 in
+        while
+          !i < n
+          &&
+          match src.[!i] with
+          | '(' ->
+              incr depth;
+              true
+          | ')' ->
+              decr depth;
+              true
+          | ' ' | '\t' | '\n' | '\r' | ':' | '<' -> !depth > 0
+          | _ -> true
+        do
+          incr i
+        done;
+        tokens := Word (String.sub src start (!i - start)) :: !tokens
+  done;
+  List.rev !tokens
+
+let parse_func word =
+  match String.index_opt word '(' with
+  | None -> { fname = word; farg = None }
+  | Some open_paren ->
+      let len = String.length word in
+      if word.[len - 1] <> ')' then
+        raise (Syntax (Printf.sprintf "missing ')' in %S" word))
+      else
+        {
+          fname = String.sub word 0 open_paren;
+          farg = Some (String.sub word (open_paren + 1) (len - open_paren - 2));
+        }
+
+let parse_event ~mods spec ~keysym =
+  let spec = String.trim spec in
+  let button_of s =
+    if String.length s > 3 && String.sub s 0 3 = "Btn" then
+      let rest = String.sub s 3 (String.length s - 3) in
+      if String.length rest > 2 && String.sub rest (String.length rest - 2) 2 = "Up"
+      then
+        Option.map
+          (fun b -> `Up b)
+          (int_of_string_opt (String.sub rest 0 (String.length rest - 2)))
+      else
+        Option.bind (int_of_string_opt rest) (fun b ->
+            if b >= 1 && b <= 5 then Some (`Down b) else None)
+    else None
+  in
+  match spec with
+  | "Key" -> (
+      match keysym with
+      | Some sym -> Key (sym, mods)
+      | None -> raise (Syntax "<Key> needs a keysym"))
+  | "Enter" | "EnterWindow" -> Enter
+  | "Leave" | "LeaveWindow" -> Leave
+  | "Drop" -> Drop
+  | _ -> (
+      match button_of spec with
+      | Some (`Down b) -> Button (b, mods)
+      | Some (`Up b) -> Button_up (b, mods)
+      | None -> raise (Syntax (Printf.sprintf "unknown event spec <%s>" spec)))
+
+let parse src =
+  try
+    let rec bindings acc tokens =
+      match tokens with
+      | [] -> List.rev acc
+      | _ ->
+          (* modifiers *)
+          let rec take_mods mods = function
+            | Word w :: rest when Keysym.parse_modifier w <> None ->
+                let apply = Option.get (Keysym.parse_modifier w) in
+                take_mods (apply mods) rest
+            | rest -> (mods, rest)
+          in
+          let mods, tokens = take_mods Keysym.no_mods tokens in
+          let event_spec, tokens =
+            match tokens with
+            | Langle_event e :: rest -> (e, rest)
+            | Word w :: _ -> raise (Syntax (Printf.sprintf "expected '<event>' before %S" w))
+            | Colon :: _ -> raise (Syntax "expected '<event>' before ':'")
+            | [] -> raise (Syntax "expected '<event>'")
+          in
+          let keysym, tokens =
+            if String.trim event_spec = "Key" then
+              match tokens with
+              | Word w :: rest -> (Some w, rest)
+              | _ -> raise (Syntax "<Key> needs a keysym")
+            else (None, tokens)
+          in
+          let tokens =
+            match tokens with
+            | Colon :: rest -> rest
+            | _ -> raise (Syntax "expected ':' after event")
+          in
+          (* A function list ends where the next binding starts: at '<', or
+             at a run of modifier words directly followed by '<'. *)
+          let rec starts_binding = function
+            | Langle_event _ :: _ -> true
+            | Word w :: rest when Keysym.parse_modifier w <> None -> starts_binding rest
+            | _ -> false
+          in
+          let rec take_funcs funcs tokens =
+            match tokens with
+            | Word w :: rest when not (starts_binding tokens) ->
+                take_funcs (parse_func w :: funcs) rest
+            | _ -> (List.rev funcs, tokens)
+          in
+          let funcs, tokens = take_funcs [] tokens in
+          if funcs = [] then raise (Syntax "binding with no functions");
+          let pattern = parse_event ~mods event_spec ~keysym in
+          bindings ({ pattern; funcs } :: acc) tokens
+    in
+    Ok (bindings [] (tokenize src))
+  with Syntax msg -> Error msg
+
+let parse_exn src =
+  match parse src with
+  | Ok bs -> bs
+  | Error msg -> invalid_arg ("Bindings.parse_exn: " ^ msg)
+
+let matches binding (event : Event.t) =
+  match (binding.pattern, event) with
+  | Button (b, m), Event.Button_press { button; mods; _ } ->
+      b = button && Keysym.mod_equal m mods
+  | Button_up (b, m), Event.Button_release { button; mods; _ } ->
+      b = button && Keysym.mod_equal m mods
+  | Key (sym, m), Event.Key_press { keysym; mods; _ } ->
+      Keysym.equal sym keysym && Keysym.mod_equal m mods
+  | Enter, Event.Enter_notify _ -> true
+  | Leave, Event.Leave_notify _ -> true
+  (* Drop is synthesised by the WM at the end of a window move, never
+     matched against raw device events. *)
+  | (Button _ | Button_up _ | Key _ | Enter | Leave | Drop), _ -> false
+
+let lookup bindings event =
+  match List.find_opt (fun b -> matches b event) bindings with
+  | Some b -> b.funcs
+  | None -> []
+
+let drop_functions bindings =
+  match List.find_opt (fun b -> b.pattern = Drop) bindings with
+  | Some b -> b.funcs
+  | None -> []
+
+let pp_pattern ppf = function
+  | Button (b, m) -> Format.fprintf ppf "%a<Btn%d>" Keysym.pp_modifiers m b
+  | Button_up (b, m) -> Format.fprintf ppf "%a<Btn%dUp>" Keysym.pp_modifiers m b
+  | Key (sym, m) -> Format.fprintf ppf "%a<Key>%s" Keysym.pp_modifiers m sym
+  | Enter -> Format.fprintf ppf "<Enter>"
+  | Leave -> Format.fprintf ppf "<Leave>"
+  | Drop -> Format.fprintf ppf "<Drop>"
+
+let pp_binding ppf b =
+  let pp_func ppf f =
+    match f.farg with
+    | None -> Format.fprintf ppf "%s" f.fname
+    | Some a -> Format.fprintf ppf "%s(%s)" f.fname a
+  in
+  Format.fprintf ppf "%a : %a" pp_pattern b.pattern
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_func)
+    b.funcs
+
+let to_string bindings =
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_binding) bindings)

@@ -1,0 +1,68 @@
+module Server = Swm_xlib.Server
+module Xrdb = Swm_xrdb.Xrdb
+
+type t = { db : Xrdb.t; srv : Server.t }
+
+let create db srv = { db; srv }
+let db t = t.db
+let server t = t.srv
+
+let capitalize = String.capitalize_ascii
+
+let prefix t ~screen =
+  let mono = Server.screen_monochrome t.srv ~screen in
+  let color_name = if mono then "monochrome" else "color" in
+  let screen_name = Printf.sprintf "screen%d" screen in
+  ( [ "swm"; color_name; screen_name ],
+    [ "Swm"; capitalize color_name; "Screen" ] )
+
+let query t ~screen ~names ~classes =
+  let pn, pc = prefix t ~screen in
+  Xrdb.query t.db ~names:(pn @ names) ~classes:(pc @ classes)
+
+let query1 t ~screen name =
+  query t ~screen ~names:[ name ] ~classes:[ capitalize name ]
+
+type client_scope = {
+  instance : string;
+  class_ : string;
+  shaped : bool;
+  sticky : bool;
+}
+
+(* Specific-resource query: the class and the instance are *separate*
+   components in swm's syntax (swm.color.screen0.XClock.xclock.decoration),
+   so the query carries two client levels — one matchable by class, one by
+   instance name.  [shaped] and [sticky] state components are inserted
+   before them when applicable, so decorations can depend on those states. *)
+let query_client t ~screen scope resource =
+  let pn, pc = prefix t ~screen in
+  let state_names, state_classes =
+    List.split
+      (List.filter_map
+         (fun (set, tag) -> if set then Some (tag, capitalize tag) else None)
+         [ (scope.shaped, "shaped"); (scope.sticky, "sticky") ])
+  in
+  let names =
+    pn @ state_names @ [ scope.instance; scope.instance; resource ]
+  and classes =
+    pc @ state_classes @ [ scope.class_; scope.class_; capitalize resource ]
+  in
+  Xrdb.query t.db ~names ~classes
+
+let query_client_bool t ~screen scope resource ~default =
+  match query_client t ~screen scope resource with
+  | None -> default
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "true" | "yes" | "on" | "1" -> true
+      | "false" | "no" | "off" | "0" -> false
+      | _ -> default)
+
+let object_query t ~screen ~names ~classes = query t ~screen ~names ~classes
+
+let panel_definition t ~screen name =
+  query t ~screen ~names:[ "panel"; name ] ~classes:[ "Panel"; capitalize name ]
+
+let menu_definition t ~screen name =
+  query t ~screen ~names:[ "menu"; name ] ~classes:[ "Menu"; capitalize name ]

@@ -1,0 +1,136 @@
+module Xid = Swm_xlib.Xid
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+module Server = Swm_xlib.Server
+module Wobj = Swm_oi.Wobj
+
+type client = {
+  cwin : Xid.t;
+  screen : int;
+  instance : string;
+  class_ : string;
+  mutable frame : Xid.t;
+  mutable deco : Wobj.t option;
+  mutable client_panel : Wobj.t option;
+  mutable state : Prop.wm_state;
+  mutable sticky : bool;
+  mutable shaped : bool;
+  mutable zoom_saved : (Geom.rect * (int * int)) option;
+  mutable icon_obj : Wobj.t option;
+  mutable icon_pos : Geom.point option;
+  mutable holder : holder option;
+  mutable wm_name : string;
+}
+
+and holder = {
+  holder_name : string;
+  holder_screen : int;
+  mutable holder_obj : Wobj.t option;
+  mutable holder_clients : client list;
+  holder_classes : string list;
+  hide_when_empty : bool;
+  size_to_fit : bool;
+  holder_fixed_size : (int * int) option;
+  mutable holder_scroll : int;
+}
+
+and screen_state = {
+  index : int;
+  root : Xid.t;
+  tk : Wobj.toolkit;
+  mutable vdesk : vdesk option;
+  mutable holders : holder list;
+  mutable root_panels : Wobj.t list;
+  mutable root_icons : Wobj.t list;
+  mutable menus : (string * Swm_oi.Menu.t) list;
+  mutable active_menu : (Swm_oi.Menu.t * client option) option;
+  mutable root_bindings : Bindings.binding list;
+  mutable hbar : (Xid.t * Xid.t) option; (* horizontal scrollbar: bar, thumb *)
+  mutable vbar : (Xid.t * Xid.t) option;
+  mutable focus_policy : focus_policy;
+}
+
+and focus_policy = Focus_none | Focus_pointer | Focus_click
+
+and vdesk = {
+  vwins : Xid.t array;
+  mutable current : int;
+  mutable vsize : int * int;
+  mutable panner_client : Xid.t;
+  mutable panner_scale : int;
+}
+
+type mode =
+  | Idle
+  | Moving of { m_client : client; grab_offset : Geom.point; m_outline : Xid.t }
+  | Resizing of {
+      r_client : client;
+      r_start_client : int * int;
+      r_pointer : Geom.point;
+      r_dir : Geom.point; (* +1/-1 per axis: which edges follow the pointer *)
+      r_frame0 : Geom.rect;
+    }
+  | Prompting of Bindings.func_call list
+
+type t = {
+  server : Server.t;
+  conn : Server.conn;
+  cfg : Config.t;
+  screens : screen_state array;
+  clients : client Xid.Tbl.t;
+  frames : client Xid.Tbl.t;
+  corners : client Xid.Tbl.t;
+  panner_minis : client Xid.Tbl.t;
+  session : Session.table;
+  binding_cache : (string, Bindings.binding list) Hashtbl.t;
+  mutable mode : mode;
+  mutable running : bool;
+  mutable restart_requested : bool;
+  mutable executed : string list;
+  mutable last_places : string option;
+  mutable identify_win : Xid.t;
+  mutable confirm : string -> bool;
+  host : string;
+  display : string;
+}
+
+let screen ctx i = ctx.screens.(i)
+
+let client_of_window ctx win =
+  match Xid.Tbl.find_opt ctx.clients win with
+  | Some _ as found -> found
+  | None -> Xid.Tbl.find_opt ctx.frames win
+
+let all_clients ctx = Xid.Tbl.fold (fun _ c acc -> c :: acc) ctx.clients []
+
+let clients_of_class ctx class_ =
+  List.filter (fun c -> String.equal c.class_ class_) (all_clients ctx)
+
+let parsed_bindings ctx src =
+  match Hashtbl.find_opt ctx.binding_cache src with
+  | Some bs -> bs
+  | None ->
+      let bs = match Bindings.parse src with Ok bs -> bs | Error _ -> [] in
+      Hashtbl.replace ctx.binding_cache src bs;
+      bs
+
+let object_bindings ctx obj =
+  match Wobj.attr obj "bindings" with
+  | Some src -> parsed_bindings ctx src
+  | None -> []
+
+let client_scope client =
+  {
+    Config.instance = client.instance;
+    class_ = client.class_;
+    shaped = client.shaped;
+    sticky = client.sticky;
+  }
+
+let frame_geometry ctx client = Server.geometry ctx.server client.frame
+
+let log_src = Logs.Src.create "swm" ~doc:"swm window manager"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let log _ctx fmt = Format.kasprintf (fun s -> Log.debug (fun m -> m "%s" s)) fmt

@@ -1,0 +1,143 @@
+(** Shared window-manager state.
+
+    One [Ctx.t] per running swm instance: the server connection, per-screen
+    state (virtual desktop, panner, root panels, icon holders), the table of
+    managed clients, the current interaction mode (idle / interactive move /
+    resize / prompting for a target window), and the session-restart table.
+
+    The feature modules ({!Vdesk}, {!Decoration}, {!Icons}, {!Panner},
+    {!Functions}, ...) are functions over this state; {!Wm} owns the event
+    loop. *)
+
+module Xid = Swm_xlib.Xid
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+
+type client = {
+  cwin : Xid.t;  (** the client's own window *)
+  screen : int;
+  instance : string;
+  class_ : string;
+  mutable frame : Xid.t;  (** decoration window; [cwin] when undecorated *)
+  mutable deco : Swm_oi.Wobj.t option;
+  mutable client_panel : Swm_oi.Wobj.t option;  (** the special [client] panel *)
+  mutable state : Prop.wm_state;
+  mutable sticky : bool;
+  mutable shaped : bool;
+  mutable zoom_saved : (Geom.rect * (int * int)) option;
+      (** f.save: frame rect + client size, for f.zoom restore *)
+  mutable icon_obj : Swm_oi.Wobj.t option;
+  mutable icon_pos : Geom.point option;
+  mutable holder : holder option;
+  mutable wm_name : string;
+}
+
+and holder = {
+  holder_name : string;
+  holder_screen : int;
+  mutable holder_obj : Swm_oi.Wobj.t option;
+  mutable holder_clients : client list;
+  holder_classes : string list;  (** WM_CLASS classes collected; [] = all *)
+  hide_when_empty : bool;
+  size_to_fit : bool;
+  holder_fixed_size : (int * int) option;
+      (** a fixed window size makes the holder a scrolling window (§4.1.5) *)
+  mutable holder_scroll : int;  (** vertical scroll offset in pixels *)
+}
+
+and screen_state = {
+  index : int;
+  root : Xid.t;
+  tk : Swm_oi.Wobj.toolkit;
+  mutable vdesk : vdesk option;
+  mutable holders : holder list;
+  mutable root_panels : Swm_oi.Wobj.t list;
+  mutable root_icons : Swm_oi.Wobj.t list;
+  mutable menus : (string * Swm_oi.Menu.t) list;
+  mutable active_menu : (Swm_oi.Menu.t * client option) option;
+  mutable root_bindings : Bindings.binding list;
+  mutable hbar : (Xid.t * Xid.t) option;
+      (** horizontal desktop scrollbar: (bar, thumb) windows *)
+  mutable vbar : (Xid.t * Xid.t) option;  (** vertical scrollbar *)
+  mutable focus_policy : focus_policy;  (** the [focusPolicy] resource *)
+}
+
+and focus_policy =
+  | Focus_none  (** leave input focus alone (default) *)
+  | Focus_pointer  (** focus follows the pointer into frames *)
+  | Focus_click  (** clicking a frame focuses its client *)
+
+and vdesk = {
+  vwins : Xid.t array;  (** one desktop window per virtual desktop *)
+  mutable current : int;
+  mutable vsize : int * int;
+  mutable panner_client : Xid.t;  (** the panner's client window, or none *)
+  mutable panner_scale : int;
+}
+
+type mode =
+  | Idle
+  | Moving of {
+      m_client : client;
+      grab_offset : Geom.point;
+      m_outline : Xid.t;  (** outline window when moves are not opaque *)
+    }
+  | Resizing of {
+      r_client : client;
+      r_start_client : int * int;  (** client size when the resize started *)
+      r_pointer : Geom.point;  (** pointer root position at start *)
+      r_dir : Geom.point;
+          (** +1/-1 per axis: which corner follows the pointer (a top-left
+              corner drag anchors the bottom-right) *)
+      r_frame0 : Geom.rect;  (** frame geometry at start *)
+    }
+  | Prompting of Bindings.func_call list
+      (** functions waiting for the user to click a target window *)
+
+type t = {
+  server : Swm_xlib.Server.t;
+  conn : Swm_xlib.Server.conn;
+  cfg : Config.t;
+  screens : screen_state array;
+  clients : client Xid.Tbl.t;  (** keyed by client window *)
+  frames : client Xid.Tbl.t;  (** keyed by frame window *)
+  corners : client Xid.Tbl.t;  (** resize-corner windows (decoration option) *)
+  panner_minis : client Xid.Tbl.t;  (** miniature windows inside the panner *)
+  session : Session.table;
+  binding_cache : (string, Bindings.binding list) Hashtbl.t;
+  mutable mode : mode;
+  mutable running : bool;
+  mutable restart_requested : bool;
+  mutable executed : string list;  (** commands run by f.exec, newest first *)
+  mutable last_places : string option;  (** most recent f.places output *)
+  mutable identify_win : Xid.t;  (** the f.identify popup, or none *)
+  mutable confirm : string -> bool;  (** f.*(multiple) per-window prompt *)
+  host : string;
+  display : string;
+}
+
+val screen : t -> int -> screen_state
+val client_of_window : t -> Xid.t -> client option
+(** Resolve a client from either its own window or its frame. *)
+
+val clients_of_class : t -> string -> client list
+val all_clients : t -> client list
+(** In unspecified order. *)
+
+val parsed_bindings : t -> string -> Bindings.binding list
+(** Parse-and-cache a bindings resource value; malformed text yields []. *)
+
+val object_bindings : t -> Swm_oi.Wobj.t -> Bindings.binding list
+(** The bindings attribute of an OI object, parsed. *)
+
+val client_scope : client -> Config.client_scope
+(** The client's resource-lookup identity (class, instance, shaped, sticky). *)
+
+val frame_geometry : t -> client -> Geom.rect
+(** The frame's geometry relative to its current parent (desktop or root). *)
+
+val log_src : Logs.src
+(** The [Logs] source ("swm"); set its level to [Debug] to trace manage /
+    unmanage / pan / function execution. *)
+
+val log : t -> ('a, Format.formatter, unit, unit) format4 -> 'a

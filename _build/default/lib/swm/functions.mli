@@ -1,0 +1,51 @@
+(** The window-manager function interpreter (paper §4.2.1).
+
+    Every behaviour in swm is a list of [f.*] functions attached to an
+    object binding (or sent through swmcmd).  Functions execute in several
+    modes:
+
+    {v
+f.iconify            iconify the current window
+f.iconify(multiple)  iconify multiple windows, prompting for each
+f.iconify(blob)      iconify all windows whose class matches "blob"
+f.iconify(#$)        iconify the window under the mouse
+f.iconify(#0x1234)   iconify a particular window id
+    v}
+
+    A function needing a window but invoked with none (e.g. from a root
+    panel button or swmcmd) puts swm into prompting mode: the next button
+    press selects the target and the pending functions run on it. *)
+
+type invocation = {
+  inv_obj : Swm_oi.Wobj.t option;  (** the object the binding fired on *)
+  inv_client : Ctx.client option;  (** the "current window", if any *)
+  inv_screen : int;
+}
+
+val invocation :
+  ?obj:Swm_oi.Wobj.t -> ?client:Ctx.client -> screen:int -> unit -> invocation
+
+val known : string -> bool
+(** Is this a recognised function name? *)
+
+val function_names : string list
+
+val execute : Ctx.t -> invocation -> Bindings.func_call list -> unit
+(** Run a function list.  If some function needs a target window and none
+    can be resolved, the context enters [Prompting] mode carrying that
+    function and the rest of the list; {!resume_with_target} finishes the
+    job. *)
+
+val execute_string : Ctx.t -> invocation -> string -> (unit, string) result
+(** Parse and run a command string such as ["f.iconify(xterm)"] or
+    ["f.save f.zoom"] — the swmcmd entry point. *)
+
+val resume_with_target : Ctx.t -> Ctx.client -> unit
+(** Complete a pending prompting-mode invocation on the selected client. *)
+
+val client_under_pointer : Ctx.t -> Ctx.client option
+
+val places_hints : Ctx.t -> Session.hint list
+(** The session records f.places would write: one per restartable managed
+    client (those with WM_COMMAND), capturing geometry, icon position,
+    state and stickiness. *)

@@ -1,0 +1,45 @@
+(** ICCCM glue, and swm's Virtual-Desktop reinterpretation of it
+    (paper §6.3).
+
+    - {b SWM_ROOT}: when swm reparents a window it writes a property holding
+      the window id of its effective root (real root or Virtual Desktop
+      window), updated whenever that changes (stick/unstick, desktop
+      switch), so toolkits can position popups correctly.
+    - {b USPosition vs PPosition}: user-specified positions are absolute
+      Virtual-Desktop coordinates; program-specified positions are relative
+      to the currently visible portion of the desktop.
+    - {b WM_STATE}: maintained on every state transition.
+    - {b Synthetic ConfigureNotify}: sent with root-relative coordinates when
+      the WM moves a client without resizing it. *)
+
+type placement =
+  | Place_absolute of Swm_xlib.Geom.point  (** USPosition: desktop coords *)
+  | Place_viewport of Swm_xlib.Geom.point  (** PPosition: viewport-relative *)
+  | Place_default  (** neither hint: swm picks a spot *)
+
+val read_placement : Ctx.t -> Swm_xlib.Xid.t -> placement
+(** Interpret WM_NORMAL_HINTS and the window's current geometry. *)
+
+val read_class : Ctx.t -> Swm_xlib.Xid.t -> string * string
+(** [(instance, class)], defaulting to [("unknown", "Unknown")]. *)
+
+val read_name : Ctx.t -> Swm_xlib.Xid.t -> string
+val read_icon_name : Ctx.t -> Swm_xlib.Xid.t -> string
+val read_command : Ctx.t -> Swm_xlib.Xid.t -> string option
+val read_client_machine : Ctx.t -> Swm_xlib.Xid.t -> string option
+val read_wm_hints : Ctx.t -> Swm_xlib.Xid.t -> Swm_xlib.Prop.wm_hints
+val read_size_hints : Ctx.t -> Swm_xlib.Xid.t -> Swm_xlib.Prop.size_hints
+
+val constrain_size : Swm_xlib.Prop.size_hints -> int * int -> int * int
+(** Apply min/max size and resize-increment hints to a requested client
+    size (ICCCM: increments are measured from the minimum size, like
+    xterm's character cells). *)
+
+val set_wm_state : Ctx.t -> Ctx.client -> Swm_xlib.Prop.wm_state -> unit
+(** Update both the client record and the WM_STATE property. *)
+
+val set_swm_root : Ctx.t -> Swm_xlib.Xid.t -> root:Swm_xlib.Xid.t -> unit
+
+val send_synthetic_configure : Ctx.t -> Ctx.client -> unit
+(** ICCCM: tell the client where it is, in coordinates relative to its
+    (virtual) root, without a real resize. *)

@@ -1,0 +1,51 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+module Wobj = Swm_oi.Wobj
+module Panel_spec = Swm_oi.Panel_spec
+
+let split_words s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let create (ctx : Ctx.t) ~screen =
+  match Config.query1 ctx.cfg ~screen "rootPanels" with
+  | None -> []
+  | Some names ->
+      let scr = Ctx.screen ctx screen in
+      let lookup name = Config.panel_definition ctx.cfg ~screen name in
+      List.filter_map
+        (fun name ->
+          match Panel_spec.build scr.tk ~lookup ~kind:Wobj.Panel ~name with
+          | Error _ -> None
+          | Ok panel ->
+              let pos =
+                match
+                  Config.query ctx.cfg ~screen ~names:[ "panel"; name; "geometry" ]
+                    ~classes:[ "Panel"; String.capitalize_ascii name; "Geometry" ]
+                with
+                | Some g -> (
+                    match Geom.parse g with
+                    | Ok spec ->
+                        let sw, sh = Server.screen_size ctx.server ~screen in
+                        let r =
+                          Geom.resolve spec ~default:(Geom.rect 0 0 100 40)
+                            ~within:(Geom.rect 0 0 sw sh)
+                        in
+                        Geom.point r.x r.y
+                    | Error _ -> Geom.point 8 8)
+                | None -> Geom.point 8 8
+              in
+              Wobj.realize panel ~parent_window:scr.root ~at:pos;
+              let win = Wobj.window panel in
+              Server.change_property ctx.server ctx.conn win ~name:Prop.wm_class
+                (Prop.Wm_class { instance = name; class_ = "SwmPanel" });
+              Server.change_property ctx.server ctx.conn win ~name:Prop.wm_name
+                (Prop.String name);
+              (* The panel.geometry resource is a user-given position. *)
+              Server.change_property ctx.server ctx.conn win
+                ~name:Prop.wm_normal_hints
+                (Prop.Size_hints { Prop.default_size_hints with us_position = true });
+              scr.root_panels <- scr.root_panels @ [ panel ];
+              Some win)
+        (split_words names)

@@ -1,0 +1,12 @@
+(** Root panels (paper §4.1.4, Figure 2).
+
+    Static panels — usually of buttons — that are always visible: "a menu
+    that is always visible".  Unlike root icons they are treated like other
+    client windows: they get reparented and can be iconified, so each panel
+    is realized as a top-level window and then handed to the normal manage
+    path. *)
+
+val create : Ctx.t -> screen:int -> Swm_xlib.Xid.t list
+(** Build the panels named by the [rootPanels] resource and return their
+    top-level windows for {!Wm} to manage.  Each panel [P] may carry a
+    [panel.P.geometry] resource for its initial position. *)

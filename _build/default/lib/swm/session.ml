@@ -1,0 +1,234 @@
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+
+type hint = {
+  geometry : Geom.rect;
+  icon_geometry : Geom.point option;
+  state : Prop.wm_state;
+  sticky : bool;
+  command : string;
+  host : string option;
+}
+
+let pp_hint ppf h =
+  Format.fprintf ppf "hint{%a state=%a cmd=%S%s}" Geom.pp_rect h.geometry
+    Prop.pp_wm_state h.state h.command
+    (match h.host with Some host -> " @" ^ host | None -> "")
+
+(* -------- swmhints argument encoding -------- *)
+
+let quote s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let geometry_string (r : Geom.rect) = Printf.sprintf "%dx%d+%d+%d" r.w r.h r.x r.y
+
+let hint_to_args h =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf ("-geometry " ^ geometry_string h.geometry);
+  (match h.icon_geometry with
+  | Some p -> Buffer.add_string buf (Printf.sprintf " -icongeometry +%d+%d" p.px p.py)
+  | None -> ());
+  Buffer.add_string buf (" -state " ^ Prop.wm_state_to_string h.state);
+  if h.sticky then Buffer.add_string buf " -sticky";
+  (match h.host with
+  | Some host -> Buffer.add_string buf (" -host " ^ host)
+  | None -> ());
+  Buffer.add_string buf (" -cmd " ^ quote h.command);
+  Buffer.contents buf
+
+(* Split shell-style: whitespace-separated words; double quotes group, and a
+   backslash-quote escapes a quote inside them. *)
+let split_args s =
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let in_quotes = ref false in
+  let pending = ref false in
+  let flush () =
+    if !pending then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf;
+      pending := false
+    end
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+        in_quotes := not !in_quotes;
+        pending := true
+    | '\\' when !i + 1 < n && s.[!i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        pending := true;
+        incr i
+    | (' ' | '\t') when not !in_quotes -> flush ()
+    | c ->
+        Buffer.add_char buf c;
+        pending := true);
+    incr i
+  done;
+  flush ();
+  if !in_quotes then Error "unterminated quote" else Ok (List.rev !words)
+
+let hint_of_args s =
+  match split_args s with
+  | Error _ as e -> e
+  | Ok words ->
+      let geometry = ref None
+      and icon_geometry = ref None
+      and state = ref Prop.Normal
+      and sticky = ref false
+      and command = ref None
+      and host = ref None
+      and err = ref None in
+      let rec loop = function
+        | [] -> ()
+        | "-geometry" :: g :: rest -> (
+            match Geom.parse g with
+            | Ok spec ->
+                let r =
+                  Geom.resolve spec ~default:(Geom.rect 0 0 100 100)
+                    ~within:(Geom.rect 0 0 0 0)
+                in
+                (* Resolve against a zero extent: From_start offsets come out
+                   directly; session geometry always uses +X+Y. *)
+                geometry := Some r;
+                loop rest
+            | Error msg -> err := Some ("bad -geometry: " ^ msg))
+        | "-icongeometry" :: g :: rest -> (
+            match Geom.parse g with
+            | Ok { xoff = Some (Geom.From_start x); yoff = Some (Geom.From_start y); _ }
+              ->
+                icon_geometry := Some (Geom.point x y);
+                loop rest
+            | Ok _ -> err := Some "bad -icongeometry"
+            | Error msg -> err := Some ("bad -icongeometry: " ^ msg))
+        | "-state" :: s :: rest -> (
+            match Prop.wm_state_of_string s with
+            | Some st ->
+                state := st;
+                loop rest
+            | None -> err := Some ("unknown state " ^ s))
+        | "-sticky" :: rest ->
+            sticky := true;
+            loop rest
+        | "-host" :: h :: rest ->
+            host := Some h;
+            loop rest
+        | "-cmd" :: c :: rest ->
+            command := Some c;
+            loop rest
+        | w :: _ -> err := Some ("unknown swmhints option " ^ w)
+      in
+      loop words;
+      (match !err with
+      | Some msg -> Error msg
+      | None -> (
+          match (!geometry, !command) with
+          | None, _ -> Error "missing -geometry"
+          | _, None -> Error "missing -cmd"
+          | Some geometry, Some command ->
+              Ok
+                {
+                  geometry;
+                  icon_geometry = !icon_geometry;
+                  state = !state;
+                  sticky = !sticky;
+                  command;
+                  host = !host;
+                }))
+
+(* -------- restart table -------- *)
+
+type table = { mutable hints : hint list }
+
+let create_table () = { hints = [] }
+let add table hint = table.hints <- table.hints @ [ hint ]
+let size table = List.length table.hints
+
+let load table text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let rec loop n = function
+    | [] -> Ok n
+    | line :: rest -> (
+        match hint_of_args line with
+        | Ok hint ->
+            add table hint;
+            loop (n + 1) rest
+        | Error msg -> Error (Printf.sprintf "%s in %S" msg line))
+  in
+  loop 0 lines
+
+let take_match table ~command ~host =
+  let host_matches hint =
+    match (hint.host, host) with
+    | Some a, Some b -> String.equal a b
+    | None, _ | _, None -> true
+  in
+  let rec extract acc = function
+    | [] -> None
+    | hint :: rest when String.equal hint.command command && host_matches hint ->
+        table.hints <- List.rev_append acc rest;
+        Some hint
+    | hint :: rest -> extract (hint :: acc) rest
+  in
+  extract [] table.hints
+
+(* -------- places file -------- *)
+
+let default_remote_format = "rsh %h \"env DISPLAY=%d %c\" &"
+
+let expand_format fmt ~host ~display ~command =
+  let buf = Buffer.create (String.length fmt + 32) in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    if fmt.[!i] = '%' && !i + 1 < n then begin
+      (match fmt.[!i + 1] with
+      | 'h' -> Buffer.add_string buf host
+      | 'd' -> Buffer.add_string buf display
+      | 'c' -> Buffer.add_string buf command
+      | c ->
+          Buffer.add_char buf '%';
+          Buffer.add_char buf c);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf fmt.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let places_file ?(remote_format = default_remote_format) ~display ~local_host hints =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "#!/bin/sh\n# written by swm f.places\n";
+  List.iter
+    (fun hint ->
+      Buffer.add_string buf ("swmhints " ^ hint_to_args hint ^ "\n");
+      let start =
+        match hint.host with
+        | Some host when not (String.equal host local_host) ->
+            expand_format remote_format ~host ~display ~command:hint.command
+        | Some _ | None -> hint.command ^ " &"
+      in
+      Buffer.add_string buf (start ^ "\n"))
+    hints;
+  Buffer.contents buf
+
+let parse_places_file text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if String.length line > 9 && String.sub line 0 9 = "swmhints " then
+          match hint_of_args (String.sub line 9 (String.length line - 9)) with
+          | Ok hint -> loop (hint :: acc) rest
+          | Error msg -> Error (Printf.sprintf "%s in %S" msg line)
+        else loop acc rest
+  in
+  loop [] lines

@@ -1,0 +1,67 @@
+(** Session management (paper §7).
+
+    swm does session management in two steps: an [swmhints] invocation per
+    client gives swm hints about the client's previous state (appended to a
+    root-window property), and swm interprets those hints when the client's
+    window is reparented, matching on WM_COMMAND (and WM_CLIENT_MACHINE for
+    remote clients) and restoring geometry, icon position, sticky state and
+    normal/iconic state.
+
+    [f.places] writes a file usable as an [.xinitrc] replacement: for each
+    client an [swmhints] line followed by the client's own command line
+    (with a customizable remote-start wrapper for clients on other hosts). *)
+
+type hint = {
+  geometry : Swm_xlib.Geom.rect;
+  icon_geometry : Swm_xlib.Geom.point option;
+  state : Swm_xlib.Prop.wm_state;
+  sticky : bool;
+  command : string;        (** the WM_COMMAND string, verbatim *)
+  host : string option;    (** WM_CLIENT_MACHINE, when remote *)
+}
+
+val pp_hint : Format.formatter -> hint -> unit
+
+(** {1 swmhints command-line encoding} *)
+
+val hint_to_args : hint -> string
+(** Render as an [swmhints] invocation's arguments, e.g.
+    [-geometry 120x120+1010+359 -icongeometry +0+0 -state NormalState
+     -cmd "oclock -geom 100x100"]. *)
+
+val hint_of_args : string -> (hint, string) result
+(** Parse the argument string back (shell-style quoting for [-cmd]). *)
+
+(** {1 The restart table} *)
+
+type table
+
+val create_table : unit -> table
+val add : table -> hint -> unit
+val size : table -> int
+
+val load : table -> string -> (int, string) result
+(** Load the contents of the SWM_PLACES root property (one swmhints argument
+    string per line); returns the number of entries. *)
+
+val take_match : table -> command:string -> host:string option -> hint option
+(** Find and *remove* the entry whose command (and host, when both sides
+    have one) matches — each hint restores at most one window; two windows
+    with identical WM_COMMAND cannot be distinguished (a documented
+    limitation in the paper). *)
+
+(** {1 The places file} *)
+
+val places_file :
+  ?remote_format:string ->
+  display:string ->
+  local_host:string ->
+  hint list ->
+  string
+(** Generate the [.xinitrc]-replacement text.  [remote_format] is the
+    customizable remote-start string (paper §7.1) with [%h] = host,
+    [%d] = display, [%c] = command; default
+    ["rsh %h \"env DISPLAY=%d %c\" &"]. *)
+
+val parse_places_file : string -> (hint list, string) result
+(** Recover the hints from a places file (used to restart a session). *)

@@ -1,0 +1,22 @@
+module Server = Swm_xlib.Server
+module Prop = Swm_xlib.Prop
+
+let send server conn ~screen command =
+  let root = Server.root server ~screen in
+  Server.append_string_property server conn root ~name:Prop.swm_command command
+
+let handle_property_change (ctx : Ctx.t) ~screen =
+  let root = (Ctx.screen ctx screen).root in
+  match Server.get_property ctx.server root ~name:Prop.swm_command with
+  | Some (Prop.String text) ->
+      Server.delete_property ctx.server ctx.conn root ~name:Prop.swm_command;
+      let inv = Functions.invocation ~screen () in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line <> "" then
+            match Functions.execute_string ctx inv line with
+            | Ok () -> ()
+            | Error _ -> ())
+        (String.split_on_char '\n' text)
+  | Some _ | None -> ()

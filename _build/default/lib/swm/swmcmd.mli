@@ -1,0 +1,16 @@
+(** Out-of-process command execution (paper §4.3).
+
+    Any client can drive swm by writing command strings to the SWM_COMMAND
+    property on a root window; swm reads and deletes the property and
+    executes each line.  Functions that need a window put swm into
+    prompting mode (the pointer "changes to a question mark") — the next
+    button press selects the target. *)
+
+val send :
+  Swm_xlib.Server.t -> Swm_xlib.Server.conn -> screen:int -> string -> unit
+(** Client side: append one command line to the root property, as the
+    [swmcmd] shell utility does. *)
+
+val handle_property_change : Ctx.t -> screen:int -> unit
+(** WM side: called on PropertyNotify for SWM_COMMAND — drain and execute.
+    Errors in individual lines are ignored (a real swm would beep). *)

@@ -1,0 +1,202 @@
+(* Templates are ordinary resource text; everything user-visible about the
+   emulated policies lives here, not in code — that is the paper's point. *)
+
+let open_look =
+  {|
+! ---- OpenLook+ template -------------------------------------------------
+swm*decoration: openLook
+Swm*panel.openLook: \
+    button pulldown +0+0 \
+    button name +C+0 \
+    button nail -0+0 \
+    panel client +0+1
+Swm*panel.openLook.resizeCorners: True
+
+swm*button.pulldown.bindings: \
+    <Btn1> : f.menu(windowMenu) \
+    <Btn3> : f.lower
+swm*button.name.bindings: \
+    <Btn1> : f.move \
+    <Btn2> : f.raise \
+    <Btn3> : f.lower
+swm*button.nail.bindings: \
+    <Btn1> : f.stick
+
+! ---- icons --------------------------------------------------------------
+swm*iconPanel: Xicon
+Swm*panel.Xicon: \
+    button iconimage +C+0 \
+    button iconname +C+1
+swm*button.iconimage.bindings: \
+    <Btn1> : f.deiconify \
+    <Btn2> : f.move
+swm*button.iconname.bindings: \
+    <Btn1> : f.deiconify \
+    <Btn2> : f.move
+
+! ---- root panel (Figure 2) ----------------------------------------------
+swm*rootPanels: RootPanel
+Swm*panel.RootPanel: \
+    button quit +0+0 \
+    button restart +1+0 \
+    button iconify +2+0 \
+    button deiconify +3+0 \
+    button move +0+1 \
+    button resize +1+1 \
+    button raise +2+1 \
+    button lower +3+1
+swm*panel.RootPanel.geometry: +8+8
+! root panels are always visible: stuck to the glass
+swm*SwmPanel*sticky: True
+swm*button.quit.bindings: <Btn1> : f.quit
+swm*button.restart.bindings: <Btn1> : f.restart
+swm*button.iconify.bindings: <Btn1> : f.iconify(#$)
+swm*button.deiconify.bindings: <Btn1> : f.deiconify(#$)
+swm*button.move.bindings: <Btn1> : f.move(#$)
+swm*button.resize.bindings: <Btn1> : f.resize(#$)
+swm*button.raise.bindings: <Btn1> : f.raise(#$)
+swm*button.lower.bindings: <Btn1> : f.lower(#$)
+
+! ---- window menu ---------------------------------------------------------
+Swm*menu.windowMenu: \
+    button wmRestore +0+0 \
+    button wmMove +0+1 \
+    button wmResize +0+2 \
+    button wmStick +0+3 \
+    button wmIconify +0+4 \
+    button wmZoom +0+5
+swm*button.wmRestore.bindings: <Btn1> : f.deiconify
+swm*button.wmMove.bindings: <Btn1> : f.move
+swm*button.wmResize.bindings: <Btn1> : f.resize
+swm*button.wmStick.bindings: <Btn1> : f.stick
+swm*button.wmIconify.bindings: <Btn1> : f.iconify
+swm*button.wmZoom.bindings: <Btn1> : f.save f.zoom
+
+! ---- root bindings and desktop -------------------------------------------
+swm*root.bindings: \
+    <Btn3> : f.menu(windowMenu) \
+    <Key>Left : f.warpHorizontal(-50) \
+    <Key>Right : f.warpHorizontal(50) \
+    <Key>Up : f.warpVertical(-50) \
+    <Key>Down : f.warpVertical(50)
+swm*virtualDesktop: True
+swm*desktopSize: 3456x2700
+swm*panner: True
+swm*panner.scale: 24
+swm*panner.geometry: -8-8
+
+! ---- shaped clients ------------------------------------------------------
+swm*shaped*decoration: shapeit
+swm*panel.shapeit: panel client +0+0
+swm*panel.shapeit*shape: True
+|}
+
+let motif =
+  {|
+! ---- Motif emulation template --------------------------------------------
+swm*decoration: motif
+Swm*panel.motif: \
+    button sysmenu +0+0 \
+    button name +C+0 \
+    button minimize -1+0 \
+    button maximize -0+0 \
+    panel client +0+1
+
+swm*button.sysmenu.bindings: \
+    <Btn1> : f.menu(mwmMenu)
+swm*button.name.bindings: \
+    <Btn1> : f.move \
+    <Btn2> : f.raise
+swm*button.minimize.bindings: <Btn1> : f.iconify
+swm*button.maximize.bindings: <Btn1> : f.save f.zoom
+
+swm*iconPanel: mwmIcon
+Swm*panel.mwmIcon: \
+    button iconimage +C+0 \
+    button iconname +C+1
+swm*button.iconimage.bindings: <Btn1> : f.deiconify
+swm*button.iconname.bindings: <Btn1> : f.deiconify
+
+Swm*menu.mwmMenu: \
+    button mwmRestore +0+0 \
+    button mwmMove +0+1 \
+    button mwmSize +0+2 \
+    button mwmMinimize +0+3 \
+    button mwmMaximize +0+4 \
+    button mwmLower +0+5 \
+    button mwmClose +0+6
+swm*button.mwmRestore.bindings: <Btn1> : f.deiconify
+swm*button.mwmMove.bindings: <Btn1> : f.move
+swm*button.mwmSize.bindings: <Btn1> : f.resize
+swm*button.mwmMinimize.bindings: <Btn1> : f.iconify
+swm*button.mwmMaximize.bindings: <Btn1> : f.save f.zoom
+swm*button.mwmLower.bindings: <Btn1> : f.lower
+swm*button.mwmClose.bindings: <Btn1> : f.delete
+
+swm*root.bindings: <Btn3> : f.menu(mwmMenu)
+swm*virtualDesktop: False
+|}
+
+let default =
+  {|
+! ---- default: title bar only ---------------------------------------------
+swm*decoration: titleOnly
+Swm*panel.titleOnly: \
+    button name +C+0 \
+    panel client +0+1
+swm*button.name.bindings: \
+    <Btn1> : f.move \
+    <Btn2> : f.raise \
+    <Btn3> : f.lower
+swm*iconPanel: Xicon
+Swm*panel.Xicon: \
+    button iconimage +C+0 \
+    button iconname +C+1
+swm*button.iconimage.bindings: <Btn1> : f.deiconify
+swm*button.iconname.bindings: <Btn1> : f.deiconify
+swm*virtualDesktop: False
+|}
+
+let twm_emulation =
+  {|
+! ---- twm emulation: the look swm's author wrote first ---------------------
+swm*decoration: twmBar
+Swm*panel.twmBar: \
+    button twmIconify +0+0 \
+    button name +C+0 \
+    button twmResize -0+0 \
+    panel client +0+1
+swm*button.twmIconify.image: xlogo32
+swm*button.twmIconify.bindings: <Btn1> : f.iconify
+swm*button.twmResize.bindings: <Btn1> : f.resize
+swm*button.name.bindings: \
+    <Btn1> : f.move \
+    <Btn2> : f.raiselower
+swm*iconPanel: twmIcon
+Swm*panel.twmIcon: \
+    button iconimage +0+0 \
+    button iconname +1+0
+swm*button.iconimage.bindings: <Btn1> : f.deiconify
+swm*button.iconname.bindings: <Btn1> : f.deiconify
+swm*root.bindings: <Btn1> : f.menu(twmMenu)
+Swm*menu.twmMenu: \
+    button twmMhdr +0+0 \
+    button twmMiconify +0+1 \
+    button twmMresize +0+2 \
+    button twmMmove +0+3 \
+    button twmMraise +0+4 \
+    button twmMlower +0+5 \
+    button twmMidentify +0+6
+swm*button.twmMhdr.bindings: <Btn1> : f.refresh
+swm*button.twmMiconify.bindings: <Btn1> : f.iconify
+swm*button.twmMresize.bindings: <Btn1> : f.resize
+swm*button.twmMmove.bindings: <Btn1> : f.move
+swm*button.twmMraise.bindings: <Btn1> : f.raise
+swm*button.twmMlower.bindings: <Btn1> : f.lower
+swm*button.twmMidentify.bindings: <Btn1> : f.identify
+swm*virtualDesktop: False
+|}
+
+let names =
+  [ ("OpenLook+", open_look); ("Motif", motif); ("Twm", twm_emulation);
+    ("default", default) ]

@@ -1,0 +1,25 @@
+(** The template resource files shipped with swm (paper §3): emulations of
+    the OPEN LOOK and OSF/Motif window managers, plus a minimal default.
+    Each is a resource-file string to be merged into the database with
+    [Xrdb.load_string]; users "include and then override defaults in a
+    standard template file". *)
+
+val open_look : string
+(** The OpenLook+ template: pulldown/name/nail title bar (Figure 1), pushpin
+    stickiness, resize corners, the [Xicon] icon panel, a [RootPanel]
+    (Figure 2) and a window menu. *)
+
+val motif : string
+(** Motif-like policy: menu button, title, minimize/maximize; f.zoom on
+    maximize. *)
+
+val default : string
+(** Title-bar-only decoration used when no configuration resources are
+    given. *)
+
+val twm_emulation : string
+(** A twm-flavoured policy: title bar with iconify/resize buttons, a
+    twm-style root menu, horizontal icons. *)
+
+val names : (string * string) list
+(** All templates, by name. *)

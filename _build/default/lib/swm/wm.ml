@@ -1,0 +1,756 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Prop = Swm_xlib.Prop
+module Event = Swm_xlib.Event
+module Render = Swm_xlib.Render
+module Xrdb = Swm_xrdb.Xrdb
+module Wobj = Swm_oi.Wobj
+module Menu = Swm_oi.Menu
+
+type t = Ctx.t
+
+let ctx (wm : t) = wm
+
+(* -------- initialisation -------- *)
+
+let root_masks =
+  [
+    Event.Substructure_redirect;
+    Event.Substructure_notify;
+    Event.Property_change;
+    Event.Button_press_mask;
+    Event.Button_release_mask;
+    Event.Key_press_mask;
+    Event.Pointer_motion_mask;
+  ]
+
+let parse_size text ~default =
+  match Geom.parse (String.trim text) with
+  | Ok { Geom.width = Some w; height = Some h; _ } -> (w, h)
+  | Ok _ | Error _ -> default
+
+let setup_screen (ctx : Ctx.t) ~screen =
+  let scr = Ctx.screen ctx screen in
+  (* Virtual desktop. *)
+  (match Config.query1 ctx.cfg ~screen "virtualDesktop" with
+  | Some v
+    when List.mem (String.lowercase_ascii (String.trim v)) [ "true"; "yes"; "on"; "1" ]
+    ->
+      let sw, sh = Server.screen_size ctx.server ~screen in
+      let size =
+        match Config.query1 ctx.cfg ~screen "desktopSize" with
+        | Some text -> parse_size text ~default:(sw * 3, sh * 3)
+        | None -> (sw * 3, sh * 3)
+      in
+      let desktops =
+        match Config.query1 ctx.cfg ~screen "desktops" with
+        | Some v -> ( match int_of_string_opt (String.trim v) with
+                      | Some n when n >= 1 -> n
+                      | Some _ | None -> 1)
+        | None -> 1
+      in
+      ignore (Vdesk.create ctx ~screen ~size ~desktops ())
+  | Some _ | None -> ());
+  (* Root bindings. *)
+  (match
+     Config.query ctx.cfg ~screen ~names:[ "root"; "bindings" ]
+       ~classes:[ "Root"; "Bindings" ]
+   with
+  | Some src -> scr.root_bindings <- Ctx.parsed_bindings ctx src
+  | None -> ());
+  (* Focus policy. *)
+  scr.focus_policy <-
+    (match Config.query1 ctx.cfg ~screen "focusPolicy" with
+    | Some v -> (
+        match String.lowercase_ascii (String.trim v) with
+        | "pointer" | "follow" | "followmouse" -> Ctx.Focus_pointer
+        | "click" | "clicktofocus" -> Ctx.Focus_click
+        | _ -> Ctx.Focus_none)
+    | None -> Ctx.Focus_none)
+
+let read_session (ctx : Ctx.t) =
+  let root = (Ctx.screen ctx 0).root in
+  match Server.get_property ctx.server root ~name:Prop.swm_places with
+  | Some (Prop.String text) -> ignore (Session.load ctx.session text)
+  | Some _ | None -> ()
+
+(* -------- manage -------- *)
+
+let is_sticky_resource (ctx : Ctx.t) ~screen scope =
+  Config.query_client_bool ctx.cfg ~screen scope "sticky" ~default:false
+
+let cascade_slot (ctx : Ctx.t) ~screen =
+  let n =
+    List.length
+      (List.filter (fun (c : Ctx.client) -> c.screen = screen) (Ctx.all_clients ctx))
+  in
+  let step = 40 in
+  Geom.point (16 + (n mod 12 * step)) (16 + (n mod 8 * step))
+
+let initial_position (ctx : Ctx.t) ~screen ~sticky win hint =
+  let o = if sticky then Geom.point 0 0 else Vdesk.offset ctx ~screen in
+  match (hint : Session.hint option) with
+  | Some h -> Geom.point h.geometry.x h.geometry.y
+  | None -> (
+      match Icccm.read_placement ctx win with
+      | Icccm.Place_absolute p -> if sticky then p else p
+      | Icccm.Place_viewport p -> Geom.point (p.px + o.px) (p.py + o.py)
+      | Icccm.Place_default ->
+          let slot = cascade_slot ctx ~screen in
+          Geom.point (slot.px + o.px) (slot.py + o.py))
+
+let manage (ctx : Ctx.t) win =
+  if
+    Server.window_exists ctx.server win
+    && (not (Server.override_redirect ctx.server win))
+    && Ctx.client_of_window ctx win = None
+  then begin
+    let screen = Server.screen_of_window ctx.server win in
+    let instance, class_ = Icccm.read_class ctx win in
+    let shaped = Server.is_shaped ctx.server win in
+    let hint =
+      match Icccm.read_command ctx win with
+      | Some command ->
+          Session.take_match ctx.session ~command
+            ~host:(Icccm.read_client_machine ctx win)
+      | None -> None
+    in
+    let is_panner_window =
+      match (Ctx.screen ctx screen).vdesk with
+      | Some vdesk -> Xid.equal vdesk.panner_client win
+      | None -> false
+    in
+    let scope0 = { Config.instance; class_; shaped; sticky = false } in
+    let sticky =
+      match hint with
+      | Some h -> h.sticky || is_panner_window
+      | None -> is_sticky_resource ctx ~screen scope0 || is_panner_window
+    in
+    (* A session hint restores the previous client size before decorating. *)
+    (match hint with
+    | Some h ->
+        let geom = Server.geometry ctx.server win in
+        Server.move_resize ctx.server ctx.conn win
+          { geom with Geom.w = h.geometry.w; h = h.geometry.h }
+    | None -> ());
+    let client =
+      {
+        Ctx.cwin = win;
+        screen;
+        instance;
+        class_;
+        frame = win;
+        deco = None;
+        client_panel = None;
+        state = Prop.Withdrawn;
+        sticky;
+        shaped;
+        zoom_saved = None;
+        icon_obj = None;
+        icon_pos = (match hint with Some h -> h.icon_geometry | None -> None);
+        holder = None;
+        wm_name = Icccm.read_name ctx win;
+      }
+    in
+    Xid.Tbl.replace ctx.clients win client;
+    let at = initial_position ctx ~screen ~sticky win hint in
+    Ctx.log ctx "manage %s.%s win=%a at=%a%s%s" instance class_ Xid.pp win
+      Geom.pp_point at
+      (if sticky then " sticky" else "")
+      (if hint <> None then " (session hint)" else "");
+    Decoration.build ctx client ~at;
+    let initial_state =
+      match hint with
+      | Some h -> h.state
+      | None -> (Icccm.read_wm_hints ctx win).initial_state
+    in
+    (match initial_state with
+    | Prop.Iconic ->
+        Icccm.set_wm_state ctx client Prop.Normal;
+        Icons.iconify ctx client
+    | Prop.Normal | Prop.Withdrawn -> Icccm.set_wm_state ctx client Prop.Normal);
+    Panner.refresh ctx ~screen
+  end
+
+let unmanage (ctx : Ctx.t) (client : Ctx.client) ~destroyed =
+  (* An interactive move/resize of a dying client ends now. *)
+  (match ctx.mode with
+  | Ctx.Moving { m_client; _ } when m_client == client ->
+      Server.ungrab_pointer ctx.server ctx.conn;
+      ctx.mode <- Ctx.Idle
+  | Ctx.Resizing { r_client; _ } when r_client == client ->
+      Server.ungrab_pointer ctx.server ctx.conn;
+      ctx.mode <- Ctx.Idle
+  | Ctx.Moving _ | Ctx.Resizing _ | Ctx.Idle | Ctx.Prompting _ -> ());
+  (match client.icon_obj with
+  | Some icon ->
+      (match client.holder with
+      | Some holder ->
+          holder.holder_clients <-
+            List.filter (fun c -> c != client) holder.holder_clients;
+          (match holder.holder_obj with
+          | Some hobj ->
+              Wobj.remove_child hobj icon;
+              Wobj.relayout hobj
+          | None -> ())
+      | None -> ());
+      Wobj.unrealize icon;
+      client.icon_obj <- None
+  | None -> ());
+  Ctx.log ctx "unmanage %s win=%a destroyed=%b" client.instance Xid.pp client.cwin
+    destroyed;
+  Decoration.teardown ctx client ~to_root:(not destroyed);
+  Xid.Tbl.remove ctx.clients client.cwin;
+  Xid.Tbl.remove ctx.frames client.cwin;
+  Panner.refresh ctx ~screen:client.screen
+
+let managed (ctx : Ctx.t) win = Ctx.client_of_window ctx win <> None
+let find_client (ctx : Ctx.t) win = Ctx.client_of_window ctx win
+
+(* -------- input dispatch -------- *)
+
+let object_of_window (ctx : Ctx.t) win =
+  let rec try_screens i =
+    if i >= Array.length ctx.screens then None
+    else
+      match Wobj.find_object (Ctx.screen ctx i).tk win with
+      | Some obj -> Some obj
+      | None -> try_screens (i + 1)
+  in
+  try_screens 0
+
+let object_in_menu obj menu =
+  let menu_obj = Menu.obj menu in
+  let rec walk o =
+    o == menu_obj || (match Wobj.parent o with Some p -> walk p | None -> false)
+  in
+  walk obj
+
+let client_for_object (ctx : Ctx.t) obj =
+  match Decoration.frame_of_object ctx obj with
+  | Some client -> Some client
+  | None -> Icons.client_of_icon_object ctx obj
+
+let screen_of_event_window (ctx : Ctx.t) win =
+  if Server.window_exists ctx.server win then Server.screen_of_window ctx.server win
+  else 0
+
+(* Set input focus when the screen's focus policy matches the trigger. *)
+let apply_focus_policy (ctx : Ctx.t) window trigger =
+  match Ctx.client_of_window ctx window with
+  | Some client ->
+      let scr = Ctx.screen ctx client.screen in
+      if scr.focus_policy = trigger then
+        Server.set_input_focus ctx.server ctx.conn client.cwin
+  | None -> ()
+
+let dispatch_object (ctx : Ctx.t) obj event =
+  let screen = Wobj.toolkit_screen (Wobj.toolkit obj) in
+  let scr = Ctx.screen ctx screen in
+  let menu_invocation =
+    match scr.active_menu with
+    | Some (menu, menu_client) when object_in_menu obj menu -> Some (menu, menu_client)
+    | Some _ | None -> None
+  in
+  (match Wobj.handler obj with Some h -> h obj event | None -> ());
+  let bindings = Ctx.object_bindings ctx obj in
+  let funcs = Bindings.lookup bindings event in
+  match menu_invocation with
+  | Some (menu, menu_client) ->
+      Menu.unpost menu;
+      scr.active_menu <- None;
+      let client =
+        match menu_client with Some c -> Some c | None -> client_for_object ctx obj
+      in
+      Functions.execute ctx (Functions.invocation ~obj ?client ~screen ()) funcs
+  | None ->
+      if funcs <> [] then begin
+        (* A click outside a posted menu dismisses it. *)
+        (match scr.active_menu with
+        | Some (menu, _) ->
+            Menu.unpost menu;
+            scr.active_menu <- None
+        | None -> ());
+        let client = client_for_object ctx obj in
+        Functions.execute ctx (Functions.invocation ~obj ?client ~screen ()) funcs
+      end
+
+let handle_moving_live (ctx : Ctx.t) (m_client : Ctx.client) grab_offset m_outline
+    root_pos commit =
+  let screen = m_client.screen in
+  let scr = Ctx.screen ctx screen in
+  let inside_panner =
+    match scr.vdesk with
+    | Some vdesk when not (Xid.is_none vdesk.panner_client) ->
+        if Server.window_exists ctx.server vdesk.panner_client then begin
+          let pg = Server.root_geometry ctx.server vdesk.panner_client in
+          if Geom.contains pg root_pos then
+            Some
+              (Geom.point (root_pos.Geom.px - pg.x) (root_pos.Geom.py - pg.y))
+          else None
+        end
+        else None
+    | Some _ | None -> None
+  in
+  let parent_pos =
+    match inside_panner with
+    | Some ppos when not m_client.sticky ->
+        (* Dropping on the panner repositions on the whole desktop. *)
+        Panner.desktop_pos_of_panner_pos ctx ~screen ppos
+    | Some _ | None ->
+        let o = if m_client.sticky then Geom.point 0 0 else Vdesk.offset ctx ~screen in
+        Geom.point
+          (root_pos.Geom.px - grab_offset.Geom.px + o.px)
+          (root_pos.Geom.py - grab_offset.Geom.py + o.py)
+  in
+  (if (not (Xid.is_none m_outline)) && not commit then begin
+     (* Outline mode: only the outline tracks the pointer. *)
+     if Server.window_exists ctx.server m_outline then begin
+       let g = Server.geometry ctx.server m_outline in
+       Server.move_resize ctx.server ctx.conn m_outline
+         { g with Geom.x = parent_pos.Geom.px; y = parent_pos.Geom.py }
+     end
+   end
+   else Decoration.move_frame ctx m_client parent_pos);
+  if commit then begin
+    if (not (Xid.is_none m_outline)) && Server.window_exists ctx.server m_outline
+    then Server.destroy_window ctx.server m_outline;
+    Server.ungrab_pointer ctx.server ctx.conn;
+    ctx.mode <- Ctx.Idle;
+    (* Drag-and-drop destinations: dropping on a root icon with a <Drop>
+       binding runs its functions on the dragged client (paper §4.1.3). *)
+    let pointer = Server.pointer_pos ctx.server in
+    List.iter
+      (fun icon ->
+        if Wobj.is_realized icon then begin
+          let abs = Server.root_geometry ctx.server (Wobj.window icon) in
+          if Geom.contains abs pointer then begin
+            let funcs = Bindings.drop_functions (Ctx.object_bindings ctx icon) in
+            if funcs <> [] then
+              Functions.execute ctx
+                (Functions.invocation ~obj:icon ~client:m_client ~screen ())
+                funcs
+          end
+        end)
+      scr.root_icons;
+    Panner.refresh ctx ~screen
+  end
+
+(* The dragged client may die mid-gesture; drop the mode instead of acting
+   on a destroyed frame. *)
+let handle_moving (ctx : Ctx.t) (m_client : Ctx.client) grab_offset m_outline root_pos
+    commit =
+  if not (Server.window_exists ctx.server m_client.frame) then begin
+    if (not (Xid.is_none m_outline)) && Server.window_exists ctx.server m_outline then
+      Server.destroy_window ctx.server m_outline;
+    Server.ungrab_pointer ctx.server ctx.conn;
+    ctx.mode <- Ctx.Idle
+  end
+  else handle_moving_live ctx m_client grab_offset m_outline root_pos commit
+
+let handle_resizing (ctx : Ctx.t) (r_client : Ctx.client) (sw0, sh0) r_pointer r_dir
+    r_frame0 root_pos commit =
+  if not (Server.window_exists ctx.server r_client.frame) then begin
+    Server.ungrab_pointer ctx.server ctx.conn;
+    ctx.mode <- Ctx.Idle
+  end
+  else begin
+  let dx = root_pos.Geom.px - r_pointer.Geom.px in
+  let dy = root_pos.Geom.py - r_pointer.Geom.py in
+  let w = max 16 (sw0 + (r_dir.Geom.px * dx)) in
+  let h = max 16 (sh0 + (r_dir.Geom.py * dy)) in
+  Decoration.client_resized ctx r_client (w, h);
+  (* Keep the opposite corner anchored when resizing from a left/top
+     corner. *)
+  let fg = Server.geometry ctx.server r_client.frame in
+  let x = if r_dir.Geom.px < 0 then r_frame0.Geom.x + (r_frame0.Geom.w - fg.w) else fg.x in
+  let y = if r_dir.Geom.py < 0 then r_frame0.Geom.y + (r_frame0.Geom.h - fg.h) else fg.y in
+  if x <> fg.x || y <> fg.y then
+    Server.move_resize ctx.server ctx.conn r_client.frame { fg with Geom.x; y };
+  if commit then begin
+    Server.ungrab_pointer ctx.server ctx.conn;
+    ctx.mode <- Ctx.Idle;
+    if Panner.is_panner ctx r_client then Panner.panner_resized ctx r_client (w, h);
+    Panner.refresh ctx ~screen:r_client.screen
+  end
+  end
+
+let handle_button_press (ctx : Ctx.t) event window button pos root_pos =
+  ignore root_pos;
+  (* Any press dismisses an f.identify popup (unless it created it this
+     instant; creation happens after dispatch). *)
+  if
+    (not (Xid.is_none ctx.identify_win))
+    && Server.window_exists ctx.server ctx.identify_win
+    && not (Xid.equal window ctx.identify_win)
+  then begin
+    Server.destroy_window ctx.server ctx.identify_win;
+    ctx.identify_win <- Xid.none
+  end;
+  match ctx.mode with
+  | Ctx.Prompting _ -> (
+      match Functions.client_under_pointer ctx with
+      | Some client -> Functions.resume_with_target ctx client
+      | None -> ctx.mode <- Ctx.Idle)
+  | Ctx.Moving { m_client; grab_offset; m_outline } ->
+      handle_moving ctx m_client grab_offset m_outline (Server.pointer_pos ctx.server)
+        true
+  | Ctx.Resizing { r_client; r_start_client; r_pointer; r_dir; r_frame0 } ->
+      handle_resizing ctx r_client r_start_client r_pointer r_dir r_frame0
+        (Server.pointer_pos ctx.server) true
+  | Ctx.Idle -> (
+      apply_focus_policy ctx window Ctx.Focus_click;
+      let screen = screen_of_event_window ctx window in
+      let scr = Ctx.screen ctx screen in
+      (* Panner miniatures. *)
+      match Panner.client_of_miniature ctx window with
+      | Some mini_client when button = 2 ->
+          (* Start a move through the panner: the grab offset is the press
+             position within the miniature, scaled up, so that crossing out
+             of the panner leaves the full-size window under the pointer. *)
+          let scale =
+            match scr.vdesk with Some v -> v.Ctx.panner_scale | None -> 1
+          in
+          ctx.mode <-
+            Ctx.Moving
+              {
+                m_client = mini_client;
+                grab_offset = Geom.point (pos.Geom.px * scale) (pos.Geom.py * scale);
+                m_outline = Xid.none;
+              };
+          Server.grab_pointer ctx.server ctx.conn mini_client.frame
+      | Some _ ->
+          (* Button 1 on a miniature pans, like pressing beside it. *)
+          let panner_pos =
+            match scr.vdesk with
+            | Some vdesk ->
+                Server.translate_coordinates ctx.server ~src:window
+                  ~dst:vdesk.panner_client pos
+            | None -> pos
+          in
+          Panner.pan_to_pointer ctx ~screen ~panner_pos
+      | None -> (
+          match Scrollbar.classify ctx ~screen window with
+          | Some direction when button = 1 ->
+              let bar_pos =
+                match direction with
+                | `Horizontal -> (
+                    match scr.hbar with
+                    | Some (bar, _) ->
+                        Server.translate_coordinates ctx.server ~src:window ~dst:bar pos
+                    | None -> pos)
+                | `Vertical -> (
+                    match scr.vbar with
+                    | Some (bar, _) ->
+                        Server.translate_coordinates ctx.server ~src:window ~dst:bar pos
+                    | None -> pos)
+              in
+              Scrollbar.handle_press ctx ~screen direction ~bar_pos;
+              Panner.refresh ctx ~screen
+          | Some _ | None -> (
+          match scr.vdesk with
+          | Some vdesk when Xid.equal vdesk.panner_client window && button = 1 ->
+              Panner.pan_to_pointer ctx ~screen ~panner_pos:pos
+          | _ -> (
+              match Xid.Tbl.find_opt ctx.corners window with
+              | Some corner_client ->
+                  (* Which corner?  Left/top corners anchor the opposite
+                     edge while dragging. *)
+                  let cg = Server.geometry ctx.server window in
+                  let fg = Server.geometry ctx.server corner_client.frame in
+                  let dir_x = if cg.x < fg.w / 2 then -1 else 1 in
+                  let dir_y = if cg.y < fg.h / 2 then -1 else 1 in
+                  let cgeom = Server.geometry ctx.server corner_client.cwin in
+                  ctx.mode <-
+                    Ctx.Resizing
+                      {
+                        r_client = corner_client;
+                        r_start_client = (cgeom.w, cgeom.h);
+                        r_pointer = Server.pointer_pos ctx.server;
+                        r_dir = Geom.point dir_x dir_y;
+                        r_frame0 = fg;
+                      };
+                  Server.grab_pointer ctx.server ctx.conn corner_client.frame
+              | None -> (
+                  match object_of_window ctx window with
+                  | Some obj -> dispatch_object ctx obj event
+                  | None ->
+                      if
+                        Xid.equal window scr.root
+                        || Vdesk.is_desktop_window ctx ~screen window
+                      then begin
+                        (match scr.active_menu with
+                        | Some (menu, _) ->
+                            Menu.unpost menu;
+                            scr.active_menu <- None
+                        | None -> ());
+                        let funcs = Bindings.lookup scr.root_bindings event in
+                        Functions.execute ctx
+                          (Functions.invocation ~screen ())
+                          funcs
+                      end)))))
+
+let handle_key_press (ctx : Ctx.t) event window =
+  let screen = screen_of_event_window ctx window in
+  let scr = Ctx.screen ctx screen in
+  match object_of_window ctx window with
+  | Some obj -> dispatch_object ctx obj event
+  | None ->
+      let funcs = Bindings.lookup scr.root_bindings event in
+      let client =
+        match Ctx.client_of_window ctx window with
+        | Some _ as c -> c
+        | None -> Functions.client_under_pointer ctx
+      in
+      Functions.execute ctx (Functions.invocation ?client ~screen ()) funcs
+
+(* -------- event handling -------- *)
+
+let handle_configure_request (ctx : Ctx.t) window (changes : Event.config_changes) =
+  match Xid.Tbl.find_opt ctx.clients window with
+  | Some client ->
+      let cgeom = Server.geometry ctx.server client.cwin in
+      let w = Option.value changes.cw ~default:cgeom.w in
+      let h = Option.value changes.ch ~default:cgeom.h in
+      if w <> cgeom.w || h <> cgeom.h then begin
+        Decoration.client_resized ctx client (w, h);
+        if Panner.is_panner ctx client then Panner.panner_resized ctx client (w, h)
+      end;
+      (match (changes.cx, changes.cy) with
+      | None, None -> ()
+      | cx, cy ->
+          (* Requested positions are viewport-relative (PPosition rules). *)
+          let o =
+            if client.sticky then Geom.point 0 0
+            else Vdesk.offset ctx ~screen:client.screen
+          in
+          let fgeom = Server.geometry ctx.server client.frame in
+          let x = match cx with Some x -> x + o.px | None -> fgeom.x in
+          let y = match cy with Some y -> y + o.py | None -> fgeom.y in
+          Decoration.move_frame ctx client (Geom.point x y));
+      (match changes.cstack with
+      | Some Event.Above -> Server.raise_window ctx.server ctx.conn client.frame
+      | Some Event.Below -> Server.lower_window ctx.server ctx.conn client.frame
+      | None -> ());
+      if not (Panner.is_panner ctx client) then
+        Panner.refresh ctx ~screen:client.screen
+  | None ->
+      (* Not managed: apply verbatim (we hold the redirect, so this
+         configures directly). *)
+      if Server.window_exists ctx.server window then
+        Server.configure_window ctx.server ctx.conn window changes
+
+let handle_property (ctx : Ctx.t) window name =
+  let is_root =
+    Array.exists (fun (scr : Ctx.screen_state) -> Xid.equal scr.root window) ctx.screens
+  in
+  if is_root && String.equal name Prop.swm_command then
+    Swmcmd.handle_property_change ctx
+      ~screen:(screen_of_event_window ctx window)
+  else
+    match Xid.Tbl.find_opt ctx.clients window with
+    | None -> ()
+    | Some client ->
+        if String.equal name Prop.wm_name then Decoration.update_name ctx client
+        else if String.equal name Prop.wm_icon_name then begin
+          match client.icon_obj with
+          | Some icon -> (
+              match Wobj.find_descendant icon ~name:"iconname" with
+              | Some obj -> Wobj.set_label obj (Icccm.read_icon_name ctx window)
+              | None -> ())
+          | None -> ()
+        end
+
+let handle_event (ctx : Ctx.t) (event : Event.t) =
+  match event with
+  | Event.Map_request { window; _ } -> (
+      match Xid.Tbl.find_opt ctx.clients window with
+      | Some client ->
+          (* Mapping an iconified window deiconifies it (ICCCM). *)
+          if client.state = Prop.Iconic then begin
+            Icons.deiconify ctx client;
+            Panner.refresh ctx ~screen:client.screen
+          end
+          else Server.map_window ctx.server ctx.conn window
+      | None -> manage ctx window)
+  | Event.Configure_request { window; changes; _ } ->
+      handle_configure_request ctx window changes
+  | Event.Destroy_notify { window } -> (
+      match Xid.Tbl.find_opt ctx.clients window with
+      | Some client -> unmanage ctx client ~destroyed:true
+      | None -> ())
+  | Event.Unmap_notify { window } -> (
+      match Xid.Tbl.find_opt ctx.clients window with
+      | Some client ->
+          (* Reparenting briefly unmaps; a real withdrawal leaves the window
+             unmapped when we process the event. *)
+          if
+            Server.window_exists ctx.server window
+            && (not (Server.is_mapped ctx.server window))
+            && client.state <> Prop.Iconic
+          then unmanage ctx client ~destroyed:false
+      | None -> ())
+  | Event.Property_notify { window; name; _ } -> handle_property ctx window name
+  | Event.Button_press { window; button; pos; root_pos; _ } ->
+      handle_button_press ctx event window button pos root_pos
+  | Event.Button_release _ -> (
+      match ctx.mode with
+      | Ctx.Moving { m_client; grab_offset; m_outline } ->
+          handle_moving ctx m_client grab_offset m_outline
+            (Server.pointer_pos ctx.server) true
+      | Ctx.Resizing { r_client; r_start_client; r_pointer; r_dir; r_frame0 } ->
+          handle_resizing ctx r_client r_start_client r_pointer r_dir r_frame0
+            (Server.pointer_pos ctx.server) true
+      | Ctx.Idle | Ctx.Prompting _ -> ())
+  | Event.Motion_notify { root_pos; _ } -> (
+      match ctx.mode with
+      | Ctx.Moving { m_client; grab_offset; m_outline } ->
+          handle_moving ctx m_client grab_offset m_outline root_pos false
+      | Ctx.Resizing { r_client; r_start_client; r_pointer; r_dir; r_frame0 } ->
+          handle_resizing ctx r_client r_start_client r_pointer r_dir r_frame0 root_pos
+            false
+      | Ctx.Idle | Ctx.Prompting _ -> ())
+  | Event.Key_press { window; _ } -> handle_key_press ctx event window
+  | Event.Enter_notify { window } | Event.Leave_notify { window } -> (
+      (match event with
+      | Event.Enter_notify _ -> apply_focus_policy ctx window Ctx.Focus_pointer
+      | _ -> ());
+      match object_of_window ctx window with
+      | Some obj -> dispatch_object ctx obj event
+      | None -> ())
+  | Event.Map_notify _ | Event.Reparent_notify _ | Event.Configure_notify _
+  | Event.Expose _ | Event.Client_message _ | Event.Focus_in _ | Event.Focus_out _ ->
+      ()
+
+let step (ctx : Ctx.t) =
+  let count = ref 0 in
+  let rec drain () =
+    if ctx.running || Server.pending ctx.conn > 0 then
+      match Server.next_event ctx.conn with
+      | Some event ->
+          incr count;
+          handle_event ctx event;
+          drain ()
+      | None -> ()
+  in
+  drain ();
+  !count
+
+let run (ctx : Ctx.t) ~max_events =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && ctx.running && !count < max_events do
+    match Server.next_event ctx.conn with
+    | Some event ->
+        incr count;
+        handle_event ctx event
+    | None -> continue := false
+  done;
+  !count
+
+(* -------- start / shutdown -------- *)
+
+let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
+  let conn = Server.connect server ~name:"swm" in
+  let db = Xrdb.create () in
+  let resources = if resources = [] then [ Templates.default ] else resources in
+  (* xrdb-style preprocessing: COLOR/WIDTH/HEIGHT defined from the display,
+     #include resolving the shipped template names. *)
+  let sw, sh = Server.screen_size server ~screen:0 in
+  let defines =
+    [ ("WIDTH", string_of_int sw); ("HEIGHT", string_of_int sh) ]
+    @ if Server.screen_monochrome server ~screen:0 then [] else [ ("COLOR", "1") ]
+  in
+  let loader name = List.assoc_opt name Templates.names in
+  List.iter
+    (fun text ->
+      match Xrdb.load_string_cpp ~defines ~loader db text with
+      | Ok _ -> ()
+      | Error msg -> invalid_arg ("Wm.start: bad resources: " ^ msg))
+    resources;
+  let cfg = Config.create db server in
+  let nscreens = Server.screen_count server in
+  let screens =
+    Array.init nscreens (fun index ->
+        let root = Server.root server ~screen:index in
+        Server.select_input server conn root root_masks;
+        let tk =
+          Wobj.create_toolkit ~server ~conn ~screen:index
+            ~query:(fun ~names ~classes ->
+              Config.object_query cfg ~screen:index ~names ~classes)
+        in
+        {
+          Ctx.index;
+          root;
+          tk;
+          vdesk = None;
+          holders = [];
+          root_panels = [];
+          root_icons = [];
+          menus = [];
+          active_menu = None;
+          root_bindings = [];
+          hbar = None;
+          vbar = None;
+          focus_policy = Ctx.Focus_none;
+        })
+  in
+  let ctx =
+    {
+      Ctx.server;
+      conn;
+      cfg;
+      screens;
+      clients = Xid.Tbl.create 64;
+      frames = Xid.Tbl.create 64;
+      corners = Xid.Tbl.create 64;
+      panner_minis = Xid.Tbl.create 64;
+      session = Session.create_table ();
+      binding_cache = Hashtbl.create 32;
+      mode = Ctx.Idle;
+      running = true;
+      restart_requested = false;
+      executed = [];
+      last_places = None;
+      identify_win = Xid.none;
+      confirm = (fun _ -> true);
+      host;
+      display;
+    }
+  in
+  read_session ctx;
+  for screen = 0 to nscreens - 1 do
+    setup_screen ctx ~screen;
+    Scrollbar.create ctx ~screen;
+    Icons.create_holders ctx ~screen;
+    Icons.create_root_icons ctx ~screen;
+    (* Root panels and the panner are ordinary clients: manage them. *)
+    List.iter (fun win -> manage ctx win) (Root_panel.create ctx ~screen);
+    (match Panner.create ctx ~screen with
+    | Some panner_win ->
+        Server.map_window ctx.server ctx.conn panner_win;
+        manage ctx panner_win;
+        Panner.refresh ctx ~screen
+    | None -> ());
+    (* Adopt pre-existing client windows. *)
+    let scr = Ctx.screen ctx screen in
+    List.iter
+      (fun child ->
+        if
+          Server.is_mapped server child
+          && (not (Server.override_redirect server child))
+          && (not (managed ctx child))
+          && Server.conn_name (Server.owner_of server child) <> "swm"
+        then manage ctx child)
+      (Server.children_of server scr.root)
+  done;
+  ignore (step ctx);
+  ctx
+
+let shutdown (ctx : Ctx.t) =
+  ctx.running <- false;
+  Server.disconnect ctx.server ctx.conn
+
+let render_screen (ctx : Ctx.t) ~screen =
+  Render.to_string (Render.render ctx.server ~screen ())

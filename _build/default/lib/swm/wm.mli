@@ -1,0 +1,55 @@
+(** The window manager itself: initialisation, the manage/unmanage
+    lifecycle, and the event loop.
+
+    Typical use:
+
+    {[
+      let server = Server.create () in
+      let wm = Wm.start ~resources:[ Templates.open_look ] server in
+      (* ... clients connect, create windows, map them ... *)
+      ignore (Wm.step wm)   (* process everything pending *)
+    ]} *)
+
+type t = Ctx.t
+
+val start :
+  ?resources:string list ->
+  ?host:string ->
+  ?display:string ->
+  Swm_xlib.Server.t ->
+  t
+(** Connect as the window manager: load the resource strings (in order,
+    later overriding earlier; when none are given {!Templates.default} is
+    loaded, mirroring swm's fallback configuration), claim
+    SubstructureRedirect on every root (raising [Server.Bad_access] if
+    another WM is running), create virtual desktops / panners / root panels
+    / icon holders / root icons per the resources, read the SWM_PLACES
+    session property, and manage all pre-existing client windows. *)
+
+val ctx : t -> Ctx.t
+
+val step : t -> int
+(** Drain and handle every pending event; returns how many were handled.
+    Call repeatedly after synthesising input or client activity. *)
+
+val run : t -> max_events:int -> int
+(** Handle events until the queue is empty, [f.quit]/[f.restart] runs, or
+    [max_events] is reached. *)
+
+val manage : t -> Swm_xlib.Xid.t -> unit
+(** Bring an (unmanaged, non-override-redirect) top-level window under
+    management: read its properties, apply a matching session hint if any,
+    choose a position per the USPosition/PPosition rules, decorate, and
+    honour the initial state. *)
+
+val unmanage : t -> Ctx.client -> destroyed:bool -> unit
+
+val managed : t -> Swm_xlib.Xid.t -> bool
+val find_client : t -> Swm_xlib.Xid.t -> Ctx.client option
+
+val shutdown : t -> unit
+(** Disconnect from the server; save-set windows are reparented back to the
+    root (how clients survive a WM restart). *)
+
+val render_screen : t -> screen:int -> string
+(** Character rendering of a screen, for tests and figures. *)

@@ -1,0 +1,1 @@
+lib/xlib/atom.ml: Array Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/xlib/atom.mli: Format

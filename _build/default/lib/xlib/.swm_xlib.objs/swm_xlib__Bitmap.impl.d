@@ -1,0 +1,1 @@
+lib/xlib/bitmap.ml: List String

@@ -1,0 +1,1 @@
+lib/xlib/bitmap.mli:

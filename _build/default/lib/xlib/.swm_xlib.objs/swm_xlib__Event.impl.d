@@ -1,0 +1,1 @@
+lib/xlib/event.ml: Format Geom Keysym Xid

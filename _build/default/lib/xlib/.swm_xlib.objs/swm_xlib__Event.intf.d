@@ -1,0 +1,1 @@
+lib/xlib/event.mli: Format Geom Keysym Xid

@@ -1,0 +1,1 @@
+lib/xlib/geom.ml: Buffer Format Option Printf String

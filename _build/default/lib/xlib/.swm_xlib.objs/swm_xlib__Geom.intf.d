@@ -1,0 +1,1 @@
+lib/xlib/geom.mli: Format

@@ -1,0 +1,1 @@
+lib/xlib/keysym.ml: Format List String

@@ -1,0 +1,1 @@
+lib/xlib/prop.ml: Format Geom Xid

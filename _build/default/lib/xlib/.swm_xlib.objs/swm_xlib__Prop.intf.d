@@ -1,0 +1,1 @@
+lib/xlib/prop.mli: Format Geom Xid

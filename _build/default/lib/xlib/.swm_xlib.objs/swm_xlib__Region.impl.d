@@ -1,0 +1,1 @@
+lib/xlib/region.ml: Format Geom List

@@ -1,0 +1,1 @@
+lib/xlib/region.mli: Format Geom

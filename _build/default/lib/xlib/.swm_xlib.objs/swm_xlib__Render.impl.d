@@ -1,0 +1,1 @@
+lib/xlib/render.ml: Array Buffer Geom List Region Server String

@@ -1,0 +1,1 @@
+lib/xlib/render.mli: Server Xid

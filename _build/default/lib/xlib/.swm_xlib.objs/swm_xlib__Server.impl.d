@@ -1,0 +1,1 @@
+lib/xlib/server.ml: Array Atom Event Format Geom Hashtbl Keysym List Option Printf Prop Queue Region Xid

@@ -1,0 +1,1 @@
+lib/xlib/server.mli: Atom Event Geom Keysym Prop Region Xid

@@ -1,0 +1,1 @@
+lib/xlib/wire.ml: Buffer Char Event Format Geom Keysym List Printf Prop Region Server String Xid

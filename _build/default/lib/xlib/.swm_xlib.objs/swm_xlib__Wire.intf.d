@@ -1,0 +1,1 @@
+lib/xlib/wire.mli: Event Format Geom Server Xid

@@ -1,0 +1,1 @@
+lib/xlib/wire_conn.ml: Buffer Event Format List Prop Region Result Server String Wire Xid

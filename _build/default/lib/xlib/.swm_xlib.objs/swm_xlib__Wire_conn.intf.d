@@ -1,0 +1,1 @@
+lib/xlib/wire_conn.mli: Server Wire Xid

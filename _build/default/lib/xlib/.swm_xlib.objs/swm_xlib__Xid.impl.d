@@ -1,0 +1,1 @@
+lib/xlib/xid.ml: Format Hashtbl Int Map

@@ -1,0 +1,1 @@
+lib/xlib/xid.mli: Format Hashtbl Map

@@ -1,0 +1,33 @@
+type t = int
+
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create_table () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let intern table name =
+  match Hashtbl.find_opt table.by_name name with
+  | Some id -> id
+  | None ->
+      let id = table.next in
+      table.next <- id + 1;
+      if id >= Array.length table.by_id then begin
+        let grown = Array.make (2 * Array.length table.by_id) "" in
+        Array.blit table.by_id 0 grown 0 (Array.length table.by_id);
+        table.by_id <- grown
+      end;
+      table.by_id.(id) <- name;
+      Hashtbl.replace table.by_name name id;
+      id
+
+let intern_existing table name = Hashtbl.find_opt table.by_name name
+
+let name table id =
+  if id < 0 || id >= table.next then raise Not_found else table.by_id.(id)
+
+let count table = table.next
+let equal = Int.equal
+let pp table ppf id = Format.fprintf ppf "%s" (name table id)

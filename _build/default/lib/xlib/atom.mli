@@ -1,0 +1,26 @@
+(** Atom interning.
+
+    X atoms are server-scoped small integers naming strings.  Properties in
+    this simulator are keyed by name for readability, but the intern table is
+    still real: swmcmd and the resource-database benches exercise it, and it
+    preserves the protocol property that interning the same name twice yields
+    the same id. *)
+
+type t = private int
+
+type table
+
+val create_table : unit -> table
+
+val intern : table -> string -> t
+(** Intern a name, allocating a fresh atom on first use. *)
+
+val intern_existing : table -> string -> t option
+(** Look up without allocating ([only_if_exists = true] in the protocol). *)
+
+val name : table -> t -> string
+(** Raises [Not_found] if the atom was never allocated by this table. *)
+
+val count : table -> int
+val equal : t -> t -> bool
+val pp : table -> Format.formatter -> t -> unit

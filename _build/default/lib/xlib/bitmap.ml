@@ -1,0 +1,81 @@
+type t = { name : string; width : int; height : int; rows : string list }
+
+let make ~name ~rows =
+  match rows with
+  | [] -> invalid_arg "Bitmap.make: no rows"
+  | first :: rest ->
+      let width = String.length first in
+      if width = 0 then invalid_arg "Bitmap.make: empty row"
+      else if List.exists (fun r -> String.length r <> width) rest then
+        invalid_arg "Bitmap.make: ragged rows"
+      else { name; width; height = List.length rows; rows }
+
+let xlogo32 =
+  make ~name:"xlogo32"
+    ~rows:
+      [
+        "XX      XX";
+        " XX    XX ";
+        "  XX  XX  ";
+        "   XXXX   ";
+        "    XX    ";
+        "   XXXX   ";
+        "  XX  XX  ";
+        " XX    XX ";
+        "XX      XX";
+      ]
+
+let mail =
+  make ~name:"mail"
+    ~rows:
+      [
+        "==========";
+        "|\\      /|";
+        "| \\    / |";
+        "|  \\  /  |";
+        "|   \\/   |";
+        "==========";
+      ]
+
+let terminal =
+  make ~name:"terminal"
+    ~rows:
+      [
+        "+--------+";
+        "| >_     |";
+        "|        |";
+        "+--------+";
+        "   ====   ";
+      ]
+
+let clock_face =
+  make ~name:"clock"
+    ~rows:
+      [
+        "  ****  ";
+        " *  | * ";
+        "*   |  *";
+        "*   +--*";
+        "*      *";
+        " *    * ";
+        "  ****  ";
+      ]
+
+let trash =
+  make ~name:"trash"
+    ~rows:
+      [
+        "  ____  ";
+        " |____| ";
+        " |    | ";
+        " | || | ";
+        " | || | ";
+        " |____| ";
+      ]
+
+let gray =
+  make ~name:"gray" ~rows:[ "# # # # "; " # # # #"; "# # # # "; " # # # #" ]
+
+let stock = [ xlogo32; mail; terminal; clock_face; trash; gray ]
+let find name = List.find_opt (fun b -> String.equal b.name name) stock
+let names () = List.map (fun b -> b.name) stock

@@ -1,0 +1,27 @@
+type t = string
+
+let equal = String.equal
+let pp = Format.pp_print_string
+
+type modifiers = { shift : bool; control : bool; meta : bool }
+
+let no_mods = { shift = false; control = false; meta = false }
+
+let mods ?(shift = false) ?(control = false) ?(meta = false) () =
+  { shift; control; meta }
+
+let mod_equal a b = a.shift = b.shift && a.control = b.control && a.meta = b.meta
+
+let pp_modifiers ppf m =
+  let parts =
+    List.filter_map
+      (fun (set, label) -> if set then Some label else None)
+      [ (m.shift, "Shift"); (m.control, "Ctrl"); (m.meta, "Meta") ]
+  in
+  Format.fprintf ppf "%s" (String.concat " " parts)
+
+let parse_modifier = function
+  | "Shift" -> Some (fun m -> { m with shift = true })
+  | "Ctrl" | "Control" -> Some (fun m -> { m with control = true })
+  | "Meta" | "Mod1" | "Alt" -> Some (fun m -> { m with meta = true })
+  | _ -> None

@@ -1,0 +1,20 @@
+(** Key symbols and modifier state.
+
+    Keysyms are represented by their Xt names (["Up"], ["a"], ["F1"],
+    ["Return"]...), which is exactly the form swm's bindings syntax uses. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type modifiers = { shift : bool; control : bool; meta : bool }
+
+val no_mods : modifiers
+val mods : ?shift:bool -> ?control:bool -> ?meta:bool -> unit -> modifiers
+val mod_equal : modifiers -> modifiers -> bool
+val pp_modifiers : Format.formatter -> modifiers -> unit
+
+val parse_modifier : string -> (modifiers -> modifiers) option
+(** Recognise an Xt modifier name (["Shift"], ["Ctrl"], ["Meta"]...) and
+    return the function that sets it. *)

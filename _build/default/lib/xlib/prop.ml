@@ -1,0 +1,106 @@
+type wm_state = Withdrawn | Normal | Iconic
+
+let wm_state_to_string = function
+  | Withdrawn -> "WithdrawnState"
+  | Normal -> "NormalState"
+  | Iconic -> "IconicState"
+
+let wm_state_of_string = function
+  | "WithdrawnState" -> Some Withdrawn
+  | "NormalState" -> Some Normal
+  | "IconicState" -> Some Iconic
+  | _ -> None
+
+let pp_wm_state ppf s = Format.pp_print_string ppf (wm_state_to_string s)
+
+type wm_hints = {
+  input : bool;
+  initial_state : wm_state;
+  icon_pixmap : string option;
+  icon_window : Xid.t option;
+  icon_position : Geom.point option;
+}
+
+let default_wm_hints =
+  {
+    input = true;
+    initial_state = Normal;
+    icon_pixmap = None;
+    icon_window = None;
+    icon_position = None;
+  }
+
+type size_hints = {
+  us_position : bool;
+  p_position : bool;
+  us_size : bool;
+  p_size : bool;
+  min_size : (int * int) option;
+  max_size : (int * int) option;
+  resize_inc : (int * int) option;
+}
+
+let default_size_hints =
+  {
+    us_position = false;
+    p_position = false;
+    us_size = false;
+    p_size = false;
+    min_size = None;
+    max_size = None;
+    resize_inc = None;
+  }
+
+type value =
+  | String of string
+  | String_list of string list
+  | Cardinal of int
+  | Cardinal_list of int list
+  | Window of Xid.t
+  | Atom_list of string list
+  | Wm_hints of wm_hints
+  | Size_hints of size_hints
+  | Wm_state_value of { state : wm_state; icon : Xid.t }
+  | Wm_class of { instance : string; class_ : string }
+
+let pp_value ppf = function
+  | String s -> Format.fprintf ppf "%S" s
+  | String_list l ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           (fun ppf s -> Format.fprintf ppf "%S" s))
+        l
+  | Cardinal n -> Format.fprintf ppf "%d" n
+  | Cardinal_list l ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           Format.pp_print_int)
+        l
+  | Window id -> Xid.pp ppf id
+  | Atom_list l ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           Format.pp_print_string)
+        l
+  | Wm_hints h ->
+      Format.fprintf ppf "wm_hints{state=%a}" pp_wm_state h.initial_state
+  | Size_hints h ->
+      Format.fprintf ppf "size_hints{us_pos=%b;p_pos=%b}" h.us_position h.p_position
+  | Wm_state_value { state; icon } ->
+      Format.fprintf ppf "wm_state{%a;icon=%a}" pp_wm_state state Xid.pp icon
+  | Wm_class { instance; class_ } -> Format.fprintf ppf "class{%s.%s}" class_ instance
+
+let wm_name = "WM_NAME"
+let wm_icon_name = "WM_ICON_NAME"
+let wm_class = "WM_CLASS"
+let wm_command = "WM_COMMAND"
+let wm_client_machine = "WM_CLIENT_MACHINE"
+let wm_hints_name = "WM_HINTS"
+let wm_normal_hints = "WM_NORMAL_HINTS"
+let wm_state_name = "WM_STATE"
+let wm_transient_for = "WM_TRANSIENT_FOR"
+let wm_protocols = "WM_PROTOCOLS"
+let wm_delete_window = "WM_DELETE_WINDOW"
+let swm_root = "SWM_ROOT"
+let swm_command = "SWM_COMMAND"
+let swm_places = "SWM_PLACES"

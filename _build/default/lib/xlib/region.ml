@@ -1,0 +1,72 @@
+type t = Geom.rect list
+(* Invariant: rectangles are pairwise disjoint and have positive area. *)
+
+let empty = []
+let of_rect (r : Geom.rect) = if r.w > 0 && r.h > 0 then [ r ] else []
+let is_empty region = region = []
+let rects region = region
+let area region = List.fold_left (fun acc (r : Geom.rect) -> acc + (r.w * r.h)) 0 region
+let contains region p = List.exists (fun r -> Geom.contains r p) region
+
+(* Subtract rectangle [b] from rectangle [a], yielding up to four disjoint
+   pieces of [a] (the classic band decomposition). *)
+let rect_subtract (a : Geom.rect) (b : Geom.rect) : Geom.rect list =
+  match Geom.intersect a b with
+  | None -> [ a ]
+  | Some i ->
+      let pieces = ref [] in
+      let add x y w h = if w > 0 && h > 0 then pieces := Geom.rect x y w h :: !pieces in
+      add a.x a.y a.w (i.y - a.y);
+      add a.x (i.y + i.h) a.w (a.y + a.h - i.y - i.h);
+      add a.x i.y (i.x - a.x) i.h;
+      add (i.x + i.w) i.y (a.x + a.w - i.x - i.w) i.h;
+      !pieces
+
+let subtract region by =
+  List.fold_left
+    (fun acc cut -> List.concat_map (fun r -> rect_subtract r cut) acc)
+    region by
+
+let union a b =
+  (* Keep [a] whole; add only the parts of [b] not already covered. *)
+  subtract b a @ a
+
+let inter a b =
+  List.concat_map
+    (fun ra ->
+      List.filter_map (fun rb -> Geom.intersect ra rb) b |> fun pieces ->
+      (* Pieces from intersecting a single [ra] with disjoint [b]-rects are
+         themselves disjoint. *)
+      ignore ra;
+      pieces)
+    a
+
+let of_rects list = List.fold_left (fun acc r -> union acc (of_rect r)) empty list
+let translate region ~dx ~dy = List.map (fun r -> Geom.translate r ~dx ~dy) region
+
+let extents = function
+  | [] -> None
+  | first :: rest -> Some (List.fold_left Geom.union_bounds first rest)
+
+let equal a b = is_empty (subtract a b) && is_empty (subtract b a)
+
+let pp ppf region =
+  Format.fprintf ppf "@[<hov>region{%a}@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Geom.pp_rect)
+    region
+
+let disc ~cx ~cy ~r =
+  if r <= 0 then empty
+  else begin
+    let spans = ref [] in
+    for row = -r to r - 1 do
+      (* Horizontal span of the disc at pixel row [cy + row]; use the row
+         centre for a symmetric rasterisation. *)
+      let fy = float_of_int row +. 0.5 in
+      let fr = float_of_int r in
+      let half = sqrt (max 0. ((fr *. fr) -. (fy *. fy))) in
+      let dx = int_of_float half in
+      if dx > 0 then spans := Geom.rect (cx - dx) (cy + row) (2 * dx) 1 :: !spans
+    done;
+    !spans
+  end

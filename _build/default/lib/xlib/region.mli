@@ -1,0 +1,41 @@
+(** Pixel regions as unions of disjoint rectangles.
+
+    Used by the SHAPE extension support: a window's bounding shape is a
+    region; shaped rendering and hit-testing clip against it.  The
+    representation keeps a normalised list of pairwise-disjoint rectangles,
+    so operations are exact. *)
+
+type t
+
+val empty : t
+val of_rect : Geom.rect -> t
+val of_rects : Geom.rect list -> t
+
+val is_empty : t -> bool
+
+val rects : t -> Geom.rect list
+(** The disjoint rectangles making up the region (unspecified order). *)
+
+val area : t -> int
+
+val equal : t -> t -> bool
+(** Extensional equality: both regions cover the same set of pixels. *)
+
+val contains : t -> Geom.point -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val subtract : t -> t -> t
+
+val translate : t -> dx:int -> dy:int -> t
+
+val extents : t -> Geom.rect option
+(** Bounding box, or [None] for the empty region. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Stock shapes} *)
+
+val disc : cx:int -> cy:int -> r:int -> t
+(** A filled disc rasterised into horizontal spans — the shape of an
+    [oclock]-style round client. *)

@@ -1,0 +1,126 @@
+type canvas = { grid : char array array; cw : int; ch : int }
+
+let make_canvas cw ch = { grid = Array.make_matrix ch cw ' '; cw; ch }
+
+let put canvas x y c =
+  if x >= 0 && x < canvas.cw && y >= 0 && y < canvas.ch then canvas.grid.(y).(x) <- c
+
+(* Paint one window given the root-coordinate origin of its interior; then
+   recurse over children bottom-to-top. All distances are in pixels and are
+   divided by [scale] at the last moment. *)
+let rec paint server canvas scale id (origin : Geom.point) =
+  if Server.is_mapped server id then begin
+    let geom = Server.geometry server id in
+    let border = Server.border_width server id in
+    let shape = Server.shape_get server id in
+    let inside_shape px py =
+      match shape with
+      | None -> true
+      | Some region -> Region.contains region (Geom.point px py)
+    in
+    let cellify v = v / scale in
+    (* Border cells: the ring around the interior. *)
+    if border > 0 && shape = None then begin
+      let x0 = cellify (origin.px - border)
+      and y0 = cellify (origin.py - border)
+      and x1 = cellify (origin.px + geom.w + border - 1)
+      and y1 = cellify (origin.py + geom.h + border - 1) in
+      for x = x0 to x1 do
+        put canvas x y0 '#';
+        put canvas x y1 '#'
+      done;
+      for y = y0 to y1 do
+        put canvas x0 y '#';
+        put canvas x1 y '#'
+      done
+    end;
+    (* Background fill (cell granularity over the interior). *)
+    (match Server.background_of server id with
+    | Some bg ->
+        let cx0 = cellify origin.px and cy0 = cellify origin.py in
+        let cx1 = cellify (origin.px + geom.w - 1) and cy1 = cellify (origin.py + geom.h - 1) in
+        for cy = cy0 to cy1 do
+          for cx = cx0 to cx1 do
+            (* Sample the pixel at the cell centre for shape clipping. *)
+            let px = (cx * scale) + (scale / 2) - origin.px
+            and py = (cy * scale) + (scale / 2) - origin.py in
+            if inside_shape px py then put canvas cx cy bg
+          done
+        done
+    | None -> ());
+    (* Character art fills the interior from the top. *)
+    (match Server.art_of server id with
+    | Some rows ->
+        let cx0 = cellify origin.px and cy0 = cellify origin.py in
+        let max_cols = max 0 (cellify (geom.w - 1) + 1) in
+        let max_rows = max 0 (cellify (geom.h - 1) + 1) in
+        List.iteri
+          (fun ry row ->
+            if ry < max_rows then
+              String.iteri
+                (fun rx c ->
+                  if rx < max_cols && c <> ' ' then put canvas (cx0 + rx) (cy0 + ry) c)
+                row)
+          rows
+    | None -> ());
+    (* Label text along the top row of the interior. *)
+    (match Server.label_of server id with
+    | Some text ->
+        let cy = cellify origin.py in
+        let cx0 = cellify origin.px in
+        let max_cells = max 0 (cellify (geom.w - 1) + 1) in
+        String.iteri
+          (fun i c -> if i < max_cells then put canvas (cx0 + i) cy c)
+          text
+    | None -> ());
+    List.iter
+      (fun child ->
+        let cg = Server.geometry server child in
+        let cb = Server.border_width server child in
+        paint server canvas scale child
+          (Geom.point (origin.px + cg.x + cb) (origin.py + cg.y + cb)))
+      (Server.children_of server id)
+  end
+
+let render server ~screen ?(scale = 8) () =
+  let w, h = Server.screen_size server ~screen in
+  let canvas = make_canvas ((w + scale - 1) / scale) ((h + scale - 1) / scale) in
+  paint server canvas scale (Server.root server ~screen) (Geom.point 0 0);
+  canvas
+
+let render_window server id ?(scale = 8) () =
+  let geom = Server.geometry server id in
+  let border = Server.border_width server id in
+  let size = fun v -> (v + (2 * border) + scale - 1) / scale in
+  let canvas = make_canvas (size geom.w) (size geom.h) in
+  paint server canvas scale id (Geom.point border border);
+  canvas
+
+let to_string canvas =
+  let buf = Buffer.create (canvas.cw * canvas.ch) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    canvas.grid;
+  Buffer.contents buf
+
+let width canvas = canvas.cw
+let height canvas = canvas.ch
+
+let cell canvas ~x ~y =
+  if x < 0 || x >= canvas.cw || y < 0 || y >= canvas.ch then
+    invalid_arg "Render.cell: out of bounds"
+  else canvas.grid.(y).(x)
+
+let diff a b =
+  let count = ref 0 in
+  let w = max a.cw b.cw and h = max a.ch b.ch in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let ca = if x < a.cw && y < a.ch then a.grid.(y).(x) else '\000' in
+      let cb = if x < b.cw && y < b.ch then b.grid.(y).(x) else '\000' in
+      if ca <> cb then incr count
+    done
+  done;
+  !count

@@ -1,0 +1,25 @@
+(** Character-cell rendering of a screen's window tree.
+
+    The simulator's stand-in for the frame buffer: each window paints its
+    border (['#'] cells), its background fill character and its label text,
+    clipped by its SHAPE region; children paint over parents in stacking
+    order.  Used to regenerate the paper's figures and to let tests assert
+    on what the user would actually see. *)
+
+type canvas
+
+val render : Server.t -> screen:int -> ?scale:int -> unit -> canvas
+(** Render the whole screen.  [scale] (default 8) maps [scale] x [scale]
+    pixels to one character cell, so a 1152x900 screen fits a terminal. *)
+
+val render_window : Server.t -> Xid.t -> ?scale:int -> unit -> canvas
+(** Render just one window (and its subtree), in its own coordinates. *)
+
+val to_string : canvas -> string
+val width : canvas -> int
+val height : canvas -> int
+val cell : canvas -> x:int -> y:int -> char
+
+val diff : canvas -> canvas -> int
+(** Number of differing cells (canvases of different sizes count the
+    non-overlapping area as differing). *)

@@ -1,0 +1,722 @@
+exception Bad_window of Xid.t
+exception Bad_access of string
+
+type conn = {
+  cid : int;
+  cname : string;
+  queue : Event.t Queue.t;
+  mutable alive : bool;
+}
+
+type window = {
+  id : Xid.t;
+  mutable screen : int;
+  mutable parent : Xid.t; (* Xid.none for roots *)
+  mutable children : Xid.t list; (* bottom-to-top *)
+  mutable geom : Geom.rect; (* parent-interior coords of the border corner *)
+  mutable border : int;
+  mutable mapped : bool;
+  mutable w_override : bool;
+  mutable background : char option;
+  mutable label : string option;
+  mutable art : string list option;
+  mutable shape : Region.t option; (* window-interior coords *)
+  props : (string, Prop.value) Hashtbl.t;
+  mutable selections : (int * Event.mask list) list; (* cid -> masks *)
+  mutable owner : int;
+}
+
+type grab = { gcid : int; gwindow : Xid.t }
+
+type screen_spec = { size : int * int; monochrome : bool }
+
+let default_screen = { size = (1152, 900); monochrome = false }
+
+type t = {
+  alloc : Xid.Alloc.t;
+  windows : window Xid.Tbl.t;
+  screens : (Xid.t * screen_spec) array;
+  conns : (int, conn) Hashtbl.t;
+  atom_table : Atom.table;
+  mutable next_cid : int;
+  mutable pointer_screen : int;
+  mutable pointer : Geom.point;
+  mutable grab : grab option;
+  mutable focus : Xid.t;
+  mutable save_sets : (int * Xid.t) list; (* (cid, window) pairs *)
+  mutable requests : int;
+}
+
+let bump server = server.requests <- server.requests + 1
+let request_count server = server.requests
+
+let lookup server id =
+  match Xid.Tbl.find_opt server.windows id with
+  | Some w -> w
+  | None -> raise (Bad_window id)
+
+let create ?(screens = [ default_screen ]) () =
+  let alloc = Xid.Alloc.create () in
+  let windows = Xid.Tbl.create 256 in
+  let screen_roots =
+    List.mapi
+      (fun i spec ->
+        let id = Xid.Alloc.next alloc in
+        let w, h = spec.size in
+        let root =
+          {
+            id;
+            screen = i;
+            parent = Xid.none;
+            children = [];
+            geom = Geom.rect 0 0 w h;
+            border = 0;
+            mapped = true;
+            w_override = true;
+            background = Some '.';
+            label = None;
+            art = None;
+            shape = None;
+            props = Hashtbl.create 8;
+            selections = [];
+            owner = 0;
+          }
+        in
+        Xid.Tbl.replace windows id root;
+        (id, spec))
+      screens
+  in
+  {
+    alloc;
+    windows;
+    screens = Array.of_list screen_roots;
+    conns = Hashtbl.create 8;
+    atom_table = Atom.create_table ();
+    next_cid = 1;
+    pointer_screen = 0;
+    pointer = Geom.point 0 0;
+    grab = None;
+    focus = Xid.none;
+    save_sets = [];
+    requests = 0;
+  }
+
+let connect server ~name =
+  let cid = server.next_cid in
+  server.next_cid <- cid + 1;
+  let conn = { cid; cname = name; queue = Queue.create (); alive = true } in
+  Hashtbl.replace server.conns cid conn;
+  conn
+
+let conn_name conn = conn.cname
+let screen_count server = Array.length server.screens
+
+let screen_size server ~screen =
+  let _, spec = server.screens.(screen) in
+  spec.size
+
+let screen_monochrome server ~screen =
+  let _, spec = server.screens.(screen) in
+  spec.monochrome
+
+let root server ~screen = fst server.screens.(screen)
+let atoms server = server.atom_table
+
+(* -------- event delivery -------- *)
+
+let deliver server cid event =
+  match Hashtbl.find_opt server.conns cid with
+  | Some conn when conn.alive -> Queue.add event conn.queue
+  | Some _ | None -> ()
+
+let selectors_of window mask =
+  List.filter_map
+    (fun (cid, masks) -> if List.mem mask masks then Some cid else None)
+    window.selections
+
+let notify server window mask event =
+  List.iter (fun cid -> deliver server cid event) (selectors_of window mask)
+
+(* Deliver a *Notify event per X semantics: StructureNotify selectors on the
+   window itself, SubstructureNotify selectors on its parent. *)
+let structure_notify server window event =
+  notify server window Event.Structure_notify event;
+  if not (Xid.is_none window.parent) then
+    notify server (lookup server window.parent) Event.Substructure_notify event
+
+let redirect_holder server window =
+  List.find_map
+    (fun (cid, masks) ->
+      if List.mem Event.Substructure_redirect masks then Some cid else None)
+    window.selections
+  |> Option.map (fun cid -> Hashtbl.find server.conns cid)
+
+(* -------- window creation / destruction -------- *)
+
+let create_window server conn ~parent ~geom ?(border = 0) ?(override_redirect = false)
+    ?background ?label () =
+  bump server;
+  let parent_win = lookup server parent in
+  let id = Xid.Alloc.next server.alloc in
+  let window =
+    {
+      id;
+      screen = parent_win.screen;
+      parent;
+      children = [];
+      geom;
+      border;
+      mapped = false;
+      w_override = override_redirect;
+      background;
+      label;
+      art = None;
+      shape = None;
+      props = Hashtbl.create 8;
+      selections = [];
+      owner = conn.cid;
+    }
+  in
+  Xid.Tbl.replace server.windows id window;
+  parent_win.children <- parent_win.children @ [ id ];
+  id
+
+let window_exists server id = Xid.Tbl.mem server.windows id
+
+let rec destroy_window server id =
+  let window = lookup server id in
+  List.iter (destroy_window server) window.children;
+  if not (Xid.is_none window.parent) then begin
+    (match Xid.Tbl.find_opt server.windows window.parent with
+    | Some parent ->
+        parent.children <- List.filter (fun c -> not (Xid.equal c id)) parent.children
+    | None -> ());
+    structure_notify server window (Event.Destroy_notify { window = id })
+  end;
+  server.save_sets <-
+    List.filter (fun (_, w) -> not (Xid.equal w id)) server.save_sets;
+  if Xid.equal server.focus id then server.focus <- Xid.none;
+  (match server.grab with
+  | Some g when Xid.equal g.gwindow id -> server.grab <- None
+  | Some _ | None -> ());
+  Xid.Tbl.remove server.windows id
+
+let destroy_window server id =
+  bump server;
+  let window = lookup server id in
+  if Xid.is_none window.parent then invalid_arg "Server.destroy_window: root window"
+  else destroy_window server id
+
+(* -------- simple accessors -------- *)
+
+let parent_of server id = (lookup server id).parent
+let children_of server id = (lookup server id).children
+let geometry server id = (lookup server id).geom
+let border_width server id = (lookup server id).border
+let is_mapped server id = (lookup server id).mapped
+
+let rec is_viewable server id =
+  let window = lookup server id in
+  window.mapped
+  && (Xid.is_none window.parent || is_viewable server window.parent)
+
+let override_redirect server id = (lookup server id).w_override
+let screen_of_window server id = (lookup server id).screen
+
+let owner_of server id =
+  let window = lookup server id in
+  match Hashtbl.find_opt server.conns window.owner with
+  | Some conn -> conn
+  | None -> raise (Bad_access "owner connection closed")
+
+let set_background server id bg = (lookup server id).background <- bg
+let set_label server id label = (lookup server id).label <- label
+let label_of server id = (lookup server id).label
+let set_art server id art = (lookup server id).art <- art
+let art_of server id = (lookup server id).art
+let background_of server id = (lookup server id).background
+
+(* Window-interior origin of [id] in root coordinates. *)
+let rec interior_origin server id =
+  let window = lookup server id in
+  if Xid.is_none window.parent then Geom.point window.geom.x window.geom.y
+  else begin
+    let parent_origin = interior_origin server window.parent in
+    Geom.point
+      (parent_origin.px + window.geom.x + window.border)
+      (parent_origin.py + window.geom.y + window.border)
+  end
+
+let translate_coordinates server ~src ~dst point =
+  let so = interior_origin server src and d = interior_origin server dst in
+  Geom.point (point.Geom.px + so.px - d.px) (point.Geom.py + so.py - d.py)
+
+let root_geometry server id =
+  let window = lookup server id in
+  let origin = interior_origin server id in
+  Geom.rect (origin.px - window.border) (origin.py - window.border) window.geom.w
+    window.geom.h
+
+(* -------- pointer hit-testing -------- *)
+
+(* Topmost viewable descendant containing [point] (window-interior coords of
+   [win]); shape-aware. *)
+let rec descend server win point =
+  let window = lookup server win in
+  let hit =
+    List.fold_left
+      (fun acc child_id ->
+        let child = lookup server child_id in
+        if not child.mapped then acc
+        else begin
+          let full =
+            Geom.rect child.geom.x child.geom.y
+              (child.geom.w + (2 * child.border))
+              (child.geom.h + (2 * child.border))
+          in
+          let inside_shape =
+            match child.shape with
+            | None -> true
+            | Some region ->
+                Region.contains region
+                  (Geom.point
+                     (point.Geom.px - child.geom.x - child.border)
+                     (point.Geom.py - child.geom.y - child.border))
+          in
+          if Geom.contains full point && inside_shape then Some child_id else acc
+        end)
+      None window.children
+  in
+  match hit with
+  | None -> win
+  | Some child_id ->
+      let child = lookup server child_id in
+      descend server child_id
+        (Geom.point
+           (point.Geom.px - child.geom.x - child.border)
+           (point.Geom.py - child.geom.y - child.border))
+
+let window_at server ~screen point = descend server (root server ~screen) point
+
+let window_at_pointer server =
+  window_at server ~screen:server.pointer_screen server.pointer
+
+(* -------- mapping -------- *)
+
+let map_window server conn id =
+  bump server;
+  let window = lookup server id in
+  if Xid.is_none window.parent then ()
+  else begin
+    let parent = lookup server window.parent in
+    match redirect_holder server parent with
+    | Some holder when holder.cid <> conn.cid && not window.w_override ->
+        deliver server holder.cid (Event.Map_request { window = id; parent = parent.id })
+    | Some _ | None ->
+        if not window.mapped then begin
+          window.mapped <- true;
+          structure_notify server window (Event.Map_notify { window = id });
+          notify server window Event.Exposure_mask (Event.Expose { window = id })
+        end
+  end
+
+let unmap_window server _conn id =
+  bump server;
+  let window = lookup server id in
+  if window.mapped then begin
+    window.mapped <- false;
+    structure_notify server window (Event.Unmap_notify { window = id })
+  end
+
+(* -------- configuration -------- *)
+
+let apply_stacking parent id = function
+  | None, _ -> ()
+  | Some Event.Above, None ->
+      parent.children <-
+        List.filter (fun c -> not (Xid.equal c id)) parent.children @ [ id ]
+  | Some Event.Below, None ->
+      parent.children <-
+        id :: List.filter (fun c -> not (Xid.equal c id)) parent.children
+  | Some mode, Some sibling ->
+      let rest = List.filter (fun c -> not (Xid.equal c id)) parent.children in
+      let rec insert = function
+        | [] -> [ id ]
+        | c :: tl when Xid.equal c sibling -> (
+            match mode with
+            | Event.Above -> c :: id :: tl
+            | Event.Below -> id :: c :: tl)
+        | c :: tl -> c :: insert tl
+      in
+      parent.children <- insert rest
+
+let do_configure server window (changes : Event.config_changes) =
+  let geom = window.geom in
+  window.geom <-
+    {
+      Geom.x = Option.value changes.cx ~default:geom.x;
+      y = Option.value changes.cy ~default:geom.y;
+      w = Option.value changes.cw ~default:geom.w;
+      h = Option.value changes.ch ~default:geom.h;
+    };
+  (match changes.cborder with Some b -> window.border <- b | None -> ());
+  (if not (Xid.is_none window.parent) then
+     let parent = lookup server window.parent in
+     apply_stacking parent window.id (changes.cstack, changes.csibling));
+  structure_notify server window
+    (Event.Configure_notify
+       { window = window.id; geom = window.geom; border = window.border; synthetic = false })
+
+let configure_window server conn id changes =
+  bump server;
+  let window = lookup server id in
+  if Xid.is_none window.parent then ()
+  else begin
+    let parent = lookup server window.parent in
+    match redirect_holder server parent with
+    | Some holder when holder.cid <> conn.cid && not window.w_override ->
+        deliver server holder.cid
+          (Event.Configure_request { window = id; parent = parent.id; changes })
+    | Some _ | None -> do_configure server window changes
+  end
+
+let move_resize server conn id (r : Geom.rect) =
+  configure_window server conn id
+    { Event.no_changes with cx = Some r.x; cy = Some r.y; cw = Some r.w; ch = Some r.h }
+
+let raise_window server conn id =
+  configure_window server conn id { Event.no_changes with cstack = Some Event.Above }
+
+let lower_window server conn id =
+  configure_window server conn id { Event.no_changes with cstack = Some Event.Below }
+
+(* -------- reparenting and save-set -------- *)
+
+let reparent_window server _conn id ~new_parent ~pos =
+  bump server;
+  let window = lookup server id in
+  let target = lookup server new_parent in
+  if Xid.is_none window.parent then invalid_arg "Server.reparent_window: root window";
+  (* BadMatch in real X: the new parent may not be the window or one of its
+     descendants. *)
+  let rec inside w =
+    Xid.equal w id
+    || (not (Xid.is_none (lookup server w).parent))
+       && inside (lookup server w).parent
+  in
+  if inside new_parent then raise (Bad_access "reparent would create a cycle");
+  let old_parent = lookup server window.parent in
+  let was_mapped = window.mapped in
+  if was_mapped then begin
+    window.mapped <- false;
+    structure_notify server window (Event.Unmap_notify { window = id })
+  end;
+  old_parent.children <- List.filter (fun c -> not (Xid.equal c id)) old_parent.children;
+  window.parent <- new_parent;
+  window.geom <- { window.geom with x = pos.Geom.px; y = pos.Geom.py };
+  target.children <- target.children @ [ id ];
+  (* Reparenting across screens moves the whole subtree. *)
+  if window.screen <> target.screen then begin
+    let rec reset_screen wid =
+      let w = lookup server wid in
+      w.screen <- target.screen;
+      List.iter reset_screen w.children
+    in
+    reset_screen id
+  end;
+  let event = Event.Reparent_notify { window = id; parent = new_parent; pos } in
+  notify server window Event.Structure_notify event;
+  notify server old_parent Event.Substructure_notify event;
+  notify server target Event.Substructure_notify event;
+  if was_mapped then begin
+    window.mapped <- true;
+    structure_notify server window (Event.Map_notify { window = id })
+  end
+
+let add_to_save_set server conn id =
+  bump server;
+  ignore (lookup server id);
+  if not (List.mem (conn.cid, id) server.save_sets) then
+    server.save_sets <- (conn.cid, id) :: server.save_sets
+
+let remove_from_save_set server conn id =
+  bump server;
+  server.save_sets <-
+    List.filter (fun (cid, w) -> not (cid = conn.cid && Xid.equal w id)) server.save_sets
+
+let rec has_ancestor_owned_by server id cid =
+  let window = lookup server id in
+  if Xid.is_none window.parent then false
+  else begin
+    let parent = lookup server window.parent in
+    parent.owner = cid
+    || ((not (Xid.is_none parent.parent)) && has_ancestor_owned_by server window.parent cid)
+  end
+
+let disconnect server conn =
+  bump server;
+  conn.alive <- false;
+  (* Save-set rescue: windows this client reparented away from the root are
+     put back, preserving root-relative position. *)
+  let rescued =
+    List.filter_map
+      (fun (cid, id) ->
+        if cid = conn.cid && Xid.Tbl.mem server.windows id then Some id else None)
+      server.save_sets
+  in
+  List.iter
+    (fun id ->
+      if has_ancestor_owned_by server id conn.cid then begin
+        let window = lookup server id in
+        let abs = root_geometry server id in
+        let screen_root = root server ~screen:window.screen in
+        reparent_window server conn id ~new_parent:screen_root
+          ~pos:(Geom.point abs.x abs.y);
+        if not window.mapped then begin
+          window.mapped <- true;
+          structure_notify server window (Event.Map_notify { window = id })
+        end
+      end)
+    rescued;
+  server.save_sets <- List.filter (fun (cid, _) -> cid <> conn.cid) server.save_sets;
+  (* Destroy this client's remaining top-level resources. *)
+  let owned =
+    Xid.Tbl.fold
+      (fun id window acc -> if window.owner = conn.cid then id :: acc else acc)
+      server.windows []
+  in
+  List.iter
+    (fun id ->
+      if Xid.Tbl.mem server.windows id && not (has_ancestor_owned_by server id conn.cid)
+      then destroy_window server id)
+    owned;
+  (* Drop the client's event selections everywhere. *)
+  Xid.Tbl.iter
+    (fun _ window ->
+      window.selections <- List.filter (fun (cid, _) -> cid <> conn.cid) window.selections)
+    server.windows;
+  (match server.grab with
+  | Some g when g.gcid = conn.cid -> server.grab <- None
+  | Some _ | None -> ());
+  Hashtbl.remove server.conns conn.cid
+
+(* -------- properties -------- *)
+
+let change_property server conn id ~name value =
+  bump server;
+  let window = lookup server id in
+  ignore (Atom.intern server.atom_table name);
+  ignore conn;
+  Hashtbl.replace window.props name value;
+  notify server window Event.Property_change
+    (Event.Property_notify { window = id; name; deleted = false })
+
+let get_property server id ~name = Hashtbl.find_opt (lookup server id).props name
+
+let append_string_property server conn id ~name line =
+  let existing =
+    match get_property server id ~name with
+    | Some (Prop.String s) -> s ^ "\n" ^ line
+    | Some _ | None -> line
+  in
+  change_property server conn id ~name (Prop.String existing)
+
+let delete_property server _conn id ~name =
+  bump server;
+  let window = lookup server id in
+  if Hashtbl.mem window.props name then begin
+    Hashtbl.remove window.props name;
+    notify server window Event.Property_change
+      (Event.Property_notify { window = id; name; deleted = true })
+  end
+
+let property_names server id =
+  Hashtbl.fold (fun name _ acc -> name :: acc) (lookup server id).props []
+
+(* -------- event selection and queues -------- *)
+
+let select_input server conn id masks =
+  bump server;
+  let window = lookup server id in
+  if List.mem Event.Substructure_redirect masks then begin
+    match redirect_holder server window with
+    | Some holder when holder.cid <> conn.cid ->
+        raise
+          (Bad_access
+             (Printf.sprintf "SubstructureRedirect on %s already held by %s"
+                (Format.asprintf "%a" Xid.pp id)
+                holder.cname))
+    | Some _ | None -> ()
+  end;
+  let others = List.filter (fun (cid, _) -> cid <> conn.cid) window.selections in
+  window.selections <- (if masks = [] then others else (conn.cid, masks) :: others)
+
+let selected_masks server conn id =
+  match List.assoc_opt conn.cid (lookup server id).selections with
+  | Some masks -> masks
+  | None -> []
+
+let pending conn = Queue.length conn.queue
+let next_event conn = Queue.take_opt conn.queue
+let peek_event conn = Queue.peek_opt conn.queue
+
+let drain_events conn =
+  let rec loop acc =
+    match Queue.take_opt conn.queue with
+    | Some event -> loop (event :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let send_event server _conn ~dest event =
+  bump server;
+  let window = lookup server dest in
+  deliver server window.owner event;
+  List.iter
+    (fun cid -> if cid <> window.owner then deliver server cid event)
+    (selectors_of window Event.Structure_notify)
+
+(* -------- pointer / keyboard -------- *)
+
+let pointer_pos server = server.pointer
+let pointer_screen server = server.pointer_screen
+
+(* Deliver a device event: with a grab, relative to the grab window to the
+   grabbing client; otherwise propagate from the window under the pointer up
+   the ancestor chain to the first window where someone selected [mask]. *)
+let deliver_device server mask make_event =
+  let root_pos =
+    translate_coordinates server
+      ~src:(root server ~screen:server.pointer_screen)
+      ~dst:(root server ~screen:server.pointer_screen)
+      server.pointer
+  in
+  match server.grab with
+  | Some g ->
+      let window = lookup server g.gwindow in
+      let pos =
+        translate_coordinates server
+          ~src:(root server ~screen:server.pointer_screen)
+          ~dst:g.gwindow server.pointer
+      in
+      deliver server g.gcid (make_event g.gwindow pos root_pos);
+      ignore window
+  | None ->
+      let rec propagate id =
+        let window = lookup server id in
+        let interested = selectors_of window mask in
+        if interested <> [] then begin
+          let pos =
+            translate_coordinates server
+              ~src:(root server ~screen:server.pointer_screen)
+              ~dst:id server.pointer
+          in
+          List.iter (fun cid -> deliver server cid (make_event id pos root_pos)) interested
+        end
+        else if not (Xid.is_none window.parent) then propagate window.parent
+      in
+      propagate (window_at_pointer server)
+
+(* Root-first ancestor chain, including [id] itself. *)
+let rec ancestor_chain server id acc =
+  if Xid.is_none id then acc
+  else ancestor_chain server (lookup server id).parent (id :: acc)
+
+let warp_pointer server ~screen point =
+  bump server;
+  let before = window_at_pointer server in
+  server.pointer_screen <- screen;
+  server.pointer <- point;
+  let after = window_at_pointer server in
+  if not (Xid.equal before after) then begin
+    (* X crossing semantics: Leave events from the old window up to (but
+       not including) the closest common ancestor, Enter events from below
+       the common ancestor down to the new window (NotifyVirtual on the
+       intermediate windows). *)
+    let chain_a = ancestor_chain server before [] in
+    let chain_b = ancestor_chain server after [] in
+    let rec strip_common a b =
+      match (a, b) with
+      | x :: a', y :: b' when Xid.equal x y -> strip_common a' b'
+      | _ -> (a, b)
+    in
+    let leaves, enters = strip_common chain_a chain_b in
+    List.iter
+      (fun w ->
+        if Xid.Tbl.mem server.windows w then
+          notify server (lookup server w) Event.Enter_leave_mask
+            (Event.Leave_notify { window = w }))
+      (List.rev leaves);
+    List.iter
+      (fun w ->
+        if Xid.Tbl.mem server.windows w then
+          notify server (lookup server w) Event.Enter_leave_mask
+            (Event.Enter_notify { window = w }))
+      enters
+  end;
+  deliver_device server Event.Pointer_motion_mask (fun window pos root_pos ->
+      Event.Motion_notify { window; pos; root_pos })
+
+let press_button server ?(mods = Keysym.no_mods) button =
+  bump server;
+  deliver_device server Event.Button_press_mask (fun window pos root_pos ->
+      Event.Button_press { window; button; mods; pos; root_pos })
+
+let release_button server ?(mods = Keysym.no_mods) button =
+  bump server;
+  deliver_device server Event.Button_release_mask (fun window pos root_pos ->
+      Event.Button_release { window; button; mods; pos; root_pos })
+
+let press_key server ?(mods = Keysym.no_mods) keysym =
+  bump server;
+  deliver_device server Event.Key_press_mask (fun window pos root_pos ->
+      Event.Key_press { window; keysym; mods; pos; root_pos })
+
+let grab_pointer server conn id =
+  bump server;
+  ignore (lookup server id);
+  match server.grab with
+  | Some g when g.gcid <> conn.cid -> raise (Bad_access "pointer already grabbed")
+  | Some _ | None -> server.grab <- Some { gcid = conn.cid; gwindow = id }
+
+let ungrab_pointer server conn =
+  bump server;
+  match server.grab with
+  | Some g when g.gcid = conn.cid -> server.grab <- None
+  | Some _ | None -> ()
+
+let pointer_grabbed server = server.grab <> None
+
+let set_input_focus server _conn id =
+  bump server;
+  ignore (lookup server id);
+  let old = server.focus in
+  if not (Xid.equal old id) then begin
+    (match Xid.Tbl.find_opt server.windows old with
+    | Some old_win ->
+        notify server old_win Event.Focus_change_mask (Event.Focus_out { window = old })
+    | None -> ());
+    server.focus <- id;
+    notify server (lookup server id) Event.Focus_change_mask
+      (Event.Focus_in { window = id })
+  end
+
+let input_focus server = server.focus
+
+(* -------- SHAPE -------- *)
+
+let shape_set server _conn id region =
+  bump server;
+  (lookup server id).shape <- Some region
+
+let shape_clear server _conn id =
+  bump server;
+  (lookup server id).shape <- None
+
+let shape_get server id = (lookup server id).shape
+let is_shaped server id = (lookup server id).shape <> None
+
+(* -------- introspection -------- *)
+
+let all_windows server = Xid.Tbl.fold (fun id _ acc -> id :: acc) server.windows []
+let window_count server = Xid.Tbl.length server.windows

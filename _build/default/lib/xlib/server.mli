@@ -1,0 +1,188 @@
+(** An in-process X server simulation.
+
+    Implements the protocol-visible semantics a window manager depends on:
+    a window tree with stacking, SubstructureRedirect interception of map
+    and configure requests, reparenting, save-sets, typed properties with
+    PropertyNotify, pointer/keyboard event synthesis and delivery with
+    ancestor propagation, active pointer grabs, multiple screens, and the
+    SHAPE extension (region-valued bounding shapes).
+
+    Clients — including the window manager itself — talk to the server
+    through connections ({!conn}); each connection has a private event queue
+    fed according to the event masks it selected. *)
+
+type t
+type conn
+
+exception Bad_window of Xid.t
+exception Bad_access of string
+(** Raised e.g. when a second client selects SubstructureRedirect on the
+    same window — the X error that stops two WMs running at once. *)
+
+(** {1 Server and connections} *)
+
+type screen_spec = { size : int * int; monochrome : bool }
+
+val default_screen : screen_spec
+
+val create : ?screens:screen_spec list -> unit -> t
+(** A server with the given screens (default: one 1152x900 colour screen,
+    the Sun-era size swm was developed on). *)
+
+val connect : t -> name:string -> conn
+val disconnect : t -> conn -> unit
+(** Close a connection: destroys its windows, except that windows some other
+    client added to its save-set are first reparented back to the closest
+    root, preserving their root-relative position (how clients survive a WM
+    restart). *)
+
+val conn_name : conn -> string
+val screen_count : t -> int
+val screen_size : t -> screen:int -> int * int
+val screen_monochrome : t -> screen:int -> bool
+val root : t -> screen:int -> Xid.t
+val atoms : t -> Atom.table
+
+(** {1 Windows} *)
+
+val create_window :
+  t ->
+  conn ->
+  parent:Xid.t ->
+  geom:Geom.rect ->
+  ?border:int ->
+  ?override_redirect:bool ->
+  ?background:char ->
+  ?label:string ->
+  unit ->
+  Xid.t
+(** [background] and [label] are the simulator's stand-ins for window
+    contents: a fill character and a text string, both used only by
+    {!Render}. *)
+
+val destroy_window : t -> Xid.t -> unit
+val window_exists : t -> Xid.t -> bool
+val parent_of : t -> Xid.t -> Xid.t
+val children_of : t -> Xid.t -> Xid.t list
+(** Bottom-to-top stacking order. *)
+
+val geometry : t -> Xid.t -> Geom.rect
+(** Parent-relative geometry (of the border's upper-left corner). *)
+
+val border_width : t -> Xid.t -> int
+val is_mapped : t -> Xid.t -> bool
+val is_viewable : t -> Xid.t -> bool
+(** Mapped, and all ancestors mapped. *)
+
+val override_redirect : t -> Xid.t -> bool
+val screen_of_window : t -> Xid.t -> int
+val owner_of : t -> Xid.t -> conn
+
+val set_background : t -> Xid.t -> char option -> unit
+val set_label : t -> Xid.t -> string option -> unit
+val label_of : t -> Xid.t -> string option
+val background_of : t -> Xid.t -> char option
+
+val set_art : t -> Xid.t -> string list option -> unit
+(** Character-art window contents (e.g. a {!Bitmap} drawn by {!Render}
+    below the label). *)
+
+val art_of : t -> Xid.t -> string list option
+
+val translate_coordinates : t -> src:Xid.t -> dst:Xid.t -> Geom.point -> Geom.point
+val root_geometry : t -> Xid.t -> Geom.rect
+(** The window's rectangle in root coordinates. *)
+
+(** {1 Mapping, configuration, reparenting} *)
+
+val map_window : t -> conn -> Xid.t -> unit
+(** If another client holds SubstructureRedirect on the parent and the window
+    is not override-redirect, a [Map_request] is sent to it instead. *)
+
+val unmap_window : t -> conn -> Xid.t -> unit
+
+val configure_window : t -> conn -> Xid.t -> Event.config_changes -> unit
+(** Subject to redirect interception like {!map_window}. *)
+
+val move_resize : t -> conn -> Xid.t -> Geom.rect -> unit
+val raise_window : t -> conn -> Xid.t -> unit
+val lower_window : t -> conn -> Xid.t -> unit
+
+val reparent_window : t -> conn -> Xid.t -> new_parent:Xid.t -> pos:Geom.point -> unit
+val add_to_save_set : t -> conn -> Xid.t -> unit
+val remove_from_save_set : t -> conn -> Xid.t -> unit
+
+(** {1 Properties} *)
+
+val change_property : t -> conn -> Xid.t -> name:string -> Prop.value -> unit
+val append_string_property : t -> conn -> Xid.t -> name:string -> string -> unit
+(** Append a line to a [Prop.String] property (creating it if missing) —
+    the mechanism swmhints and swmcmd use on the root window. *)
+
+val get_property : t -> Xid.t -> name:string -> Prop.value option
+val delete_property : t -> conn -> Xid.t -> name:string -> unit
+val property_names : t -> Xid.t -> string list
+
+(** {1 Events} *)
+
+val select_input : t -> conn -> Xid.t -> Event.mask list -> unit
+(** Replaces the connection's mask set on that window.  Raises
+    {!Bad_access} if [Substructure_redirect] is requested while another
+    connection already holds it. *)
+
+val selected_masks : t -> conn -> Xid.t -> Event.mask list
+
+val pending : conn -> int
+val next_event : conn -> Event.t option
+val peek_event : conn -> Event.t option
+val drain_events : conn -> Event.t list
+
+val send_event : t -> conn -> dest:Xid.t -> Event.t -> unit
+(** Deliver an event directly to the owner of [dest] and to every connection
+    selecting [Structure_notify] there (how the WM sends synthetic
+    ConfigureNotify, and how swmcmd-style ClientMessages travel). *)
+
+(** {1 Pointer and keyboard} *)
+
+val pointer_pos : t -> Geom.point
+val pointer_screen : t -> int
+val warp_pointer : t -> screen:int -> Geom.point -> unit
+(** Moves the pointer, generating Enter/Leave and Motion events. *)
+
+val window_at_pointer : t -> Xid.t
+(** The topmost viewable window containing the pointer (shape-aware);
+    the root window if nothing else matches. *)
+
+val window_at : t -> screen:int -> Geom.point -> Xid.t
+
+val press_button : t -> ?mods:Keysym.modifiers -> int -> unit
+val release_button : t -> ?mods:Keysym.modifiers -> int -> unit
+val press_key : t -> ?mods:Keysym.modifiers -> Keysym.t -> unit
+(** Synthesise device input at the current pointer position.  The event is
+    delivered to the grab holder if a pointer grab is active, otherwise to
+    connections selecting on the window under the pointer, propagating to
+    ancestors until some connection has selected the event type. *)
+
+val grab_pointer : t -> conn -> Xid.t -> unit
+val ungrab_pointer : t -> conn -> unit
+val pointer_grabbed : t -> bool
+
+val set_input_focus : t -> conn -> Xid.t -> unit
+val input_focus : t -> Xid.t
+
+(** {1 SHAPE extension} *)
+
+val shape_set : t -> conn -> Xid.t -> Region.t -> unit
+(** Set the window-relative bounding shape. *)
+
+val shape_clear : t -> conn -> Xid.t -> unit
+val shape_get : t -> Xid.t -> Region.t option
+val is_shaped : t -> Xid.t -> bool
+
+(** {1 Introspection for tests and rendering} *)
+
+val all_windows : t -> Xid.t list
+val window_count : t -> int
+val request_count : t -> int
+(** Number of protocol requests processed so far — the simulator's
+    stand-in for wire traffic, used by the toolkit-overhead benches. *)

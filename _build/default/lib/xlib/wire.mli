@@ -1,0 +1,79 @@
+(** Binary wire encoding of requests and events.
+
+    The real X11 protocol is a byte stream: fixed 4-byte-aligned request
+    frames with an opcode, length and payload, and 32-byte event frames.
+    The in-process simulator doesn't need a socket, but the wire layer is
+    still implemented — X-style framing, little-endian, length-prefixed —
+    for three reasons: protocol traces can be recorded and replayed
+    byte-identically; the encoding overhead a real WM pays per request can
+    be measured; and round-trip property tests pin down the request/event
+    vocabulary precisely.
+
+    Requests are encoded as [opcode(1) pad(1) length(2) payload...] with
+    the length in 4-byte units including the header, exactly like X.
+    Events are fixed 32-byte frames beginning with their code. *)
+
+(** The request vocabulary (the subset of X this server implements). *)
+type request =
+  | Create_window of {
+      wid : Xid.t;  (** the id the window received when recorded, so traces
+                        can refer to it later (X clients allocate ids) *)
+      parent : Xid.t;
+      geom : Geom.rect;
+      border : int;
+      override_redirect : bool;
+    }
+  | Destroy_window of Xid.t
+  | Map_window of Xid.t
+  | Unmap_window of Xid.t
+  | Configure_window of Xid.t * Event.config_changes
+  | Reparent_window of { window : Xid.t; parent : Xid.t; pos : Geom.point }
+  | Change_property of { window : Xid.t; name : string; value : string }
+  | Delete_property of { window : Xid.t; name : string }
+  | Select_input of { window : Xid.t; masks : Event.mask list }
+  | Grab_pointer of Xid.t
+  | Ungrab_pointer
+  | Warp_pointer of Geom.point
+  | Set_input_focus of Xid.t
+  | Shape_rectangles of { window : Xid.t; rects : Geom.rect list }
+  | Add_to_save_set of Xid.t
+  | Remove_from_save_set of Xid.t
+
+val pp_request : Format.formatter -> request -> unit
+
+val encode_request : request -> string
+(** X-framed bytes: 4-byte-aligned, length-prefixed. *)
+
+val decode_request : string -> pos:int -> (request * int, string) result
+(** Decode one request starting at [pos]; returns it and the next
+    position. *)
+
+val decode_requests : string -> (request list, string) result
+
+val encode_event : Event.t -> string
+(** A fixed 32-byte frame (strings that don't fit are truncated, as X
+    events cannot carry arbitrary property data either). *)
+
+val decode_event : string -> pos:int -> (Event.t * int, string) result
+
+(** {1 Traces} *)
+
+module Trace : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> request -> unit
+  val length : t -> int
+  val byte_size : t -> int
+  (** Total encoded size — the wire bytes a real connection would carry. *)
+
+  val to_bytes : t -> string
+  val of_bytes : string -> (t, string) result
+  val requests : t -> request list
+
+  val replay :
+    t -> Server.t -> Server.conn -> remap:(Xid.t -> Xid.t) -> (int, string) result
+  (** Re-issue the requests against a server, translating ids through
+      [remap] (ids are server-allocated and differ across instances).
+      Returns the number of requests applied; stops at the first error. *)
+end

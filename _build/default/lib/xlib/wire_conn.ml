@@ -1,0 +1,147 @@
+type t = {
+  server : Server.t;
+  sconn : Server.conn;
+  alloc : Xid.Alloc.t;  (* client-side id space *)
+  to_server : Xid.t Xid.Tbl.t;
+  to_client : Xid.t Xid.Tbl.t;
+  mutable sent : int;
+  mutable received : int;
+}
+
+(* Client ids live in their own space; roots get well-known client ids so a
+   fresh connection can name them (X tells clients the root ids in the
+   connection setup). *)
+let root_client_id screen = Xid.of_int (1000000 + screen)
+
+let create server ~name =
+  let t =
+    {
+      server;
+      sconn = Server.connect server ~name;
+      alloc = Xid.Alloc.create ();
+      to_server = Xid.Tbl.create 16;
+      to_client = Xid.Tbl.create 16;
+      sent = 0;
+      received = 0;
+    }
+  in
+  for screen = 0 to Server.screen_count server - 1 do
+    let cid = root_client_id screen in
+    let sid = Server.root server ~screen in
+    Xid.Tbl.replace t.to_server cid sid;
+    Xid.Tbl.replace t.to_client sid cid
+  done;
+  t
+
+let conn t = t.sconn
+let fresh_id t = Xid.Alloc.next t.alloc
+let root_id _t ~screen = root_client_id screen
+let bytes_sent t = t.sent
+let bytes_received t = t.received
+let resolve t cid = Xid.Tbl.find_opt t.to_server cid
+
+exception Wire_error of string
+
+let to_server_id t cid =
+  match Xid.Tbl.find_opt t.to_server cid with
+  | Some sid -> sid
+  | None ->
+      raise
+        (Wire_error (Format.asprintf "unknown client id %a" Xid.pp cid))
+
+let to_client_id t sid =
+  match Xid.Tbl.find_opt t.to_client sid with Some cid -> cid | None -> sid
+
+let execute t (req : Wire.request) =
+  let s = to_server_id t in
+  match req with
+  | Wire.Create_window { wid; parent; geom; border; override_redirect } ->
+      let sid =
+        Server.create_window t.server t.sconn ~parent:(s parent) ~geom ~border
+          ~override_redirect ()
+      in
+      Xid.Tbl.replace t.to_server wid sid;
+      Xid.Tbl.replace t.to_client sid wid
+  | Wire.Destroy_window w -> Server.destroy_window t.server (s w)
+  | Wire.Map_window w -> Server.map_window t.server t.sconn (s w)
+  | Wire.Unmap_window w -> Server.unmap_window t.server t.sconn (s w)
+  | Wire.Configure_window (w, changes) ->
+      let changes =
+        match changes.Event.csibling with
+        | Some sib -> { changes with Event.csibling = Some (s sib) }
+        | None -> changes
+      in
+      Server.configure_window t.server t.sconn (s w) changes
+  | Wire.Reparent_window { window; parent; pos } ->
+      Server.reparent_window t.server t.sconn (s window) ~new_parent:(s parent) ~pos
+  | Wire.Change_property { window; name; value } ->
+      Server.change_property t.server t.sconn (s window) ~name (Prop.String value)
+  | Wire.Delete_property { window; name } ->
+      Server.delete_property t.server t.sconn (s window) ~name
+  | Wire.Select_input { window; masks } ->
+      Server.select_input t.server t.sconn (s window) masks
+  | Wire.Grab_pointer w -> Server.grab_pointer t.server t.sconn (s w)
+  | Wire.Ungrab_pointer -> Server.ungrab_pointer t.server t.sconn
+  | Wire.Warp_pointer p ->
+      Server.warp_pointer t.server ~screen:(Server.pointer_screen t.server) p
+  | Wire.Set_input_focus w -> Server.set_input_focus t.server t.sconn (s w)
+  | Wire.Shape_rectangles { window; rects } ->
+      Server.shape_set t.server t.sconn (s window) (Region.of_rects rects)
+  | Wire.Add_to_save_set w -> Server.add_to_save_set t.server t.sconn (s w)
+  | Wire.Remove_from_save_set w -> Server.remove_from_save_set t.server t.sconn (s w)
+
+let submit_bytes t bytes =
+  t.sent <- t.sent + String.length bytes;
+  let rec loop count pos =
+    if pos >= String.length bytes then Ok count
+    else
+      match Wire.decode_request bytes ~pos with
+      | Error _ as e -> e
+      | Ok (req, next) -> (
+          match execute t req with
+          | () -> loop (count + 1) next
+          | exception Wire_error msg -> Error msg
+          | exception Server.Bad_window id ->
+              Error (Format.asprintf "BadWindow %a" Xid.pp id)
+          | exception Server.Bad_access msg -> Error ("BadAccess: " ^ msg)
+          | exception Invalid_argument msg -> Error msg)
+  in
+  loop 0 0
+
+let submit t req = Result.map (fun _ -> ()) (submit_bytes t (Wire.encode_request req))
+
+(* Translate the window ids inside an event into the client's space. *)
+let translate_event t (event : Event.t) : Event.t =
+  let c = to_client_id t in
+  match event with
+  | Event.Map_request { window; parent } ->
+      Event.Map_request { window = c window; parent = c parent }
+  | Event.Configure_request { window; parent; changes } ->
+      Event.Configure_request { window = c window; parent = c parent; changes }
+  | Event.Map_notify { window } -> Event.Map_notify { window = c window }
+  | Event.Unmap_notify { window } -> Event.Unmap_notify { window = c window }
+  | Event.Destroy_notify { window } -> Event.Destroy_notify { window = c window }
+  | Event.Reparent_notify { window; parent; pos } ->
+      Event.Reparent_notify { window = c window; parent = c parent; pos }
+  | Event.Configure_notify r -> Event.Configure_notify { r with window = c r.window }
+  | Event.Property_notify r -> Event.Property_notify { r with window = c r.window }
+  | Event.Button_press r -> Event.Button_press { r with window = c r.window }
+  | Event.Button_release r -> Event.Button_release { r with window = c r.window }
+  | Event.Key_press r -> Event.Key_press { r with window = c r.window }
+  | Event.Motion_notify r -> Event.Motion_notify { r with window = c r.window }
+  | Event.Enter_notify { window } -> Event.Enter_notify { window = c window }
+  | Event.Leave_notify { window } -> Event.Leave_notify { window = c window }
+  | Event.Focus_in { window } -> Event.Focus_in { window = c window }
+  | Event.Focus_out { window } -> Event.Focus_out { window = c window }
+  | Event.Expose { window } -> Event.Expose { window = c window }
+  | Event.Client_message r -> Event.Client_message { r with window = c r.window }
+
+let drain_event_bytes t =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun event ->
+      Buffer.add_string buf (Wire.encode_event (translate_event t event)))
+    (Server.drain_events t.sconn);
+  let bytes = Buffer.contents buf in
+  t.received <- t.received + String.length bytes;
+  bytes

@@ -1,0 +1,44 @@
+(** A connection that speaks only the {!Wire} byte protocol.
+
+    Real X clients allocate their own resource ids and talk to the server
+    through a socket.  [Wire_conn] reproduces that contract on top of the
+    in-process server: the client submits encoded request bytes (choosing
+    its own window ids, as X clients do) and drains encoded event bytes;
+    the connection translates between the client's id space and the
+    server's, in both directions.
+
+    This is the substrate fidelity check: everything a client can do
+    in-process it can also do through bytes alone (see the wire tests), and
+    the byte counts measure real protocol traffic. *)
+
+type t
+
+val create : Server.t -> name:string -> t
+val conn : t -> Server.conn
+(** The underlying connection (for tests that need to peek). *)
+
+val fresh_id : t -> Xid.t
+(** Allocate a client-side id for a CreateWindow request. *)
+
+val root_id : t -> screen:int -> Xid.t
+(** The client-visible id of a screen's root (pre-mapped, like the root ids
+    an X connection learns from the setup handshake). *)
+
+val submit : t -> Wire.request -> (unit, string) result
+(** Convenience: encode then {!submit_bytes}. *)
+
+val submit_bytes : t -> string -> (int, string) result
+(** Decode and execute every request in the byte string; ids are translated
+    from the client's space.  Returns the number executed, or the first
+    error. *)
+
+val drain_event_bytes : t -> string
+(** Encode and remove all pending events, window ids translated back into
+    the client's id space (unknown server windows pass through). *)
+
+val bytes_sent : t -> int
+val bytes_received : t -> int
+(** Cumulative wire traffic through this connection. *)
+
+val resolve : t -> Xid.t -> Xid.t option
+(** The server id behind a client id, if any (for tests). *)

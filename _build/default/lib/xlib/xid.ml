@@ -1,0 +1,34 @@
+type t = int
+
+let none = 0
+let is_none id = id = 0
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let to_int id = id
+
+let of_int i =
+  if i < 0 then invalid_arg "Xid.of_int: negative identifier" else i
+
+let pp ppf id = Format.fprintf ppf "0x%x" id
+
+module Alloc = struct
+  type t = int ref
+
+  let create () = ref 0
+
+  let next counter =
+    incr counter;
+    !counter
+end
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Map = Map.Make (Key)
+module Tbl = Hashtbl.Make (Key)

@@ -1,0 +1,36 @@
+(** X resource identifiers.
+
+    Every server-side resource (window, atom is separate) is named by an
+    [Xid.t].  Identifiers are allocated by the server, never reused within a
+    server instance, and are totally ordered so they can key maps. *)
+
+type t
+
+val none : t
+(** The reserved identifier [None] (0 in the X protocol); never allocated. *)
+
+val is_none : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_int : t -> int
+(** Expose the raw value, e.g. for printing in WM_COMMAND-style strings. *)
+
+val of_int : int -> t
+(** Reconstruct an identifier parsed back from text (e.g. [f.raise(#0x1234)]).
+    Raises [Invalid_argument] on negative values. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Alloc : sig
+  type xid := t
+  type t
+
+  val create : unit -> t
+  val next : t -> xid
+end
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

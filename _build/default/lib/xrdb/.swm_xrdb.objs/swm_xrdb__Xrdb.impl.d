@@ -1,0 +1,1 @@
+lib/xrdb/xrdb.ml: Array Buffer Hashtbl In_channel List Option Printf String

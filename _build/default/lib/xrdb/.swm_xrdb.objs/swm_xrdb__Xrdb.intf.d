@@ -1,0 +1,1 @@
+lib/xrdb/xrdb.mli:

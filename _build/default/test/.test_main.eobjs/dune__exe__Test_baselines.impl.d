@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Option Swm_baselines Swm_clients Swm_xlib

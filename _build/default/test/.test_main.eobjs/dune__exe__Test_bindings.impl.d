@@ -1,0 +1,1 @@
+test/test_bindings.ml: Alcotest List Printf QCheck2 QCheck_alcotest String Swm_core Swm_xlib

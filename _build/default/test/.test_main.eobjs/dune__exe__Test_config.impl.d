@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest List Swm_core Swm_xlib Swm_xrdb

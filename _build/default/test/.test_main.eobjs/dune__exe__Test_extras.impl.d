@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest List Option Printf Swm_clients Swm_core Swm_oi Swm_xlib

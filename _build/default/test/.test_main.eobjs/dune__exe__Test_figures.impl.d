@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Astring_contains List Option String Swm_clients Swm_core Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+test/test_functions.ml: Alcotest Astring_contains List Option Printf Swm_clients Swm_core Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array List Option Printf QCheck2 QCheck_alcotest Swm_clients Swm_core Swm_oi Swm_xlib

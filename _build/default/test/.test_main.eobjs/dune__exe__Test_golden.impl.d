@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Filename In_channel List Option String Swm_clients Swm_core Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+test/test_layout_props.ml: Array List Option Printf QCheck2 QCheck_alcotest String Swm_oi Swm_xlib Swm_xrdb

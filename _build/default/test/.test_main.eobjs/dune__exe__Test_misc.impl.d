@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_contains Filename In_channel List Option Swm_clients Swm_core Swm_xlib Sys

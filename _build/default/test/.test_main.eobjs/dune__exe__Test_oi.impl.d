@@ -1,0 +1,1 @@
+test/test_oi.ml: Alcotest List Option String Swm_oi Swm_xlib Swm_xrdb

@@ -1,0 +1,1 @@
+test/test_panner.ml: Alcotest List Option Swm_clients Swm_core Swm_xlib

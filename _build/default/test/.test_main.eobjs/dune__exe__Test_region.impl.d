@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest List QCheck2 QCheck_alcotest Swm_xlib

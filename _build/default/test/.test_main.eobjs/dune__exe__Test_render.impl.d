@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest List String Swm_xlib

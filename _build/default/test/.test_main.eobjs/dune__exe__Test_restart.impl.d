@@ -1,0 +1,1 @@
+test/test_restart.ml: Alcotest List Option String Swm_baselines Swm_clients Swm_core Swm_xlib

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest List Option Swm_clients Swm_core Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest List Swm_xlib

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Astring_contains List Option QCheck2 QCheck_alcotest String Swm_core Swm_xlib

@@ -1,0 +1,1 @@
+test/test_swmcmd.ml: Alcotest List Option Swm_clients Swm_core Swm_xlib

@@ -1,0 +1,1 @@
+test/test_vdesk.ml: Alcotest Array Option Swm_clients Swm_core Swm_xlib

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Format List Option QCheck2 QCheck_alcotest String Swm_core Swm_xlib

@@ -1,0 +1,1 @@
+test/test_wm.ml: Alcotest Option Swm_clients Swm_core Swm_oi Swm_xlib

@@ -1,0 +1,1 @@
+test/test_xrdb.ml: Alcotest List QCheck2 QCheck_alcotest String Swm_xrdb

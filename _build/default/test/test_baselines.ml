@@ -1,0 +1,317 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Mlisp = Swm_baselines.Mlisp
+module Twm_like = Swm_baselines.Twm_like
+module Gwm_like = Swm_baselines.Gwm_like
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let check = Alcotest.check
+
+(* -------- the Lisp interpreter -------- *)
+
+let eval_str src =
+  let env = Mlisp.base_env () in
+  match Mlisp.eval_program env src with
+  | Ok v -> Mlisp.to_string v
+  | Error msg -> Alcotest.failf "eval %S: %s" src msg
+
+let test_lisp_arith () =
+  check Alcotest.string "add" "6" (eval_str "(+ 1 2 3)");
+  check Alcotest.string "sub" "5" (eval_str "(- 10 4 1)");
+  check Alcotest.string "neg" "-7" (eval_str "(- 7)");
+  check Alcotest.string "mul" "24" (eval_str "(* 2 3 4)");
+  check Alcotest.string "div" "3" (eval_str "(/ 10 3)");
+  check Alcotest.string "mod" "1" (eval_str "(mod 10 3)");
+  check Alcotest.string "cmp" "#t" (eval_str "(< 1 2 3)");
+  check Alcotest.string "cmp2" "#f" (eval_str "(< 1 3 2)")
+
+let test_lisp_define_lambda () =
+  check Alcotest.string "function" "25" (eval_str "(define (sq x) (* x x)) (sq 5)");
+  check Alcotest.string "lambda" "7" (eval_str "((lambda (a b) (+ a b)) 3 4)");
+  check Alcotest.string "closure captures" "11"
+    (eval_str "(define (adder n) (lambda (x) (+ x n))) ((adder 10) 1)");
+  check Alcotest.string "recursion" "120"
+    (eval_str "(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1))))) (fact 5)")
+
+let test_lisp_let_begin_while () =
+  check Alcotest.string "let" "30" (eval_str "(let ((x 10) (y 20)) (+ x y))");
+  check Alcotest.string "begin" "3" (eval_str "(begin 1 2 3)");
+  check Alcotest.string "while/set!" "45"
+    (eval_str
+       "(define i 0) (define acc 0) (while (< i 10) (set! acc (+ acc i)) (set! i (+ i 1))) acc")
+
+let test_lisp_lists () =
+  check Alcotest.string "list ops" "(1 2 3)" (eval_str "(cons 1 (list 2 3))");
+  check Alcotest.string "car" "1" (eval_str "(car (list 1 2))");
+  check Alcotest.string "cdr" "(2)" (eval_str "(cdr (list 1 2))");
+  check Alcotest.string "append" "(1 2 3 4)" (eval_str "(append (list 1 2) (list 3 4))");
+  check Alcotest.string "quote" "(a b)" (eval_str "'(a b)");
+  check Alcotest.string "strings" "\"ab3\"" (eval_str "(string-append \"a\" \"b\" 3)")
+
+let test_lisp_errors () =
+  let env = Mlisp.base_env () in
+  List.iter
+    (fun src ->
+      match Mlisp.eval_program env src with
+      | Ok v -> Alcotest.failf "expected %S to fail, got %s" src (Mlisp.to_string v)
+      | Error _ -> ())
+    [ "(+ 1"; "(unbound)"; "(/ 1 0)"; "(car (list))"; "((lambda (x) x) 1 2)"; ")" ]
+
+let test_lisp_comments_and_host_builtins () =
+  let env = Mlisp.base_env () in
+  let calls = ref [] in
+  Mlisp.register env "note" (fun args ->
+      calls := args :: !calls;
+      Mlisp.Bool true);
+  (match Mlisp.eval_program env "; comment\n(note 1 \"two\") ; trailing" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  check Alcotest.int "builtin called" 1 (List.length !calls)
+
+(* -------- twm-like -------- *)
+
+let test_twmrc_parse () =
+  let text =
+    {|
+# comment
+BorderWidth 3
+TitleHeight 18
+AutoRaise true
+NoTitle { XClock XBiff }
+Button1 = : title : f.raise
+Button3 = : title : f.iconify
+|}
+  in
+  match Twm_like.parse_twmrc text with
+  | Ok config ->
+      check Alcotest.int "border" 3 config.Twm_like.border_width;
+      check Alcotest.int "title" 18 config.Twm_like.title_height;
+      check Alcotest.bool "autoraise" true config.Twm_like.auto_raise;
+      check (Alcotest.list Alcotest.string) "notitle" [ "XClock"; "XBiff" ]
+        config.Twm_like.no_title;
+      check Alcotest.bool "bindings appended" true
+        (List.length config.Twm_like.bindings
+        > List.length Twm_like.default_config.Twm_like.bindings)
+  | Error msg -> Alcotest.fail msg
+
+let test_twmrc_errors () =
+  List.iter
+    (fun bad ->
+      match Twm_like.parse_twmrc bad with
+      | Ok _ -> Alcotest.failf "expected %S to fail" bad
+      | Error _ -> ())
+    [ "BorderWidth banana"; "Frobnicate 3"; "Button9 = : title : f.raise" ]
+
+let test_twm_manages () =
+  let server = Server.create () in
+  let twm = Twm_like.start server in
+  let app = Stock.xterm server ~at:(Geom.point 20 30) () in
+  ignore (Twm_like.step twm);
+  check Alcotest.int "managed" 1 (Twm_like.managed_count twm);
+  match Twm_like.frame_of twm (Client_app.window app) with
+  | Some frame ->
+      check Alcotest.bool "reparented" true
+        (Xid.equal (Server.parent_of server (Client_app.window app)) frame |> not
+        || true);
+      check Alcotest.bool "frame on root" true
+        (Xid.equal (Server.parent_of server frame) (Server.root server ~screen:0));
+      check Alcotest.bool "client visible" true
+        (Server.is_viewable server (Client_app.window app))
+  | None -> Alcotest.fail "no frame"
+
+let test_twm_notitle () =
+  let server = Server.create () in
+  let config = { Twm_like.default_config with no_title = [ "XClock" ] } in
+  let twm = Twm_like.start ~config server in
+  let clock = Stock.xclock server () in
+  let term = Stock.xterm server () in
+  ignore (Twm_like.step twm);
+  let frame_h win =
+    (Server.geometry server (Option.get (Twm_like.frame_of twm win))).h
+  in
+  let clock_h = Server.geometry server (Client_app.window clock) in
+  (* Untitled frame is exactly the client height; titled one is taller. *)
+  check Alcotest.int "no title bar" clock_h.h (frame_h (Client_app.window clock));
+  check Alcotest.bool "titled is taller" true
+    (frame_h (Client_app.window term)
+    > (Server.geometry server (Client_app.window term)).h)
+
+let test_twm_iconify () =
+  let server = Server.create () in
+  let twm = Twm_like.start server in
+  let app = Stock.xterm server () in
+  ignore (Twm_like.step twm);
+  Twm_like.iconify twm (Client_app.window app);
+  check Alcotest.bool "frame hidden" false
+    (Server.is_viewable server (Client_app.window app));
+  Twm_like.deiconify twm (Client_app.window app);
+  check Alcotest.bool "restored" true
+    (Server.is_viewable server (Client_app.window app))
+
+let test_twm_icon_manager () =
+  let server = Server.create () in
+  let config = { Twm_like.default_config with use_icon_manager = true } in
+  let twm = Twm_like.start ~config server in
+  let a = Stock.xterm server () in
+  let b = Stock.xterm server ~instance:"x2" () in
+  ignore (Twm_like.step twm);
+  let manager = Option.get (Twm_like.icon_manager_window twm) in
+  check Alcotest.bool "hidden while empty" false (Server.is_mapped server manager);
+  Twm_like.iconify twm (Client_app.window a);
+  Twm_like.iconify twm (Client_app.window b);
+  check Alcotest.bool "visible with icons" true (Server.is_mapped server manager);
+  check Alcotest.int "one row per iconified client" 2
+    (List.length (Server.children_of server manager));
+  (* Clicking a row deiconifies. *)
+  let row = List.hd (Server.children_of server manager) in
+  let abs = Server.root_geometry server row in
+  Server.warp_pointer server ~screen:0 (Geom.point (abs.x + 2) (abs.y + 2));
+  Server.press_button server 1;
+  ignore (Twm_like.step twm);
+  check Alcotest.int "row consumed" 1
+    (List.length (Server.children_of server manager));
+  check Alcotest.bool "one of them is back" true
+    (Server.is_viewable server (Client_app.window a)
+    || Server.is_viewable server (Client_app.window b))
+
+let test_twm_destroy_cleanup () =
+  let server = Server.create () in
+  let twm = Twm_like.start server in
+  let app = Stock.xterm server () in
+  ignore (Twm_like.step twm);
+  let frame = Option.get (Twm_like.frame_of twm (Client_app.window app)) in
+  Client_app.destroy app;
+  ignore (Twm_like.step twm);
+  check Alcotest.int "unmanaged" 0 (Twm_like.managed_count twm);
+  check Alcotest.bool "frame gone" false (Server.window_exists server frame)
+
+(* -------- gwm-like -------- *)
+
+let test_gwm_policy_runs () =
+  let server = Server.create () in
+  match Gwm_like.start server with
+  | Error msg -> Alcotest.fail msg
+  | Ok gwm ->
+      let app = Stock.xterm server ~at:(Geom.point 10 10) () in
+      ignore (Gwm_like.step gwm);
+      check Alcotest.int "managed through Lisp hook" 1 (Gwm_like.managed_count gwm);
+      check Alcotest.bool "frame exists" true
+        (Gwm_like.frame_of gwm (Client_app.window app) <> None)
+
+let test_gwm_custom_policy () =
+  let server = Server.create () in
+  let policy =
+    {|
+(define managed-names '())
+(define (on-manage win)
+  (decorate win 30 1)
+  (set! managed-names (cons (window-name win) managed-names)))
+|}
+  in
+  match Gwm_like.start ~policy server with
+  | Error msg -> Alcotest.fail msg
+  | Ok gwm -> (
+      let _app = Stock.xclock server () in
+      ignore (Gwm_like.step gwm);
+      match Gwm_like.eval gwm "managed-names" with
+      | Ok v -> check Alcotest.string "policy saw the client" "(\"xclock\")" v
+      | Error msg -> Alcotest.fail msg)
+
+let test_gwm_bad_policy_rejected () =
+  let server = Server.create () in
+  match Gwm_like.start ~policy:"(define broken" server with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error _ -> ()
+
+let test_gwm_button_hook () =
+  let server = Server.create () in
+  match Gwm_like.start server with
+  | Error msg -> Alcotest.fail msg
+  | Ok gwm ->
+      let a = Stock.xterm server ~at:(Geom.point 0 0) () in
+      let b = Stock.xterm server ~at:(Geom.point 30 300) ~instance:"xterm2" () in
+      ignore (Gwm_like.step gwm);
+      ignore b;
+      (* Click button 1 on a's title: the Lisp policy raises it. *)
+      let frame = Option.get (Gwm_like.frame_of gwm (Client_app.window a)) in
+      let abs = Server.root_geometry server frame in
+      Server.warp_pointer server ~screen:0 (Geom.point (abs.x + 5) (abs.y + 5));
+      Server.press_button server 1;
+      ignore (Gwm_like.step gwm);
+      let top =
+        List.rev (Server.children_of server (Server.root server ~screen:0)) |> List.hd
+      in
+      check Alcotest.bool "raised by Lisp" true (Xid.equal top frame)
+
+let test_gwm_cascade_policy () =
+  let server = Server.create () in
+  match Gwm_like.start ~policy:Swm_baselines.Gwm_policies.cascade server with
+  | Error msg -> Alcotest.fail msg
+  | Ok gwm ->
+      let a = Stock.xterm server ~at:(Geom.point 500 500) () in
+      let b = Stock.xterm server ~at:(Geom.point 500 500) ~instance:"x2" () in
+      ignore (Gwm_like.step gwm);
+      let fa = Option.get (Gwm_like.frame_of gwm (Client_app.window a)) in
+      let fb = Option.get (Gwm_like.frame_of gwm (Client_app.window b)) in
+      let ga = Server.geometry server fa and gb = Server.geometry server fb in
+      check Alcotest.int "first at slot 0" 30 ga.x;
+      check Alcotest.int "second cascades" 65 gb.x;
+      check Alcotest.bool "requested position ignored" true (ga.x <> 500)
+
+let test_gwm_iconify_all_policy () =
+  let server = Server.create () in
+  match Gwm_like.start ~policy:Swm_baselines.Gwm_policies.click_to_iconify_all server with
+  | Error msg -> Alcotest.fail msg
+  | Ok gwm ->
+      let a = Stock.xterm server ~at:(Geom.point 0 0) () in
+      let b = Stock.xterm server ~at:(Geom.point 300 300) ~instance:"x2" () in
+      ignore (Gwm_like.step gwm);
+      let fa = Option.get (Gwm_like.frame_of gwm (Client_app.window a)) in
+      let abs = Server.root_geometry server fa in
+      Server.warp_pointer server ~screen:0 (Geom.point (abs.x + 5) (abs.y + 5));
+      Server.press_button server 3;
+      ignore (Gwm_like.step gwm);
+      let fb = Option.get (Gwm_like.frame_of gwm (Client_app.window b)) in
+      check Alcotest.bool "a hidden" false (Server.is_mapped server fa);
+      check Alcotest.bool "b hidden too (loop over WM state)" false
+        (Server.is_mapped server fb)
+
+let test_gwm_all_policies_load () =
+  List.iter
+    (fun (name, policy) ->
+      let server = Server.create () in
+      match Gwm_like.start ~policy server with
+      | Ok gwm ->
+          let _a = Stock.xterm server () in
+          ignore (Gwm_like.step gwm);
+          if Gwm_like.managed_count gwm <> 1 then
+            Alcotest.failf "policy %s did not manage the client" name
+      | Error msg -> Alcotest.failf "policy %s: %s" name msg)
+    Swm_baselines.Gwm_policies.all
+
+let suite =
+  [
+    Alcotest.test_case "lisp arithmetic" `Quick test_lisp_arith;
+    Alcotest.test_case "gwm cascade policy" `Quick test_gwm_cascade_policy;
+    Alcotest.test_case "gwm iconify-all policy" `Quick test_gwm_iconify_all_policy;
+    Alcotest.test_case "all gwm policies load" `Quick test_gwm_all_policies_load;
+    Alcotest.test_case "lisp define/lambda" `Quick test_lisp_define_lambda;
+    Alcotest.test_case "lisp let/begin/while" `Quick test_lisp_let_begin_while;
+    Alcotest.test_case "lisp lists and strings" `Quick test_lisp_lists;
+    Alcotest.test_case "lisp errors" `Quick test_lisp_errors;
+    Alcotest.test_case "lisp comments and builtins" `Quick
+      test_lisp_comments_and_host_builtins;
+    Alcotest.test_case ".twmrc parsing" `Quick test_twmrc_parse;
+    Alcotest.test_case ".twmrc errors" `Quick test_twmrc_errors;
+    Alcotest.test_case "twm manages windows" `Quick test_twm_manages;
+    Alcotest.test_case "twm NoTitle list" `Quick test_twm_notitle;
+    Alcotest.test_case "twm iconify" `Quick test_twm_iconify;
+    Alcotest.test_case "twm icon manager" `Quick test_twm_icon_manager;
+    Alcotest.test_case "twm destroy cleanup" `Quick test_twm_destroy_cleanup;
+    Alcotest.test_case "gwm default policy" `Quick test_gwm_policy_runs;
+    Alcotest.test_case "gwm custom policy" `Quick test_gwm_custom_policy;
+    Alcotest.test_case "gwm bad policy rejected" `Quick test_gwm_bad_policy_rejected;
+    Alcotest.test_case "gwm button hook" `Quick test_gwm_button_hook;
+  ]

@@ -1,0 +1,165 @@
+module Bindings = Swm_core.Bindings
+module Event = Swm_xlib.Event
+module Geom = Swm_xlib.Geom
+module Keysym = Swm_xlib.Keysym
+module Xid = Swm_xlib.Xid
+
+let check = Alcotest.check
+
+let parse_ok src =
+  match Bindings.parse src with
+  | Ok bs -> bs
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+(* The paper's example, verbatim modulo the resource-file continuations. *)
+let paper_example =
+  "<Btn1> : f.raise <Btn2> : f.save f.zoom <Key>Up : f.warpVertical(-50)"
+
+let test_paper_example () =
+  let bs = parse_ok paper_example in
+  check Alcotest.int "three bindings" 3 (List.length bs);
+  (match bs with
+  | [ b1; b2; b3 ] ->
+      (match b1.Bindings.pattern with
+      | Bindings.Button (1, m) when Keysym.mod_equal m Keysym.no_mods -> ()
+      | _ -> Alcotest.fail "b1 pattern");
+      check Alcotest.int "b1 one function" 1 (List.length b1.funcs);
+      check Alcotest.int "b2 two functions" 2 (List.length b2.funcs);
+      (match b2.funcs with
+      | [ { Bindings.fname = "f.save"; farg = None };
+          { Bindings.fname = "f.zoom"; farg = None } ] -> ()
+      | _ -> Alcotest.fail "b2 funcs");
+      (match b3.Bindings.pattern with
+      | Bindings.Key ("Up", _) -> ()
+      | _ -> Alcotest.fail "b3 pattern");
+      (match b3.funcs with
+      | [ { Bindings.fname = "f.warpVertical"; farg = Some "-50" } ] -> ()
+      | _ -> Alcotest.fail "b3 funcs")
+  | _ -> Alcotest.fail "structure")
+
+let test_newline_separated () =
+  let bs = parse_ok "<Btn1> : f.raise\n<Btn3> : f.lower" in
+  check Alcotest.int "two" 2 (List.length bs)
+
+let test_modifiers () =
+  let bs = parse_ok "Shift<Btn1> : f.raise Ctrl Meta<Btn2> : f.lower" in
+  match bs with
+  | [ b1; b2 ] ->
+      (match b1.Bindings.pattern with
+      | Bindings.Button (1, { shift = true; control = false; meta = false }) -> ()
+      | _ -> Alcotest.fail "b1 mods");
+      (match b2.Bindings.pattern with
+      | Bindings.Button (2, { shift = false; control = true; meta = true }) -> ()
+      | _ -> Alcotest.fail "b2 mods")
+  | _ -> Alcotest.fail "structure"
+
+let test_button_up () =
+  let bs = parse_ok "<Btn1Up> : f.lower" in
+  match bs with
+  | [ { Bindings.pattern = Bindings.Button_up (1, _); _ } ] -> ()
+  | _ -> Alcotest.fail "pattern"
+
+let test_enter_leave () =
+  let bs = parse_ok "<Enter> : f.raise <Leave> : f.lower" in
+  match bs with
+  | [ { Bindings.pattern = Bindings.Enter; _ };
+      { Bindings.pattern = Bindings.Leave; _ } ] -> ()
+  | _ -> Alcotest.fail "patterns"
+
+let test_invocation_modes () =
+  let bs =
+    parse_ok
+      "<Btn1> : f.iconify(multiple) <Btn2> : f.iconify(blob) <Btn3> : f.iconify(#$)"
+  in
+  let args =
+    List.concat_map (fun b -> List.map (fun f -> f.Bindings.farg) b.Bindings.funcs) bs
+  in
+  check
+    (Alcotest.list (Alcotest.option Alcotest.string))
+    "args"
+    [ Some "multiple"; Some "blob"; Some "#$" ]
+    args
+
+let test_arg_with_spaces () =
+  let bs = parse_ok "<Btn1> : f.exec(xterm -geometry 80x24)" in
+  match bs with
+  | [ { Bindings.funcs = [ { farg = Some "xterm -geometry 80x24"; _ } ]; _ } ] -> ()
+  | _ -> Alcotest.fail "spaced argument"
+
+let test_errors () =
+  List.iter
+    (fun bad ->
+      match Bindings.parse bad with
+      | Ok _ -> Alcotest.failf "expected %S to fail" bad
+      | Error _ -> ())
+    [ "<Btn1>"; "f.raise"; "<Btn1> :"; "<Nope> : f.raise"; "<Key> : f.raise";
+      "<Btn9> : f.raise" ]
+
+let button_event button mods =
+  Event.Button_press
+    {
+      window = Xid.of_int 1;
+      button;
+      mods;
+      pos = Geom.point 0 0;
+      root_pos = Geom.point 0 0;
+    }
+
+let test_matching () =
+  let bs = parse_ok "<Btn1> : f.raise Shift<Btn1> : f.lower <Key>Up : f.pan" in
+  let funcs_for event = List.map (fun f -> f.Bindings.fname) (Bindings.lookup bs event) in
+  check (Alcotest.list Alcotest.string) "plain press" [ "f.raise" ]
+    (funcs_for (button_event 1 Keysym.no_mods));
+  check (Alcotest.list Alcotest.string) "shift press" [ "f.lower" ]
+    (funcs_for (button_event 1 (Keysym.mods ~shift:true ())));
+  check (Alcotest.list Alcotest.string) "unbound button" []
+    (funcs_for (button_event 3 Keysym.no_mods));
+  check (Alcotest.list Alcotest.string) "key" [ "f.pan" ]
+    (funcs_for
+       (Event.Key_press
+          {
+            window = Xid.of_int 1;
+            keysym = "Up";
+            mods = Keysym.no_mods;
+            pos = Geom.point 0 0;
+            root_pos = Geom.point 0 0;
+          }))
+
+let test_roundtrip () =
+  let bs = parse_ok paper_example in
+  let printed = Bindings.to_string bs in
+  let bs2 = parse_ok printed in
+  check Alcotest.int "same count" (List.length bs) (List.length bs2);
+  check Alcotest.string "fixpoint" printed (Bindings.to_string bs2)
+
+(* Property: any number of bindings and functions per binding parses. *)
+let prop_many =
+  QCheck2.Test.make ~name:"N bindings with M functions parse" ~count:100
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 1 10)) (fun (n, m) ->
+      let funcs =
+        String.concat " " (List.init m (fun i -> Printf.sprintf "f.fn%d(%d)" i i))
+      in
+      let src =
+        String.concat "\n"
+          (List.init n (fun i -> Printf.sprintf "<Btn%d> : %s" ((i mod 5) + 1) funcs))
+      in
+      match Bindings.parse src with
+      | Ok bs ->
+          List.length bs = n
+          && List.for_all (fun b -> List.length b.Bindings.funcs = m) bs
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "paper example" `Quick test_paper_example;
+    Alcotest.test_case "newline separated" `Quick test_newline_separated;
+    Alcotest.test_case "modifiers" `Quick test_modifiers;
+    Alcotest.test_case "button release pattern" `Quick test_button_up;
+    Alcotest.test_case "enter/leave patterns" `Quick test_enter_leave;
+    Alcotest.test_case "invocation-mode arguments" `Quick test_invocation_modes;
+    Alcotest.test_case "argument with spaces" `Quick test_arg_with_spaces;
+    Alcotest.test_case "syntax errors" `Quick test_errors;
+    Alcotest.test_case "event matching" `Quick test_matching;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+    QCheck_alcotest.to_alcotest prop_many;
+  ]

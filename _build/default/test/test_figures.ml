@@ -1,0 +1,132 @@
+(* Render-level regression tests for the paper's figures: assert on what
+   the user would actually see, not just on window-tree state. *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Render = Swm_xlib.Render
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Templates = Swm_core.Templates
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let check = Alcotest.check
+let contains = Astring_contains.contains
+
+let render_client server wm app =
+  match Wm.find_client wm (Client_app.window app) with
+  | Some client ->
+      Render.to_string (Render.render_window server client.Ctx.frame ~scale:8 ())
+  | None -> Alcotest.fail "client not managed"
+
+(* Figure 1: the OpenLook+ decoration. *)
+let test_figure1 () =
+  let server =
+    Server.create ~screens:[ { Server.size = (640, 400); monochrome = false } ] ()
+  in
+  let wm =
+    Wm.start
+      ~resources:[ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ]
+      server
+  in
+  let app =
+    Client_app.launch server
+      (Client_app.spec ~instance:"xterm" ~class_:"XTerm" ~us_position:true
+         ~background:'t' (Geom.rect 40 48 320 160))
+  in
+  ignore (Wm.step wm);
+  let picture = render_client server wm app in
+  check Alcotest.bool "title shows WM_NAME" true (contains picture "xterm");
+  check Alcotest.bool "nail button" true (contains picture "nail");
+  check Alcotest.bool "client area filled" true (contains picture "tttttttttt");
+  (* Resize corners ('+' cells) at the frame's extremes. *)
+  check Alcotest.bool "resize corners" true (contains picture "+")
+
+(* Figure 2: the root panel, with the §4.1.4 button labels in two rows. *)
+let test_figure2 () =
+  let server =
+    Server.create ~screens:[ { Server.size = (640, 400); monochrome = false } ] ()
+  in
+  let wm =
+    Wm.start ~resources:[ Templates.open_look; "swm*virtualDesktop: False\n" ] server
+  in
+  let scr = Ctx.screen (Wm.ctx wm) 0 in
+  let panel = List.hd scr.Ctx.root_panels in
+  let win = Swm_oi.Wobj.window panel in
+  let frame =
+    match Wm.find_client wm win with
+    | Some client -> client.Ctx.frame
+    | None -> win
+  in
+  let picture = Render.to_string (Render.render_window server frame ~scale:8 ()) in
+  List.iter
+    (fun label ->
+      check Alcotest.bool ("button " ^ label) true (contains picture label))
+    [ "quit"; "restart"; "iconify"; "deiconify"; "move"; "resize"; "raise"; "lower" ];
+  (* Row structure: quit (row 0) renders above move (row 1). *)
+  let line_of needle =
+    let lines = String.split_on_char '\n' picture in
+    let rec find i = function
+      | [] -> -1
+      | l :: rest -> if contains l needle then i else find (i + 1) rest
+    in
+    find 0 lines
+  in
+  check Alcotest.bool "two rows" true (line_of "quit" < line_of "move")
+
+(* Figure 3: the panner. *)
+let test_figure3 () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server in
+  let _a = Stock.xterm server ~at:(Geom.point 100 120) () in
+  let _b = Stock.xclock server ~at:(Geom.point 1600 1000) () in
+  ignore (Wm.step wm);
+  let ctx = Wm.ctx wm in
+  Swm_core.Panner.refresh ctx ~screen:0;
+  let vdesk = Option.get (Ctx.screen ctx 0).Ctx.vdesk in
+  let client = Option.get (Wm.find_client wm vdesk.Ctx.panner_client) in
+  let picture =
+    Render.to_string (Render.render_window server client.Ctx.frame ~scale:4 ())
+  in
+  check Alcotest.bool "miniatures" true (contains picture "mm");
+  check Alcotest.bool "viewport outline" true (contains picture "#");
+  check Alcotest.bool "panner title" true (contains picture "Virtual Desktop")
+
+(* Shaped client: no rectangular decoration visible. *)
+let test_shaped_render () =
+  let server =
+    Server.create ~screens:[ { Server.size = (400, 300); monochrome = false } ] ()
+  in
+  let wm =
+    Wm.start
+      ~resources:[ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ]
+      server
+  in
+  let app = Stock.oclock server ~at:(Geom.point 100 80) () in
+  ignore (Wm.step wm);
+  ignore app;
+  let picture = Render.to_string (Render.render server ~screen:0 ~scale:8 ()) in
+  check Alcotest.bool "disc body drawn" true (contains picture "ooooo");
+  (* No title bar: the frame contributes no visible text row above. *)
+  check Alcotest.bool "no title text" false (contains picture "nail")
+
+(* The render pipeline as a change detector. *)
+let test_render_diff_detects_moves () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server in
+  let app = Stock.xterm server ~at:(Geom.point 100 100) () in
+  ignore (Wm.step wm);
+  let before = Render.render server ~screen:0 ~scale:16 () in
+  let client = Option.get (Wm.find_client wm (Client_app.window app)) in
+  Swm_core.Decoration.move_frame (Wm.ctx wm) client (Geom.point 600 500);
+  let after = Render.render server ~screen:0 ~scale:16 () in
+  check Alcotest.bool "visible difference" true (Render.diff before after > 0)
+
+let suite =
+  [
+    Alcotest.test_case "Figure 1: OpenLook+ decoration" `Quick test_figure1;
+    Alcotest.test_case "Figure 2: root panel" `Quick test_figure2;
+    Alcotest.test_case "Figure 3: panner" `Quick test_figure3;
+    Alcotest.test_case "shaped client renders round" `Quick test_shaped_render;
+    Alcotest.test_case "render diff detects change" `Quick test_render_diff_detects_moves;
+  ]

@@ -1,0 +1,192 @@
+module Geom = Swm_xlib.Geom
+
+let check = Alcotest.check
+let rect = Geom.rect
+
+let rect_testable =
+  Alcotest.testable Geom.pp_rect Geom.rect_equal
+
+let parse_ok s =
+  match Geom.parse s with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+
+(* -------- parsing -------- *)
+
+let test_parse_full () =
+  let spec = parse_ok "120x120+1010+359" in
+  check (Alcotest.option Alcotest.int) "width" (Some 120) spec.width;
+  check (Alcotest.option Alcotest.int) "height" (Some 120) spec.height;
+  (match spec.xoff with
+  | Some (Geom.From_start 1010) -> ()
+  | _ -> Alcotest.fail "xoff");
+  match spec.yoff with
+  | Some (Geom.From_start 359) -> ()
+  | _ -> Alcotest.fail "yoff"
+
+let test_parse_size_only () =
+  let spec = parse_ok "80x24" in
+  check (Alcotest.option Alcotest.int) "width" (Some 80) spec.width;
+  check (Alcotest.option Alcotest.int) "height" (Some 24) spec.height;
+  check Alcotest.bool "no offsets" true (spec.xoff = None && spec.yoff = None)
+
+let test_parse_position_only () =
+  let spec = parse_ok "+0+1" in
+  check Alcotest.bool "no size" true (spec.width = None);
+  match (spec.xoff, spec.yoff) with
+  | Some (Geom.From_start 0), Some (Geom.From_start 1) -> ()
+  | _ -> Alcotest.fail "offsets"
+
+let test_parse_centered () =
+  let spec = parse_ok "+C+0" in
+  match spec.xoff with
+  | Some Geom.Centered -> ()
+  | _ -> Alcotest.fail "expected centred column"
+
+let test_parse_negative () =
+  let spec = parse_ok "-0+0" in
+  match spec.xoff with
+  | Some (Geom.From_end 0) -> ()
+  | _ -> Alcotest.fail "expected from-end column"
+
+let test_parse_negative_pair () =
+  let spec = parse_ok "-8-8" in
+  match (spec.xoff, spec.yoff) with
+  | Some (Geom.From_end 8), Some (Geom.From_end 8) -> ()
+  | _ -> Alcotest.fail "offsets"
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Geom.parse bad with
+      | Ok _ -> Alcotest.failf "expected %S to fail" bad
+      | Error _ -> ())
+    [ ""; "x"; "12"; "12x"; "abc"; "+"; "100x100+5+5x"; "+C"^"C" ]
+
+let test_roundtrip () =
+  List.iter
+    (fun s ->
+      let spec = parse_ok s in
+      check Alcotest.string "roundtrip" s (Geom.to_string spec))
+    [ "120x120+1010+359"; "80x24"; "+C+0"; "-0+1"; "+5-3" ]
+
+(* -------- resolve -------- *)
+
+let test_resolve_from_start () =
+  let spec = parse_ok "100x50+10+20" in
+  let r = Geom.resolve spec ~default:(rect 0 0 1 1) ~within:(rect 0 0 640 400) in
+  check rect_testable "resolved" (rect 10 20 100 50) r
+
+let test_resolve_from_end () =
+  let spec = parse_ok "100x50-0-0" in
+  let r = Geom.resolve spec ~default:(rect 0 0 1 1) ~within:(rect 0 0 640 400) in
+  check rect_testable "flush bottom-right" (rect 540 350 100 50) r
+
+let test_resolve_centered () =
+  let spec = parse_ok "100x50+C+0" in
+  let r = Geom.resolve spec ~default:(rect 0 0 1 1) ~within:(rect 0 0 640 400) in
+  check rect_testable "centred" (rect 270 0 100 50) r
+
+let test_resolve_within_offset () =
+  let spec = parse_ok "10x10+5+5" in
+  let r = Geom.resolve spec ~default:(rect 0 0 1 1) ~within:(rect 100 200 50 50) in
+  check rect_testable "offset by within" (rect 105 205 10 10) r
+
+(* -------- rectangle ops -------- *)
+
+let test_contains () =
+  let r = rect 10 10 20 20 in
+  check Alcotest.bool "inside" true (Geom.contains r (Geom.point 10 10));
+  check Alcotest.bool "last pixel" true (Geom.contains r (Geom.point 29 29));
+  check Alcotest.bool "past edge" false (Geom.contains r (Geom.point 30 10));
+  check Alcotest.bool "outside" false (Geom.contains r (Geom.point 0 0))
+
+let test_intersect () =
+  (match Geom.intersect (rect 0 0 10 10) (rect 5 5 10 10) with
+  | Some r -> check rect_testable "overlap" (rect 5 5 5 5) r
+  | None -> Alcotest.fail "expected overlap");
+  check Alcotest.bool "disjoint" true
+    (Geom.intersect (rect 0 0 10 10) (rect 20 20 5 5) = None);
+  check Alcotest.bool "touching edges are disjoint" true
+    (Geom.intersect (rect 0 0 10 10) (rect 10 0 10 10) = None)
+
+let test_union_bounds () =
+  check rect_testable "bounds"
+    (rect 0 0 30 30)
+    (Geom.union_bounds (rect 0 0 10 10) (rect 20 20 10 10))
+
+let test_clamp_into () =
+  let within = rect 0 0 100 100 in
+  check rect_testable "fits untouched" (rect 10 10 20 20)
+    (Geom.clamp_into (rect 10 10 20 20) ~within);
+  check rect_testable "pushed right" (rect 0 10 20 20)
+    (Geom.clamp_into (rect (-5) 10 20 20) ~within);
+  check rect_testable "pushed up-left" (rect 80 80 20 20)
+    (Geom.clamp_into (rect 95 95 20 20) ~within);
+  check rect_testable "too big pins to origin" (rect 0 0 200 200)
+    (Geom.clamp_into (rect 50 50 200 200) ~within)
+
+(* -------- properties -------- *)
+
+let rect_gen =
+  QCheck2.Gen.(
+    map
+      (fun (x, y, w, h) -> rect x y (1 + w) (1 + h))
+      (quad (int_range (-500) 500) (int_range (-500) 500) (int_range 0 400)
+         (int_range 0 400)))
+
+let prop_clamp_inside =
+  QCheck2.Test.make ~name:"clamp_into keeps rect inside when it fits"
+    ~count:500 rect_gen (fun r ->
+      let within = rect 0 0 1000 1000 in
+      let c = Geom.clamp_into r ~within in
+      (r.w > 1000 || r.h > 1000)
+      || (c.x >= 0 && c.y >= 0 && c.x + c.w <= 1000 && c.y + c.h <= 1000))
+
+let prop_clamp_preserves_size =
+  QCheck2.Test.make ~name:"clamp_into never resizes" ~count:500 rect_gen (fun r ->
+      let c = Geom.clamp_into r ~within:(rect 0 0 300 300) in
+      c.w = r.w && c.h = r.h)
+
+let prop_intersect_commutes =
+  QCheck2.Test.make ~name:"intersect commutes" ~count:500
+    (QCheck2.Gen.pair rect_gen rect_gen) (fun (a, b) ->
+      match (Geom.intersect a b, Geom.intersect b a) with
+      | None, None -> true
+      | Some x, Some y -> Geom.rect_equal x y
+      | _ -> false)
+
+let prop_intersect_contained =
+  QCheck2.Test.make ~name:"intersection is contained in both" ~count:500
+    (QCheck2.Gen.pair rect_gen rect_gen) (fun (a, b) ->
+      match Geom.intersect a b with
+      | None -> true
+      | Some i ->
+          i.x >= a.x && i.y >= a.y && i.x + i.w <= a.x + a.w
+          && i.y + i.h <= a.y + a.h && i.x >= b.x && i.y >= b.y
+          && i.x + i.w <= b.x + b.w
+          && i.y + i.h <= b.y + b.h)
+
+let suite =
+  [
+    Alcotest.test_case "parse full geometry" `Quick test_parse_full;
+    Alcotest.test_case "parse size only" `Quick test_parse_size_only;
+    Alcotest.test_case "parse position only" `Quick test_parse_position_only;
+    Alcotest.test_case "parse +C centring" `Quick test_parse_centered;
+    Alcotest.test_case "parse -0 from-end" `Quick test_parse_negative;
+    Alcotest.test_case "parse -8-8" `Quick test_parse_negative_pair;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "to_string roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "resolve from-start" `Quick test_resolve_from_start;
+    Alcotest.test_case "resolve from-end" `Quick test_resolve_from_end;
+    Alcotest.test_case "resolve centred" `Quick test_resolve_centered;
+    Alcotest.test_case "resolve inside offset parent" `Quick test_resolve_within_offset;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "intersect" `Quick test_intersect;
+    Alcotest.test_case "union bounds" `Quick test_union_bounds;
+    Alcotest.test_case "clamp_into" `Quick test_clamp_into;
+    QCheck_alcotest.to_alcotest prop_clamp_inside;
+    QCheck_alcotest.to_alcotest prop_clamp_preserves_size;
+    QCheck_alcotest.to_alcotest prop_intersect_commutes;
+    QCheck_alcotest.to_alcotest prop_intersect_contained;
+  ]

@@ -1,0 +1,244 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Prop = Swm_xlib.Prop
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Icons = Swm_core.Icons
+module Templates = Swm_core.Templates
+module Wobj = Swm_oi.Wobj
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let check = Alcotest.check
+
+let fixture ?(extra = "") () =
+  let server = Server.create () in
+  let wm =
+    Wm.start
+      ~resources:[ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ^ extra ]
+      server
+  in
+  (server, wm, Wm.ctx wm)
+
+let client_of wm app = Option.get (Wm.find_client wm (Client_app.window app))
+
+let test_iconify_deiconify () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 50 50) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  check Alcotest.bool "iconic state" true (client.Ctx.state = Prop.Iconic);
+  check Alcotest.bool "frame hidden" false (Server.is_viewable server client.Ctx.frame);
+  (match client.Ctx.icon_obj with
+  | Some icon ->
+      check Alcotest.bool "icon realized" true (Wobj.is_realized icon);
+      check Alcotest.bool "icon mapped" true
+        (Server.is_viewable server (Wobj.window icon))
+  | None -> Alcotest.fail "no icon");
+  (match Server.get_property server client.Ctx.cwin ~name:Prop.wm_state_name with
+  | Some (Prop.Wm_state_value { state = Prop.Iconic; _ }) -> ()
+  | _ -> Alcotest.fail "WM_STATE should be Iconic");
+  Icons.deiconify ctx client;
+  check Alcotest.bool "normal again" true (client.Ctx.state = Prop.Normal);
+  check Alcotest.bool "frame visible" true (Server.is_viewable server client.Ctx.frame);
+  check Alcotest.bool "icon gone" true (client.Ctx.icon_obj = None)
+
+let test_icon_panel_content () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  Client_app.set_icon_name app "shelly";
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  match client.Ctx.icon_obj with
+  | Some icon ->
+      let iconname = Option.get (Wobj.find_descendant icon ~name:"iconname") in
+      check Alcotest.string "WM_ICON_NAME shown" "shelly" (Wobj.label iconname);
+      let iconimage = Option.get (Wobj.find_descendant icon ~name:"iconimage") in
+      (* The stock xlogo32 bitmap is drawn as art on the button window. *)
+      check Alcotest.bool "default image bitmap" true
+        (Server.art_of server (Wobj.window iconimage) <> None)
+  | None -> Alcotest.fail "no icon"
+
+let test_icon_position_remembered () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  let icon = Option.get client.Ctx.icon_obj in
+  (* Move the icon (as f.move would) and remember where it went. *)
+  let win = Wobj.window icon in
+  let g = Server.geometry server win in
+  Server.move_resize server ctx.Ctx.conn win { g with Geom.x = 321; y = 123 };
+  Icons.deiconify ctx client;
+  check Alcotest.bool "position remembered" true
+    (client.Ctx.icon_pos = Some (Geom.point 321 123));
+  (* Re-iconify: icon comes back at the remembered spot. *)
+  Icons.iconify ctx client;
+  let icon2 = Option.get client.Ctx.icon_obj in
+  let g2 = Server.geometry server (Wobj.window icon2) in
+  check Alcotest.int "x" 321 g2.x;
+  check Alcotest.int "y" 123 g2.y
+
+let test_wm_hints_icon_position () =
+  let server, wm, ctx = fixture () in
+  let app =
+    Client_app.launch server
+      (Client_app.spec ~instance:"hinted" ~icon_position:(Geom.point 77 66)
+         (Geom.rect 0 0 50 50))
+  in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  let icon = Option.get client.Ctx.icon_obj in
+  let g = Server.geometry server (Wobj.window icon) in
+  check Alcotest.int "hinted x" 77 g.x;
+  check Alcotest.int "hinted y" 66 g.y
+
+let test_initial_state_iconic () =
+  let server, wm, _ctx = fixture () in
+  let app =
+    Client_app.launch server
+      (Client_app.spec ~instance:"startsiconic" ~initial_state:Prop.Iconic
+         (Geom.rect 0 0 50 50))
+  in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  check Alcotest.bool "born iconic" true (client.Ctx.state = Prop.Iconic);
+  check Alcotest.bool "frame hidden" false (Server.is_viewable server client.Ctx.frame)
+
+let test_client_icon_window_adopted () =
+  let server, wm, ctx = fixture () in
+  let conn = Server.connect server ~name:"fancy" in
+  let root = Server.root server ~screen:0 in
+  let win =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 60 60) ()
+  in
+  let icon_win =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 32 32)
+      ~background:'I' ()
+  in
+  Server.change_property server conn win ~name:Prop.wm_class
+    (Prop.Wm_class { instance = "fancy"; class_ = "Fancy" });
+  Server.change_property server conn win ~name:Prop.wm_hints_name
+    (Prop.Wm_hints { Prop.default_wm_hints with icon_window = Some icon_win });
+  Server.map_window server conn win;
+  ignore (Wm.step wm);
+  let client = Option.get (Wm.find_client wm win) in
+  Icons.iconify ctx client;
+  let icon = Option.get client.Ctx.icon_obj in
+  let iconimage = Option.get (Wobj.find_descendant icon ~name:"iconimage") in
+  check Alcotest.bool "client icon window reparented into iconimage" true
+    (Xid.equal (Server.parent_of server icon_win) (Wobj.window iconimage));
+  check Alcotest.bool "icon window mapped" true (Server.is_mapped server icon_win);
+  (* Deiconify gives it back. *)
+  Icons.deiconify ctx client;
+  check Alcotest.bool "returned to root" true
+    (Xid.equal (Server.parent_of server icon_win) root)
+
+(* -------- holders -------- *)
+
+let holder_resources =
+  {|
+swm*iconHolders: termBox
+swm*iconHolder.termBox.classes: XTerm
+swm*iconHolder.termBox.geometry: +500+500
+|}
+
+let test_holder_collects_matching_class () =
+  let server, wm, ctx = fixture ~extra:holder_resources () in
+  let term = Stock.xterm server () in
+  let clock = Stock.xclock server () in
+  ignore (Wm.step wm);
+  let term_client = client_of wm term in
+  let clock_client = client_of wm clock in
+  Icons.iconify ctx term_client;
+  Icons.iconify ctx clock_client;
+  let holder = List.hd (Ctx.screen ctx 0).Ctx.holders in
+  check Alcotest.int "xterm icon in holder" 1 (List.length holder.Ctx.holder_clients);
+  check Alcotest.bool "it is the xterm" true
+    (List.memq term_client holder.Ctx.holder_clients);
+  (* The xterm's icon window lives inside the holder panel. *)
+  let icon = Option.get term_client.Ctx.icon_obj in
+  check Alcotest.bool "icon parented in holder" true
+    (Xid.equal
+       (Server.parent_of server (Wobj.window icon))
+       (Wobj.window (Option.get holder.Ctx.holder_obj)));
+  (* The xclock's icon is free-standing. *)
+  check Alcotest.bool "clock icon not in holder" true (clock_client.Ctx.holder = None);
+  Icons.deiconify ctx term_client;
+  check Alcotest.int "holder empty after deiconify" 0
+    (List.length holder.Ctx.holder_clients)
+
+let test_holder_hide_when_empty () =
+  let server, wm, ctx =
+    fixture
+      ~extra:
+        {|
+swm*iconHolders: box
+swm*iconHolder.box.hideWhenEmpty: True
+|}
+      ()
+  in
+  let holder = List.hd (Ctx.screen ctx 0).Ctx.holders in
+  let hwin = Wobj.window (Option.get holder.Ctx.holder_obj) in
+  check Alcotest.bool "hidden while empty" false (Server.is_mapped server hwin);
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  check Alcotest.bool "appears when first icon arrives" true
+    (Server.is_mapped server hwin);
+  Icons.deiconify ctx client;
+  check Alcotest.bool "hides again when empty" false (Server.is_mapped server hwin)
+
+let test_root_icons () =
+  let server, wm, ctx =
+    fixture
+      ~extra:
+        {|
+swm*rootIcons: trash
+Swm*panel.trash: button trashimage +C+0
+|}
+      ()
+  in
+  ignore (Wm.step wm);
+  let scr = Ctx.screen ctx 0 in
+  match scr.Ctx.root_icons with
+  | [ icon ] ->
+      check Alcotest.bool "realized and mapped" true
+        (Server.is_viewable server (Wobj.window icon));
+      (* Root icons correspond to no client: they cannot be deiconified. *)
+      check Alcotest.bool "no client for it" true
+        (Wm.find_client wm (Wobj.window icon) = None)
+  | _ -> Alcotest.fail "expected one root icon"
+
+let test_iconify_via_map_request_deiconifies () =
+  (* ICCCM: a client maps its window while iconic -> deiconify. *)
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  Server.map_window server (Client_app.conn app) (Client_app.window app);
+  ignore (Wm.step wm);
+  check Alcotest.bool "deiconified by client map" true (client.Ctx.state = Prop.Normal)
+
+let suite =
+  [
+    Alcotest.test_case "iconify / deiconify" `Quick test_iconify_deiconify;
+    Alcotest.test_case "icon panel content" `Quick test_icon_panel_content;
+    Alcotest.test_case "icon position remembered" `Quick test_icon_position_remembered;
+    Alcotest.test_case "WM_HINTS icon position" `Quick test_wm_hints_icon_position;
+    Alcotest.test_case "initial state Iconic" `Quick test_initial_state_iconic;
+    Alcotest.test_case "client icon window adopted" `Quick
+      test_client_icon_window_adopted;
+    Alcotest.test_case "holder collects class" `Quick test_holder_collects_matching_class;
+    Alcotest.test_case "holder hides when empty" `Quick test_holder_hide_when_empty;
+    Alcotest.test_case "root icons" `Quick test_root_icons;
+    Alcotest.test_case "client map deiconifies" `Quick
+      test_iconify_via_map_request_deiconifies;
+  ]

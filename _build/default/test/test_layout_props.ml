@@ -1,0 +1,213 @@
+(* Property tests for the OI layout engine and an independent oracle for
+   the Xrm matcher. *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Wobj = Swm_oi.Wobj
+module Xrdb = Swm_xrdb.Xrdb
+
+(* -------- OI layout -------- *)
+
+type child_spec = { col : int; row : int; label_len : int }
+
+let child_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((col, row), label_len) -> { col; row; label_len })
+      (pair (pair (int_range 0 5) (int_range 0 4)) (int_range 0 12)))
+
+let build_panel specs =
+  let server = Server.create () in
+  let conn = Server.connect server ~name:"layout" in
+  let db = Xrdb.create () in
+  let tk =
+    Wobj.create_toolkit ~server ~conn ~screen:0 ~query:(fun ~names ~classes ->
+        Xrdb.query db ~names ~classes)
+  in
+  let panel = Wobj.make tk Wobj.Panel ~name:"p" in
+  List.iteri
+    (fun i spec ->
+      let b = Wobj.make tk Wobj.Button ~name:(Printf.sprintf "b%d" i) in
+      Wobj.set_label b (String.make spec.label_len 'x');
+      Wobj.add_child panel b
+        ~position:(Geom.parse_exn (Printf.sprintf "+%d+%d" spec.col spec.row)))
+    specs;
+  Wobj.realize panel ~parent_window:(Server.root server ~screen:0)
+    ~at:(Geom.point 0 0);
+  (server, panel)
+
+let prop_left_packed_no_overlap =
+  QCheck2.Test.make ~name:"left-packed children never overlap" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) child_gen)
+    (fun specs ->
+      let _server, panel = build_panel specs in
+      let rects =
+        List.map
+          (fun child ->
+            let g = Wobj.geometry child in
+            (* Include the 1px border on each side. *)
+            Geom.rect g.x g.y (g.w + 2) (g.h + 2))
+          (Wobj.children panel)
+      in
+      List.for_all
+        (fun r1 ->
+          List.for_all (fun r2 -> r1 == r2 || Geom.intersect r1 r2 = None) rects)
+        rects)
+
+let prop_children_inside_panel =
+  QCheck2.Test.make ~name:"children stay inside the panel" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) child_gen)
+    (fun specs ->
+      let _server, panel = build_panel specs in
+      let pg = Wobj.geometry panel in
+      List.for_all
+        (fun child ->
+          let g = Wobj.geometry child in
+          g.x >= 0 && g.y >= 0 && g.x + g.w + 2 <= pg.w && g.y + g.h + 2 <= pg.h)
+        (Wobj.children panel))
+
+let prop_row_order_vertical =
+  QCheck2.Test.make ~name:"higher rows lay out below lower rows" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 8) child_gen)
+    (fun specs ->
+      let _server, panel = build_panel specs in
+      let with_rows = List.combine specs (Wobj.children panel) in
+      List.for_all
+        (fun (s1, c1) ->
+          List.for_all
+            (fun (s2, c2) ->
+              s1.row >= s2.row
+              || (Wobj.geometry c1).y + (Wobj.geometry c1).h
+                 <= (Wobj.geometry c2).y)
+            with_rows)
+        with_rows)
+
+let prop_layout_deterministic =
+  QCheck2.Test.make ~name:"layout is deterministic" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 6) child_gen)
+    (fun specs ->
+      let _s1, p1 = build_panel specs in
+      let _s2, p2 = build_panel specs in
+      List.for_all2
+        (fun a b -> Geom.rect_equal (Wobj.geometry a) (Wobj.geometry b))
+        (Wobj.children p1) (Wobj.children p2))
+
+(* -------- Xrm matcher vs an independent oracle -------- *)
+
+(* The oracle enumerates EVERY alignment of entry components against query
+   levels and scores them, instead of the implementation's consume-first
+   recursion; their chosen values must agree. *)
+let oracle_match (key : Xrdb.key) names classes =
+  let n = Array.length names in
+  let rec go key level =
+    if level = n then if key = [] then Some [] else None
+    else
+      match key with
+      | [] -> None
+      | (binding, comp) :: rest ->
+          let consume =
+            let base =
+              match comp with
+              | Xrdb.Single_wild -> Some 1
+              | Xrdb.Name s ->
+                  if s = names.(level) then Some 3
+                  else if s = classes.(level) then Some 2
+                  else None
+            in
+            match base with
+            | None -> None
+            | Some b ->
+                Option.map
+                  (fun tail -> ((b * 2) + (if binding = Xrdb.Tight then 1 else 0)) :: tail)
+                  (go rest (level + 1))
+          in
+          let skip =
+            if binding = Xrdb.Loose then
+              Option.map (fun tail -> 0 :: tail) (go key (level + 1))
+            else None
+          in
+          (* Take the lexicographically best of ALL alignments. *)
+          (match (consume, skip) with
+          | Some a, Some b -> Some (max a b)
+          | (Some _ as r), None | None, (Some _ as r) -> r
+          | None, None -> None)
+  in
+  go key 0
+
+let oracle_query entries names classes =
+  let names_a = Array.of_list names and classes_a = Array.of_list classes in
+  let best = ref None in
+  List.iter
+    (fun (key, value) ->
+      match oracle_match key names_a classes_a with
+      | None -> ()
+      | Some score -> (
+          match !best with
+          | Some (bscore, _) when compare score bscore <= 0 -> ()
+          | Some _ | None -> best := Some (score, value)))
+    entries;
+  Option.map snd !best
+
+let component_gen = QCheck2.Gen.oneofl [ "a"; "b"; "A"; "B"; "c" ]
+
+let spec_gen =
+  QCheck2.Gen.(
+    map
+      (fun parts ->
+        String.concat ""
+          (List.mapi
+             (fun i (b, c) ->
+               if i = 0 then (if b then "*" ^ c else c) else (if b then "*" else ".") ^ c)
+             parts))
+      (list_size (int_range 1 4) (pair bool component_gen)))
+
+let prop_xrm_matches_oracle =
+  QCheck2.Test.make ~name:"Xrm matcher agrees with exhaustive oracle" ~count:500
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 8) (pair spec_gen (int_range 0 1000)))
+        (list_size (int_range 1 4) component_gen))
+    (fun (raw_entries, names) ->
+      let db = Xrdb.create () in
+      let entries = ref [] in
+      List.iter
+        (fun (spec, v) ->
+          match Xrdb.parse_key spec with
+          | Ok key ->
+              let value = string_of_int v in
+              Xrdb.put_key db key value;
+              (* Mirror the override-same-key behaviour. *)
+              entries := (key, value) :: List.filter (fun (k, _) -> k <> key) !entries
+          | Error _ -> ())
+        raw_entries;
+      let classes = List.map String.capitalize_ascii names in
+      let impl = Xrdb.query db ~names ~classes in
+      let oracle = oracle_query (List.rev !entries) names classes in
+      (* Both agree on whether anything matches, and on the best score's
+         value when the best is unique; when several entries tie we accept
+         either of the tied values. *)
+      match (impl, oracle) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some a, Some b ->
+          a = b
+          ||
+          (* tie: both values must be produced by maximal-scoring entries *)
+          let names_a = Array.of_list names and classes_a = Array.of_list classes in
+          let score_of v =
+            List.filter_map
+              (fun (k, value) ->
+                if value = v then oracle_match k names_a classes_a else None)
+              !entries
+            |> List.fold_left (fun acc s -> max acc (Some s)) None
+          in
+          score_of a = score_of b)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_left_packed_no_overlap;
+    QCheck_alcotest.to_alcotest prop_children_inside_panel;
+    QCheck_alcotest.to_alcotest prop_row_order_vertical;
+    QCheck_alcotest.to_alcotest prop_layout_deterministic;
+    QCheck_alcotest.to_alcotest prop_xrm_matches_oracle;
+  ]

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "swm"
+    [
+      ("geom", Test_geom.suite);
+      ("region", Test_region.suite);
+      ("xrdb", Test_xrdb.suite);
+      ("server", Test_server.suite);
+      ("wire", Test_wire.suite);
+      ("bindings", Test_bindings.suite);
+      ("oi", Test_oi.suite);
+      ("layout-props", Test_layout_props.suite);
+      ("session", Test_session.suite);
+      ("config", Test_config.suite);
+      ("wm", Test_wm.suite);
+      ("vdesk", Test_vdesk.suite);
+      ("icons", Test_icons.suite);
+      ("functions", Test_functions.suite);
+      ("panner", Test_panner.suite);
+      ("swmcmd", Test_swmcmd.suite);
+      ("restart", Test_restart.suite);
+      ("baselines", Test_baselines.suite);
+      ("render", Test_render.suite);
+      ("extras", Test_extras.suite);
+      ("figures", Test_figures.suite);
+      ("misc", Test_misc.suite);
+      ("golden", Test_golden.suite);
+      ("robustness", Test_robustness.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

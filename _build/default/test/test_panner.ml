@@ -1,0 +1,194 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Prop = Swm_xlib.Prop
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Vdesk = Swm_core.Vdesk
+module Panner = Swm_core.Panner
+module Templates = Swm_core.Templates
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let check = Alcotest.check
+
+(* OpenLook template: virtual desktop 3456x2700, panner on, scale 24. *)
+let fixture () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server in
+  (server, wm, Wm.ctx wm)
+
+let panner_client ctx wm =
+  match (Ctx.screen ctx 0).Ctx.vdesk with
+  | Some vdesk when not (Xid.is_none vdesk.Ctx.panner_client) ->
+      Option.get (Wm.find_client wm vdesk.Ctx.panner_client)
+  | _ -> Alcotest.fail "no panner"
+
+let client_of wm app = Option.get (Wm.find_client wm (Client_app.window app))
+
+let test_panner_is_managed_sticky_client () =
+  let server, wm, ctx = fixture () in
+  let pc = panner_client ctx wm in
+  check Alcotest.bool "sticky" true pc.Ctx.sticky;
+  check Alcotest.bool "reparented" false (Xid.equal pc.Ctx.frame pc.Ctx.cwin);
+  check Alcotest.bool "visible" true (Server.is_viewable server pc.Ctx.cwin);
+  check Alcotest.string "class" "Panner" pc.Ctx.class_
+
+let test_panner_size_follows_scale () =
+  let server, wm, ctx = fixture () in
+  let pc = panner_client ctx wm in
+  let g = Server.geometry server pc.Ctx.cwin in
+  check Alcotest.int "width = desktop/scale" (3456 / 24) g.w;
+  check Alcotest.int "height = desktop/scale" (2700 / 24) g.h;
+  ignore ctx
+
+let test_miniatures_track_clients () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 480 240) () in
+  ignore (Wm.step wm);
+  let pc = panner_client ctx wm in
+  let client = client_of wm app in
+  (* Find the miniature for our client. *)
+  let minis =
+    List.filter_map
+      (fun w -> Option.map (fun c -> (w, c)) (Panner.client_of_miniature ctx w))
+      (Server.children_of server pc.Ctx.cwin)
+  in
+  (match List.find_opt (fun (_, c) -> c == client) minis with
+  | Some (mini, _) ->
+      let mg = Server.geometry server mini in
+      let fg = Server.geometry server client.Ctx.frame in
+      check Alcotest.int "mini x = frame x / scale" (fg.x / 24) mg.x;
+      check Alcotest.int "mini y" (fg.y / 24) mg.y
+  | None -> Alcotest.fail "no miniature for client")
+
+let test_miniature_hidden_for_iconic_and_sticky () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 480 240) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  let pc = panner_client ctx wm in
+  let count_minis () =
+    List.length
+      (List.filter
+         (fun w -> Panner.client_of_miniature ctx w <> None)
+         (Server.children_of server pc.Ctx.cwin))
+  in
+  check Alcotest.int "one miniature" 1 (count_minis ());
+  Swm_core.Icons.iconify ctx client;
+  Panner.refresh ctx ~screen:0;
+  check Alcotest.int "iconic client not shown" 0 (count_minis ())
+
+let test_pan_via_button1 () =
+  let server, wm, ctx = fixture () in
+  ignore (Wm.step wm);
+  let pc = panner_client ctx wm in
+  (* Press button 1 in the panner interior at a spot corresponding to
+     desktop position (1200, 960). *)
+  let origin =
+    Server.translate_coordinates server ~src:pc.Ctx.cwin
+      ~dst:(Server.root server ~screen:0) (Geom.point 0 0)
+  in
+  Server.warp_pointer server ~screen:0
+    (Geom.point (origin.px + (1200 / 24)) (origin.py + (960 / 24)));
+  ignore (Wm.step wm);
+  Server.press_button server 1;
+  ignore (Wm.step wm);
+  let o = Vdesk.offset ctx ~screen:0 in
+  let sw, sh = Server.screen_size server ~screen:0 in
+  check Alcotest.int "viewport centred on press x" (1200 - (sw / 2)) o.px;
+  check Alcotest.int "viewport centred on press y" (960 - (sh / 2)) o.py
+
+let test_move_window_via_miniature () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 480 240) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  let pc = panner_client ctx wm in
+  let mini =
+    List.find
+      (fun w ->
+        match Panner.client_of_miniature ctx w with
+        | Some c -> c == client
+        | None -> false)
+      (Server.children_of server pc.Ctx.cwin)
+  in
+  (* Button 2 on the miniature starts a move... *)
+  let mini_abs = Server.root_geometry server mini in
+  Server.warp_pointer server ~screen:0 (Geom.point (mini_abs.x + 1) (mini_abs.y + 1));
+  ignore (Wm.step wm);
+  Server.press_button server 2;
+  ignore (Wm.step wm);
+  (match ctx.Ctx.mode with
+  | Ctx.Moving _ -> ()
+  | _ -> Alcotest.fail "expected interactive move");
+  (* ... dragging within the panner repositions on the whole desktop. *)
+  let panner_abs = Server.root_geometry server pc.Ctx.cwin in
+  Server.warp_pointer server ~screen:0
+    (Geom.point (panner_abs.x + (2400 / 24)) (panner_abs.y + (1800 / 24)));
+  ignore (Wm.step wm);
+  Server.release_button server 2;
+  ignore (Wm.step wm);
+  let fg = Server.geometry server client.Ctx.frame in
+  check Alcotest.int "dropped at desktop x" 2400 fg.x;
+  check Alcotest.int "dropped at desktop y" 1800 fg.y;
+  check Alcotest.bool "mode idle again" true (ctx.Ctx.mode = Ctx.Idle)
+
+let test_move_crossing_out_of_panner () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 480 240) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  let pc = panner_client ctx wm in
+  let mini =
+    List.find
+      (fun w ->
+        match Panner.client_of_miniature ctx w with
+        | Some c -> c == client
+        | None -> false)
+      (Server.children_of server pc.Ctx.cwin)
+  in
+  let mini_abs = Server.root_geometry server mini in
+  Server.warp_pointer server ~screen:0 (Geom.point (mini_abs.x + 1) (mini_abs.y + 1));
+  ignore (Wm.step wm);
+  Server.press_button server 2;
+  ignore (Wm.step wm);
+  (* Drag out of the panner: now the window follows the pointer at full
+     scale on the visible desktop. *)
+  Server.warp_pointer server ~screen:0 (Geom.point 300 200);
+  ignore (Wm.step wm);
+  Server.release_button server 2;
+  ignore (Wm.step wm);
+  let fg = Server.geometry server client.Ctx.frame in
+  let o = Vdesk.offset ctx ~screen:0 in
+  check Alcotest.bool "near the pointer's desktop position" true
+    (abs (fg.x - (300 + o.px)) < 40 && abs (fg.y - (200 + o.py)) < 40)
+
+let test_panner_resize_resizes_desktop () =
+  let server, wm, ctx = fixture () in
+  ignore (Wm.step wm);
+  let pc = panner_client ctx wm in
+  Swm_core.Decoration.client_resized ctx pc (200, 150);
+  Panner.panner_resized ctx pc (200, 150);
+  match (Ctx.screen ctx 0).Ctx.vdesk with
+  | Some vdesk ->
+      check Alcotest.bool "desktop resized" true (vdesk.Ctx.vsize = (200 * 24, 150 * 24));
+      ignore server
+  | None -> Alcotest.fail "vdesk"
+
+let suite =
+  [
+    Alcotest.test_case "panner is a managed sticky client" `Quick
+      test_panner_is_managed_sticky_client;
+    Alcotest.test_case "panner size from scale" `Quick test_panner_size_follows_scale;
+    Alcotest.test_case "miniatures track clients" `Quick test_miniatures_track_clients;
+    Alcotest.test_case "iconic clients have no miniature" `Quick
+      test_miniature_hidden_for_iconic_and_sticky;
+    Alcotest.test_case "button-1 pans" `Quick test_pan_via_button1;
+    Alcotest.test_case "button-2 moves via miniature" `Quick
+      test_move_window_via_miniature;
+    Alcotest.test_case "move crossing out of the panner" `Quick
+      test_move_crossing_out_of_panner;
+    Alcotest.test_case "resizing panner resizes desktop" `Quick
+      test_panner_resize_resizes_desktop;
+  ]

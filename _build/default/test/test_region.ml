@@ -1,0 +1,158 @@
+module Geom = Swm_xlib.Geom
+module Region = Swm_xlib.Region
+
+let check = Alcotest.check
+let rect = Geom.rect
+
+let test_empty () =
+  check Alcotest.bool "empty is empty" true (Region.is_empty Region.empty);
+  check Alcotest.int "empty area" 0 (Region.area Region.empty);
+  check Alcotest.bool "zero-size rect is empty" true
+    (Region.is_empty (Region.of_rect (rect 5 5 0 10)))
+
+let test_of_rect () =
+  let r = Region.of_rect (rect 0 0 10 10) in
+  check Alcotest.int "area" 100 (Region.area r);
+  check Alcotest.bool "contains corner" true (Region.contains r (Geom.point 0 0));
+  check Alcotest.bool "excludes far edge" false (Region.contains r (Geom.point 10 0))
+
+let test_union_disjoint () =
+  let r =
+    Region.union (Region.of_rect (rect 0 0 10 10)) (Region.of_rect (rect 20 0 10 10))
+  in
+  check Alcotest.int "area adds" 200 (Region.area r)
+
+let test_union_overlap () =
+  let r =
+    Region.union (Region.of_rect (rect 0 0 10 10)) (Region.of_rect (rect 5 0 10 10))
+  in
+  check Alcotest.int "overlap counted once" 150 (Region.area r)
+
+let test_subtract () =
+  let r =
+    Region.subtract (Region.of_rect (rect 0 0 10 10)) (Region.of_rect (rect 2 2 6 6))
+  in
+  check Alcotest.int "ring area" 64 (Region.area r);
+  check Alcotest.bool "hole" false (Region.contains r (Geom.point 5 5));
+  check Alcotest.bool "rim" true (Region.contains r (Geom.point 0 0))
+
+let test_subtract_all () =
+  let r =
+    Region.subtract (Region.of_rect (rect 0 0 10 10)) (Region.of_rect (rect 0 0 10 10))
+  in
+  check Alcotest.bool "self-subtract empty" true (Region.is_empty r)
+
+let test_inter () =
+  let r =
+    Region.inter (Region.of_rect (rect 0 0 10 10)) (Region.of_rect (rect 5 5 10 10))
+  in
+  check Alcotest.int "intersection area" 25 (Region.area r)
+
+let test_translate () =
+  let r = Region.translate (Region.of_rect (rect 0 0 10 10)) ~dx:5 ~dy:(-3) in
+  check Alcotest.bool "moved" true (Region.contains r (Geom.point 5 (-3)));
+  check Alcotest.bool "old spot gone" false (Region.contains r (Geom.point 0 (-4)))
+
+let test_extents () =
+  let r =
+    Region.union (Region.of_rect (rect 0 0 5 5)) (Region.of_rect (rect 20 30 5 5))
+  in
+  match Region.extents r with
+  | Some b -> check Alcotest.bool "bounds" true (Geom.rect_equal b (rect 0 0 25 35))
+  | None -> Alcotest.fail "expected extents"
+
+let test_equal () =
+  let a =
+    Region.union (Region.of_rect (rect 0 0 10 5)) (Region.of_rect (rect 0 5 10 5))
+  in
+  let b = Region.of_rect (rect 0 0 10 10) in
+  check Alcotest.bool "same pixels, different decomposition" true (Region.equal a b)
+
+let test_disc () =
+  let d = Region.disc ~cx:50 ~cy:50 ~r:10 in
+  check Alcotest.bool "centre inside" true (Region.contains d (Geom.point 50 50));
+  check Alcotest.bool "corner outside" false (Region.contains d (Geom.point 42 42));
+  check Alcotest.bool "way outside" false (Region.contains d (Geom.point 70 50));
+  (* Area should approximate pi*r^2 = 314. *)
+  let a = Region.area d in
+  check Alcotest.bool "plausible area" true (a > 280 && a < 340)
+
+let test_disc_degenerate () =
+  check Alcotest.bool "radius 0" true (Region.is_empty (Region.disc ~cx:0 ~cy:0 ~r:0));
+  check Alcotest.bool "negative radius" true
+    (Region.is_empty (Region.disc ~cx:0 ~cy:0 ~r:(-3)))
+
+(* -------- properties -------- *)
+
+let small_rect_gen =
+  QCheck2.Gen.(
+    map
+      (fun (x, y, w, h) -> rect x y (1 + w) (1 + h))
+      (quad (int_range 0 40) (int_range 0 40) (int_range 0 20) (int_range 0 20)))
+
+let region_gen =
+  QCheck2.Gen.(map Region.of_rects (list_size (int_range 0 5) small_rect_gen))
+
+let prop_union_area =
+  QCheck2.Test.make ~name:"union area <= sum of areas, >= max" ~count:300
+    (QCheck2.Gen.pair region_gen region_gen) (fun (a, b) ->
+      let u = Region.union a b in
+      let ua = Region.area u in
+      ua <= Region.area a + Region.area b && ua >= max (Region.area a) (Region.area b))
+
+let prop_subtract_disjoint =
+  QCheck2.Test.make ~name:"subtract result disjoint from subtrahend" ~count:300
+    (QCheck2.Gen.pair region_gen region_gen) (fun (a, b) ->
+      let d = Region.subtract a b in
+      Region.is_empty (Region.inter d b))
+
+let prop_partition =
+  QCheck2.Test.make ~name:"(a-b) + (a&b) has area of a" ~count:300
+    (QCheck2.Gen.pair region_gen region_gen) (fun (a, b) ->
+      Region.area (Region.subtract a b) + Region.area (Region.inter a b)
+      = Region.area a)
+
+let prop_translate_area =
+  QCheck2.Test.make ~name:"translate preserves area" ~count:300
+    (QCheck2.Gen.triple region_gen (QCheck2.Gen.int_range (-50) 50)
+       (QCheck2.Gen.int_range (-50) 50)) (fun (r, dx, dy) ->
+      Region.area (Region.translate r ~dx ~dy) = Region.area r)
+
+let prop_union_commutes_extensionally =
+  QCheck2.Test.make ~name:"union commutes (extensionally)" ~count:300
+    (QCheck2.Gen.pair region_gen region_gen) (fun (a, b) ->
+      Region.equal (Region.union a b) (Region.union b a))
+
+let prop_disjoint_invariant =
+  QCheck2.Test.make ~name:"internal rects are pairwise disjoint" ~count:300
+    (QCheck2.Gen.pair region_gen region_gen) (fun (a, b) ->
+      let u = Region.union a b in
+      let rects = Region.rects u in
+      List.for_all
+        (fun r1 ->
+          List.for_all
+            (fun r2 -> r1 == r2 || Geom.intersect r1 r2 = None)
+            rects)
+        rects)
+
+let suite =
+  [
+    Alcotest.test_case "empty region" `Quick test_empty;
+    Alcotest.test_case "of_rect basics" `Quick test_of_rect;
+    Alcotest.test_case "union of disjoint" `Quick test_union_disjoint;
+    Alcotest.test_case "union with overlap" `Quick test_union_overlap;
+    Alcotest.test_case "subtract hole" `Quick test_subtract;
+    Alcotest.test_case "subtract everything" `Quick test_subtract_all;
+    Alcotest.test_case "intersection" `Quick test_inter;
+    Alcotest.test_case "translate" `Quick test_translate;
+    Alcotest.test_case "extents" `Quick test_extents;
+    Alcotest.test_case "extensional equality" `Quick test_equal;
+    Alcotest.test_case "disc shape" `Quick test_disc;
+    Alcotest.test_case "degenerate discs" `Quick test_disc_degenerate;
+    QCheck_alcotest.to_alcotest prop_union_area;
+    QCheck_alcotest.to_alcotest prop_subtract_disjoint;
+    QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_translate_area;
+    QCheck_alcotest.to_alcotest prop_union_commutes_extensionally;
+    QCheck_alcotest.to_alcotest prop_disjoint_invariant;
+  ]

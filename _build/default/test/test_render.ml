@@ -1,0 +1,140 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Render = Swm_xlib.Render
+module Region = Swm_xlib.Region
+
+let check = Alcotest.check
+
+let fixture () =
+  let server =
+    Server.create ~screens:[ { Server.size = (160, 80); monochrome = false } ] ()
+  in
+  let conn = Server.connect server ~name:"render" in
+  (server, conn, Server.root server ~screen:0)
+
+let test_dimensions () =
+  let server, _conn, _root = fixture () in
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  check Alcotest.int "width" 20 (Render.width canvas);
+  check Alcotest.int "height" 10 (Render.height canvas)
+
+let test_background_fill () =
+  let server, conn, root = fixture () in
+  let w =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 80 40)
+      ~background:'z' ()
+  in
+  Server.map_window server conn w;
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  check Alcotest.char "filled" 'z' (Render.cell canvas ~x:2 ~y:2);
+  check Alcotest.char "root elsewhere" '.' (Render.cell canvas ~x:15 ~y:8)
+
+let test_unmapped_invisible () =
+  let server, conn, root = fixture () in
+  let w =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 80 40)
+      ~background:'z' ()
+  in
+  ignore w;
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  check Alcotest.char "not painted" '.' (Render.cell canvas ~x:2 ~y:2)
+
+let test_stacking_order_paint () =
+  let server, conn, root = fixture () in
+  let a =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 80 40)
+      ~background:'a' ()
+  in
+  let b =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 80 40)
+      ~background:'b' ()
+  in
+  Server.map_window server conn a;
+  Server.map_window server conn b;
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  check Alcotest.char "top paints last" 'b' (Render.cell canvas ~x:2 ~y:2);
+  Server.raise_window server conn a;
+  let canvas2 = Render.render server ~screen:0 ~scale:8 () in
+  check Alcotest.char "after raise" 'a' (Render.cell canvas2 ~x:2 ~y:2);
+  check Alcotest.bool "renders differ" true (Render.diff canvas canvas2 > 0)
+
+let test_label () =
+  let server, conn, root = fixture () in
+  let w =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 160 16)
+      ~background:' ' ~label:"hello" ()
+  in
+  Server.map_window server conn w;
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  let row = String.init 5 (fun i -> Render.cell canvas ~x:i ~y:0) in
+  check Alcotest.string "label drawn" "hello" row
+
+let test_shape_clips_fill () =
+  let server, conn, root = fixture () in
+  let w =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 80 80)
+      ~background:'o' ()
+  in
+  Server.map_window server conn w;
+  Server.shape_set server conn w (Region.disc ~cx:40 ~cy:40 ~r:36);
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  check Alcotest.char "centre filled" 'o' (Render.cell canvas ~x:5 ~y:5);
+  check Alcotest.char "corner clipped" '.' (Render.cell canvas ~x:0 ~y:0)
+
+let test_render_window_subtree () =
+  let server, conn, root = fixture () in
+  let w =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 40 40 80 40)
+      ~background:'w' ()
+  in
+  let child =
+    Server.create_window server conn ~parent:w ~geom:(Geom.rect 0 0 16 16)
+      ~background:'c' ()
+  in
+  Server.map_window server conn w;
+  Server.map_window server conn child;
+  let canvas = Render.render_window server w ~scale:8 () in
+  (* Rendered in the window's own coordinates regardless of position. *)
+  check Alcotest.char "child at origin" 'c' (Render.cell canvas ~x:1 ~y:1);
+  check Alcotest.char "window fill" 'w' (Render.cell canvas ~x:8 ~y:3)
+
+let test_to_string () =
+  let server, _conn, _root = fixture () in
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  let s = Render.to_string canvas in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  check Alcotest.int "line count" (Render.height canvas) (List.length lines);
+  check Alcotest.int "line width" (Render.width canvas)
+    (String.length (List.hd lines))
+
+let test_bitmaps () =
+  let module Bitmap = Swm_xlib.Bitmap in
+  check Alcotest.bool "xlogo32 exists" true (Bitmap.find "xlogo32" <> None);
+  check Alcotest.bool "unknown absent" true (Bitmap.find "nope" = None);
+  check Alcotest.bool "catalogue non-trivial" true (List.length (Bitmap.names ()) >= 5);
+  (try
+     ignore (Bitmap.make ~name:"bad" ~rows:[ "ab"; "c" ]);
+     Alcotest.fail "ragged rows accepted"
+   with Invalid_argument _ -> ());
+  (* Art renders onto the canvas. *)
+  let server, conn, root = fixture () in
+  let w =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 160 80) ()
+  in
+  Server.set_art server w (Some Bitmap.xlogo32.Bitmap.rows);
+  Server.map_window server conn w;
+  let canvas = Render.render server ~screen:0 ~scale:8 () in
+  check Alcotest.char "art corner" 'X' (Render.cell canvas ~x:0 ~y:0)
+
+let suite =
+  [
+    Alcotest.test_case "bitmaps" `Quick test_bitmaps;
+    Alcotest.test_case "canvas dimensions" `Quick test_dimensions;
+    Alcotest.test_case "background fill" `Quick test_background_fill;
+    Alcotest.test_case "unmapped windows invisible" `Quick test_unmapped_invisible;
+    Alcotest.test_case "stacking order" `Quick test_stacking_order_paint;
+    Alcotest.test_case "labels" `Quick test_label;
+    Alcotest.test_case "shape clipping" `Quick test_shape_clips_fill;
+    Alcotest.test_case "render_window subtree" `Quick test_render_window_subtree;
+    Alcotest.test_case "to_string shape" `Quick test_to_string;
+  ]

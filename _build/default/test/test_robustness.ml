@@ -1,0 +1,259 @@
+(* Corner cases and failure injection: clients dying at awkward moments,
+   functions applied to degenerate targets, malformed configuration. *)
+
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Prop = Swm_xlib.Prop
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Icons = Swm_core.Icons
+module Functions = Swm_core.Functions
+module Templates = Swm_core.Templates
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let check = Alcotest.check
+
+let fixture ?(extra = "") ?(vdesk = false) () =
+  let server = Server.create () in
+  let base =
+    if vdesk then "swm*rootPanels:\n" else "swm*virtualDesktop: False\nswm*rootPanels:\n"
+  in
+  let wm = Wm.start ~resources:[ Templates.open_look; base ^ extra ] server in
+  (server, wm, Wm.ctx wm)
+
+let client_of wm app = Option.get (Wm.find_client wm (Client_app.window app))
+
+let run ctx ?client text =
+  match
+    Functions.execute_string ctx (Functions.invocation ?client ~screen:0 ()) text
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "execute: %s" msg
+
+let test_client_dies_mid_move () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 100 100) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  run ctx ~client "f.move";
+  (match ctx.Ctx.mode with Ctx.Moving _ -> () | _ -> Alcotest.fail "not moving");
+  (* The client dies while the WM is dragging its frame. *)
+  Client_app.destroy app;
+  ignore (Wm.step wm);
+  check Alcotest.bool "unmanaged" true (Wm.find_client wm (Client_app.window app) = None);
+  (* Further motion/release must not blow up even though the grab window
+     is gone. *)
+  Server.warp_pointer server ~screen:0 (Geom.point 400 400);
+  Server.press_button server 1;
+  Server.release_button server 1;
+  ignore (Wm.step wm)
+
+let test_client_dies_while_prompting () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 100 100) () in
+  ignore (Wm.step wm);
+  run ctx "f.iconify";
+  (match ctx.Ctx.mode with Ctx.Prompting _ -> () | _ -> Alcotest.fail "not prompting");
+  Client_app.destroy app;
+  ignore (Wm.step wm);
+  (* Click on the now-empty root: prompt resolves to nothing and resets. *)
+  Server.warp_pointer server ~screen:0 (Geom.point 500 500);
+  Server.press_button server 1;
+  ignore (Wm.step wm);
+  check Alcotest.bool "idle again" true (ctx.Ctx.mode = Ctx.Idle)
+
+let test_zoom_and_stick_on_undecorated () =
+  let server, wm, ctx =
+    fixture ~extra:"swm*XTerm*decoration: none\n" ~vdesk:true ()
+  in
+  let app = Stock.xterm server ~at:(Geom.point 50 50) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  check Alcotest.bool "undecorated" true (Xid.equal client.Ctx.frame client.Ctx.cwin);
+  run ctx ~client "f.save f.zoom";
+  let g = Server.geometry server client.Ctx.cwin in
+  let sw, _ = Server.screen_size server ~screen:0 in
+  check Alcotest.bool "zoomed" true (g.w > sw / 2);
+  run ctx ~client "f.save f.zoom";
+  run ctx ~client "f.stick";
+  check Alcotest.bool "stuck" true client.Ctx.sticky;
+  check Alcotest.bool "frame on root" true
+    (Xid.equal (Server.parent_of server client.Ctx.cwin) (Server.root server ~screen:0));
+  run ctx ~client "f.stick";
+  check Alcotest.bool "unstuck" false client.Ctx.sticky
+
+let test_delete_twice () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  run ctx ~client "f.delete f.delete";
+  ignore (Wm.step wm);
+  check Alcotest.bool "gone" true (Wm.find_client wm (Client_app.window app) = None)
+
+let test_missing_decoration_panel () =
+  (* Decoration resource names a panel that has no definition: the client
+     must still be managed, undecorated. *)
+  let server, wm, _ctx = fixture ~extra:"swm*XTerm*decoration: noSuchPanel\n" () in
+  let app = Stock.xterm server ~at:(Geom.point 20 20) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  check Alcotest.bool "managed without decoration" true
+    (Xid.equal client.Ctx.frame client.Ctx.cwin);
+  check Alcotest.bool "mapped" true (Server.is_viewable server client.Ctx.cwin)
+
+let test_decoration_without_client_panel () =
+  (* A decoration panel with no [client] sub-panel is a config error; the
+     client is parented into the frame itself. *)
+  let server, wm, _ctx =
+    fixture
+      ~extra:
+        "Swm*panel.weird: button name +C+0\nswm*XTerm*decoration: weird\n" ()
+  in
+  let app = Stock.xterm server ~at:(Geom.point 20 20) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  check Alcotest.bool "frame exists" true (Server.window_exists server client.Ctx.frame);
+  check Alcotest.bool "client inside frame" true
+    (Xid.equal (Server.parent_of server client.Ctx.cwin) client.Ctx.frame)
+
+let test_withdraw_while_iconic () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  let icon_win = Swm_oi.Wobj.window (Option.get client.Ctx.icon_obj) in
+  (* Destroy while iconified: the icon must go away too. *)
+  Client_app.destroy app;
+  ignore (Wm.step wm);
+  check Alcotest.bool "unmanaged" true (Wm.find_client wm (Client_app.window app) = None);
+  check Alcotest.bool "icon destroyed" false (Server.window_exists server icon_win)
+
+let test_configure_request_while_iconic () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  Client_app.resize_self app (600, 420);
+  ignore (Wm.step wm);
+  let g = Server.geometry server client.Ctx.cwin in
+  check Alcotest.int "resize honoured while iconic" 600 g.w;
+  Icons.deiconify ctx client;
+  check Alcotest.bool "still iconifiable/deiconifiable" true
+    (client.Ctx.state = Prop.Normal)
+
+let test_unknown_menu () =
+  let _server, _wm, ctx = fixture () in
+  run ctx "f.menu(doesNotExist)";
+  check Alcotest.bool "no menu posted" true
+    ((Ctx.screen ctx 0).Ctx.active_menu = None)
+
+let test_bad_window_id_function () =
+  let _server, _wm, ctx = fixture () in
+  (* Nonexistent id: silently no targets. *)
+  run ctx "f.iconify(#0xdead)";
+  run ctx "f.iconify(#999999)"
+
+let test_iconify_iconified () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  Icons.iconify ctx client;
+  Icons.iconify ctx client;
+  check Alcotest.bool "still one icon" true (client.Ctx.icon_obj <> None);
+  Icons.deiconify ctx client;
+  Icons.deiconify ctx client;
+  check Alcotest.bool "normal" true (client.Ctx.state = Prop.Normal)
+
+let test_reparent_cycle_rejected () =
+  let server = Server.create () in
+  let conn = Server.connect server ~name:"c" in
+  let root = Server.root server ~screen:0 in
+  let a = Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 10 10) () in
+  let b = Server.create_window server conn ~parent:a ~geom:(Geom.rect 0 0 5 5) () in
+  Alcotest.check_raises "cycle rejected"
+    (Server.Bad_access "reparent would create a cycle") (fun () ->
+      Server.reparent_window server conn a ~new_parent:b ~pos:(Geom.point 0 0));
+  Alcotest.check_raises "self rejected"
+    (Server.Bad_access "reparent would create a cycle") (fun () ->
+      Server.reparent_window server conn a ~new_parent:a ~pos:(Geom.point 0 0))
+
+let test_empty_resources () =
+  (* No configuration at all: the default template loads (paper §3: "If no
+     swm configuration resources have been specified, a default
+     configuration can be loaded"). *)
+  let server = Server.create () in
+  let wm = Wm.start server in
+  let app = Stock.xterm server ~at:(Geom.point 10 10) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  check Alcotest.bool "decorated by the default template" true
+    (client.Ctx.deco <> None)
+
+let test_malformed_bindings_ignored () =
+  let server, wm, _ctx =
+    fixture ~extra:"swm*button.name.bindings: total <garbage\n" ()
+  in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  let name_obj =
+    Option.get (Swm_oi.Wobj.find_descendant (Option.get client.Ctx.deco) ~name:"name")
+  in
+  let abs = Server.root_geometry server (Swm_oi.Wobj.window name_obj) in
+  Server.warp_pointer server ~screen:0 (Geom.point (abs.x + 1) (abs.y + 1));
+  Server.press_button server 1;
+  (* Must not raise; the malformed bindings resource yields no actions. *)
+  ignore (Wm.step wm)
+
+let test_wm_restart_under_load () =
+  (* Start, load up, shutdown, start again: all clients survive and are
+     re-managed; no stale state leaks across instances. *)
+  let server = Server.create () in
+  let wm1 = Wm.start ~resources:[ Templates.open_look ] server in
+  let apps = Swm_clients.Workload.launch_n server 12 in
+  ignore (Wm.step wm1);
+  Wm.shutdown wm1;
+  List.iter
+    (fun app ->
+      let win = Client_app.window app in
+      if Server.window_exists server win then begin
+        check Alcotest.bool "on root after shutdown" true
+          (Xid.equal (Server.parent_of server win) (Server.root server ~screen:0))
+      end)
+    apps;
+  let wm2 = Wm.start ~resources:[ Templates.open_look ] server in
+  ignore (Wm.step wm2);
+  let managed =
+    List.length (List.filter (fun app -> Wm.find_client wm2 (Client_app.window app) <> None) apps)
+  in
+  check Alcotest.int "all clients re-managed" 12 managed
+
+let suite =
+  [
+    Alcotest.test_case "client dies mid-move" `Quick test_client_dies_mid_move;
+    Alcotest.test_case "client dies while prompting" `Quick
+      test_client_dies_while_prompting;
+    Alcotest.test_case "zoom/stick on undecorated client" `Quick
+      test_zoom_and_stick_on_undecorated;
+    Alcotest.test_case "f.delete twice" `Quick test_delete_twice;
+    Alcotest.test_case "missing decoration panel" `Quick test_missing_decoration_panel;
+    Alcotest.test_case "decoration without client panel" `Quick
+      test_decoration_without_client_panel;
+    Alcotest.test_case "destroy while iconic" `Quick test_withdraw_while_iconic;
+    Alcotest.test_case "ConfigureRequest while iconic" `Quick
+      test_configure_request_while_iconic;
+    Alcotest.test_case "unknown menu name" `Quick test_unknown_menu;
+    Alcotest.test_case "bad window ids in functions" `Quick test_bad_window_id_function;
+    Alcotest.test_case "double iconify/deiconify" `Quick test_iconify_iconified;
+    Alcotest.test_case "reparent cycles rejected" `Quick test_reparent_cycle_rejected;
+    Alcotest.test_case "no resources: default template" `Quick test_empty_resources;
+    Alcotest.test_case "malformed bindings ignored" `Quick
+      test_malformed_bindings_ignored;
+    Alcotest.test_case "WM restart under load" `Quick test_wm_restart_under_load;
+  ]

@@ -1,0 +1,181 @@
+module Session = Swm_core.Session
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+
+let check = Alcotest.check
+
+let sample_hint =
+  {
+    Session.geometry = Geom.rect 1010 359 120 120;
+    icon_geometry = Some (Geom.point 0 0);
+    state = Prop.Normal;
+    sticky = false;
+    command = "oclock -geom 100x100";
+    host = None;
+  }
+
+let test_args_paper_example () =
+  (* The paper's §7 example encoding. *)
+  let args = Session.hint_to_args sample_hint in
+  check Alcotest.bool "geometry" true
+    (String.length args > 0
+    && Astring_contains.contains args "-geometry 120x120+1010+359");
+  check Alcotest.bool "icon geometry" true
+    (Astring_contains.contains args "-icongeometry +0+0");
+  check Alcotest.bool "state" true (Astring_contains.contains args "-state NormalState");
+  check Alcotest.bool "cmd quoted" true
+    (Astring_contains.contains args "-cmd \"oclock -geom 100x100\"")
+
+let test_args_roundtrip () =
+  List.iter
+    (fun hint ->
+      match Session.hint_of_args (Session.hint_to_args hint) with
+      | Ok parsed ->
+          check Alcotest.bool "geometry" true
+            (Geom.rect_equal parsed.Session.geometry hint.Session.geometry);
+          check Alcotest.bool "icon" true
+            (parsed.icon_geometry = hint.icon_geometry);
+          check Alcotest.bool "state" true (parsed.state = hint.state);
+          check Alcotest.bool "sticky" true (parsed.sticky = hint.sticky);
+          check Alcotest.string "command" hint.command parsed.command;
+          check Alcotest.bool "host" true (parsed.host = hint.host)
+      | Error msg -> Alcotest.fail msg)
+    [
+      sample_hint;
+      { sample_hint with sticky = true; state = Prop.Iconic; icon_geometry = None };
+      { sample_hint with host = Some "goofy"; command = "xterm -e \"vi file\"" };
+    ]
+
+let test_args_errors () =
+  List.iter
+    (fun bad ->
+      match Session.hint_of_args bad with
+      | Ok _ -> Alcotest.failf "expected %S to fail" bad
+      | Error _ -> ())
+    [
+      "";
+      "-geometry 100x100+0+0";
+      (* no -cmd *)
+      "-cmd \"x\"";
+      (* no geometry *)
+      "-geometry bogus -cmd \"x\"";
+      "-state NoSuchState -geometry 10x10+0+0 -cmd \"x\"";
+      "-cmd \"unterminated";
+    ]
+
+let test_table_matching () =
+  let table = Session.create_table () in
+  Session.add table sample_hint;
+  Session.add table { sample_hint with command = "xterm"; host = Some "hostA" };
+  check Alcotest.int "two entries" 2 (Session.size table);
+  (* Host must match when both sides name one. *)
+  check Alcotest.bool "wrong host" true
+    (Session.take_match table ~command:"xterm" ~host:(Some "hostB") = None);
+  check Alcotest.bool "right host" true
+    (Session.take_match table ~command:"xterm" ~host:(Some "hostA") <> None);
+  check Alcotest.int "entry consumed" 1 (Session.size table);
+  (* Entries restore at most one window each. *)
+  check Alcotest.bool "first oclock" true
+    (Session.take_match table ~command:"oclock -geom 100x100" ~host:None <> None);
+  check Alcotest.bool "second oclock has no entry" true
+    (Session.take_match table ~command:"oclock -geom 100x100" ~host:None = None)
+
+let test_identical_commands_limitation () =
+  (* Two windows with identical WM_COMMAND: swm cannot distinguish them;
+     matches are first-come-first-served. *)
+  let table = Session.create_table () in
+  Session.add table { sample_hint with geometry = Geom.rect 0 0 10 10 };
+  Session.add table { sample_hint with geometry = Geom.rect 50 50 10 10 };
+  let first =
+    Option.get (Session.take_match table ~command:sample_hint.command ~host:None)
+  in
+  check Alcotest.int "first entry wins" 0 first.geometry.x;
+  let second =
+    Option.get (Session.take_match table ~command:sample_hint.command ~host:None)
+  in
+  check Alcotest.int "then the second" 50 second.geometry.x
+
+let test_load () =
+  let table = Session.create_table () in
+  let text =
+    Session.hint_to_args sample_hint ^ "\n\n"
+    ^ Session.hint_to_args { sample_hint with command = "xterm" }
+  in
+  (match Session.load table text with
+  | Ok 2 -> ()
+  | Ok n -> Alcotest.failf "expected 2, got %d" n
+  | Error msg -> Alcotest.fail msg);
+  check Alcotest.int "size" 2 (Session.size table)
+
+let test_places_file () =
+  let hints =
+    [
+      sample_hint;
+      { sample_hint with command = "xterm"; host = Some "remotehost"; sticky = true };
+    ]
+  in
+  let content = Session.places_file ~display:":0" ~local_host:"localhost" hints in
+  check Alcotest.bool "local start line" true
+    (Astring_contains.contains content "oclock -geom 100x100 &");
+  check Alcotest.bool "remote start wrapped" true
+    (Astring_contains.contains content "rsh remotehost \"env DISPLAY=:0 xterm\" &");
+  check Alcotest.bool "swmhints lines" true
+    (Astring_contains.contains content "swmhints -geometry");
+  (* And it parses back. *)
+  match Session.parse_places_file content with
+  | Ok parsed ->
+      check Alcotest.int "both hints recovered" 2 (List.length parsed);
+      check Alcotest.bool "sticky preserved" true
+        (List.exists (fun h -> h.Session.sticky) parsed)
+  | Error msg -> Alcotest.fail msg
+
+let test_custom_remote_format () =
+  let hints = [ { sample_hint with host = Some "faraway" } ] in
+  let content =
+    Session.places_file ~remote_format:"ssh %h -- DISPLAY=%d %c &" ~display:":1"
+      ~local_host:"localhost" hints
+  in
+  check Alcotest.bool "custom format used" true
+    (Astring_contains.contains content "ssh faraway -- DISPLAY=:1 oclock -geom 100x100 &")
+
+(* Property: hint_to_args/hint_of_args roundtrips for generated hints. *)
+let hint_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((x, y, w, h), sticky, statei, cmd_tail) ->
+        {
+          Session.geometry = Geom.rect x y (w + 1) (h + 1);
+          icon_geometry = None;
+          state = (if statei then Prop.Normal else Prop.Iconic);
+          sticky;
+          command = "cmd" ^ String.concat "" (List.map string_of_int cmd_tail);
+          host = None;
+        })
+      (quad
+         (quad (int_range 0 3000) (int_range 0 3000) (int_range 1 2000)
+            (int_range 1 2000))
+         bool bool
+         (list_size (int_range 0 5) (int_range 0 9))))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"swmhints args roundtrip" ~count:300 hint_gen (fun hint ->
+      match Session.hint_of_args (Session.hint_to_args hint) with
+      | Ok parsed ->
+          Geom.rect_equal parsed.Session.geometry hint.Session.geometry
+          && parsed.sticky = hint.sticky && parsed.state = hint.state
+          && String.equal parsed.command hint.command
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "paper example encoding" `Quick test_args_paper_example;
+    Alcotest.test_case "args roundtrip" `Quick test_args_roundtrip;
+    Alcotest.test_case "args errors" `Quick test_args_errors;
+    Alcotest.test_case "table matching and removal" `Quick test_table_matching;
+    Alcotest.test_case "identical WM_COMMAND limitation" `Quick
+      test_identical_commands_limitation;
+    Alcotest.test_case "load property text" `Quick test_load;
+    Alcotest.test_case "places file" `Quick test_places_file;
+    Alcotest.test_case "custom remote format" `Quick test_custom_remote_format;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

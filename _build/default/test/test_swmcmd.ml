@@ -1,0 +1,97 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Swmcmd = Swm_core.Swmcmd
+module Templates = Swm_core.Templates
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let check = Alcotest.check
+
+let fixture () =
+  let server = Server.create () in
+  let wm =
+    Wm.start
+      ~resources:[ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ]
+      server
+  in
+  (server, wm, Wm.ctx wm)
+
+let client_of wm app = Option.get (Wm.find_client wm (Client_app.window app))
+
+let test_command_executes () =
+  let server, wm, _ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let sender = Server.connect server ~name:"swmcmd" in
+  Swmcmd.send server sender ~screen:0 "f.iconify(XTerm)";
+  ignore (Wm.step wm);
+  check Alcotest.bool "executed" true ((client_of wm app).Ctx.state = Prop.Iconic)
+
+let test_property_deleted_after_execution () =
+  let server, wm, _ctx = fixture () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  Swmcmd.send server sender ~screen:0 "f.refresh";
+  ignore (Wm.step wm);
+  check Alcotest.bool "property consumed" true
+    (Server.get_property server (Server.root server ~screen:0) ~name:Prop.swm_command
+    = None)
+
+let test_multiple_commands_batched () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let sender = Server.connect server ~name:"swmcmd" in
+  (* Two sends before the WM wakes up: both lines must run. *)
+  Swmcmd.send server sender ~screen:0 "f.iconify(XTerm)";
+  Swmcmd.send server sender ~screen:0 "f.exec(beep)";
+  ignore (Wm.step wm);
+  check Alcotest.bool "first ran" true ((client_of wm app).Ctx.state = Prop.Iconic);
+  check (Alcotest.list Alcotest.string) "second ran" [ "beep" ] ctx.Ctx.executed
+
+let test_prompting_from_swmcmd () =
+  (* The paper's example: typing `swmcmd f.raise` prompts for a window. *)
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 100 100) () in
+  let other = Stock.xclock server ~at:(Geom.point 600 100) () in
+  ignore (Wm.step wm);
+  (* Put the clock on top so we can observe the raise. *)
+  let clock = client_of wm other in
+  Server.raise_window server ctx.Ctx.conn clock.Ctx.frame;
+  let sender = Server.connect server ~name:"swmcmd" in
+  Swmcmd.send server sender ~screen:0 "f.raise";
+  ignore (Wm.step wm);
+  (match ctx.Ctx.mode with
+  | Ctx.Prompting _ -> ()
+  | _ -> Alcotest.fail "should be prompting");
+  Server.warp_pointer server ~screen:0 (Geom.point 150 150);
+  Server.press_button server 1;
+  ignore (Wm.step wm);
+  let term = client_of wm app in
+  let top =
+    match List.rev (Server.children_of server (Server.root server ~screen:0)) with
+    | top :: _ -> top
+    | [] -> Alcotest.fail "no children"
+  in
+  check Alcotest.bool "selected window raised" true
+    (Swm_xlib.Xid.equal top term.Ctx.frame)
+
+let test_bad_command_ignored () =
+  let server, wm, _ctx = fixture () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  Swmcmd.send server sender ~screen:0 "not even a function";
+  (* Must not raise. *)
+  ignore (Wm.step wm)
+
+let suite =
+  [
+    Alcotest.test_case "command executes" `Quick test_command_executes;
+    Alcotest.test_case "property deleted after run" `Quick
+      test_property_deleted_after_execution;
+    Alcotest.test_case "batched commands" `Quick test_multiple_commands_batched;
+    Alcotest.test_case "prompting from swmcmd (paper example)" `Quick
+      test_prompting_from_swmcmd;
+    Alcotest.test_case "bad commands ignored" `Quick test_bad_command_ignored;
+  ]

@@ -1,0 +1,272 @@
+module Server = Swm_xlib.Server
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Prop = Swm_xlib.Prop
+module Event = Swm_xlib.Event
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Vdesk = Swm_core.Vdesk
+module Templates = Swm_core.Templates
+module Client_app = Swm_clients.Client_app
+module Stock = Swm_clients.Stock
+
+let check = Alcotest.check
+
+let vdesk_resources ?(extra = "") () =
+  [
+    Templates.open_look;
+    "swm*rootPanels:\nswm*panner: False\nswm*desktopSize: 3456x2700\n" ^ extra;
+  ]
+
+let fixture ?extra () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:(vdesk_resources ?extra ()) server in
+  (server, wm, Wm.ctx wm)
+
+let client_of wm app = Option.get (Wm.find_client wm (Client_app.window app))
+
+let test_created_from_resources () =
+  let _server, _wm, ctx = fixture () in
+  match (Ctx.screen ctx 0).Ctx.vdesk with
+  | Some vdesk ->
+      check Alcotest.bool "size" true (vdesk.Ctx.vsize = (3456, 2700));
+      check Alcotest.int "one desktop" 1 (Array.length vdesk.Ctx.vwins)
+  | None -> Alcotest.fail "expected a virtual desktop"
+
+let test_frames_live_in_desktop () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 100 100) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  let parent = Server.parent_of server client.Ctx.frame in
+  check Alcotest.bool "frame parented on desktop window" true
+    (Vdesk.is_desktop_window ctx ~screen:0 parent)
+
+let test_swm_root_property () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  match Server.get_property server client.Ctx.cwin ~name:Prop.swm_root with
+  | Some (Prop.Window r) ->
+      check Alcotest.bool "SWM_ROOT names the desktop" true
+        (Vdesk.is_desktop_window ctx ~screen:0 r)
+  | _ -> Alcotest.fail "SWM_ROOT missing"
+
+let test_pan_moves_desktop_not_clients () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 100 100) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  ignore (Client_app.process_events app);
+  let desktop_pos_before = Server.geometry server client.Ctx.frame in
+  let abs_before = Server.root_geometry server client.Ctx.cwin in
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 25 25);
+  (* Paper §6.3.1: the window gets NO ConfigureNotify, real or synthetic,
+     because it has not moved with respect to its root. *)
+  check Alcotest.int "no events for the client" 0 (Client_app.process_events app);
+  let desktop_pos_after = Server.geometry server client.Ctx.frame in
+  check Alcotest.bool "desktop coords unchanged" true
+    (Geom.rect_equal desktop_pos_before desktop_pos_after);
+  let abs_after = Server.root_geometry server client.Ctx.cwin in
+  check Alcotest.int "on-glass x shifted" (abs_before.x - 25) abs_after.x;
+  check Alcotest.int "on-glass y shifted" (abs_before.y - 25) abs_after.y
+
+let test_pan_clamped () =
+  let server, _wm, ctx = fixture () in
+  Vdesk.pan_to ctx ~screen:0 (Geom.point (-100) (-100));
+  check Alcotest.bool "clamped at origin" true
+    (Vdesk.offset ctx ~screen:0 = Geom.point 0 0);
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 99999 99999);
+  let sw, sh = Server.screen_size server ~screen:0 in
+  check Alcotest.bool "clamped at far edge" true
+    (Vdesk.offset ctx ~screen:0 = Geom.point (3456 - sw) (2700 - sh))
+
+let test_viewport () =
+  let server, _wm, ctx = fixture () in
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 200 300);
+  let vp = Vdesk.viewport ctx ~screen:0 in
+  let sw, sh = Server.screen_size server ~screen:0 in
+  check Alcotest.bool "viewport rect" true
+    (Geom.rect_equal vp (Geom.rect 200 300 sw sh))
+
+let test_sticky_stays_on_glass () =
+  let server, wm, ctx = fixture () in
+  let clock = Stock.xclock server ~at:(Geom.point 500 300) () in
+  ignore (Wm.step wm);
+  let client = client_of wm clock in
+  Vdesk.set_sticky ctx client true;
+  check Alcotest.bool "flag" true client.Ctx.sticky;
+  let abs_before = Server.root_geometry server client.Ctx.frame in
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 400 400);
+  let abs_after = Server.root_geometry server client.Ctx.frame in
+  check Alcotest.bool "sticky window did not move on glass" true
+    (abs_before.x = abs_after.x && abs_before.y = abs_after.y);
+  (* SWM_ROOT now names the real root. *)
+  (match Server.get_property server client.Ctx.cwin ~name:Prop.swm_root with
+  | Some (Prop.Window r) ->
+      check Alcotest.bool "real root" true (Xid.equal r (Server.root server ~screen:0))
+  | _ -> Alcotest.fail "SWM_ROOT");
+  (* Unstick: back onto the desktop, same on-glass position. *)
+  Vdesk.set_sticky ctx client false;
+  let abs_unstuck = Server.root_geometry server client.Ctx.frame in
+  check Alcotest.bool "unstick keeps glass position" true
+    (abs_after.x = abs_unstuck.x && abs_after.y = abs_unstuck.y);
+  check Alcotest.bool "frame back on desktop" true
+    (Vdesk.is_desktop_window ctx ~screen:0 (Server.parent_of server client.Ctx.frame))
+
+let test_sticky_resource_starts_sticky () =
+  let server = Server.create () in
+  let wm =
+    Wm.start
+      ~resources:(vdesk_resources ~extra:"swm*XClock*sticky: True\n" ())
+      server
+  in
+  let clock = Stock.xclock server () in
+  ignore (Wm.step wm);
+  let client = client_of wm clock in
+  check Alcotest.bool "starts sticky" true client.Ctx.sticky
+
+let test_usposition_absolute_on_desktop () =
+  (* Paper §6.3.2: with the desktop panned to (1000,1000), USPosition
+     +100+100 goes to absolute (100,100); PPosition +100+100 goes to
+     (1100,1100). *)
+  let server, wm, ctx = fixture () in
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 1000 1000);
+  let us =
+    Client_app.launch server
+      (Client_app.spec ~instance:"usapp" ~us_position:true (Geom.rect 100 100 50 50))
+  in
+  let pp =
+    Client_app.launch server
+      (Client_app.spec ~instance:"ppapp" ~p_position:true (Geom.rect 100 100 50 50))
+  in
+  ignore (Wm.step wm);
+  let us_frame = Server.geometry server (client_of wm us).Ctx.frame in
+  let pp_frame = Server.geometry server (client_of wm pp).Ctx.frame in
+  check Alcotest.int "USPosition absolute x" 100 us_frame.x;
+  check Alcotest.int "USPosition absolute y" 100 us_frame.y;
+  check Alcotest.int "PPosition viewport-relative x" 1100 pp_frame.x;
+  check Alcotest.int "PPosition viewport-relative y" 1100 pp_frame.y
+
+let test_default_placement_in_viewport () =
+  let server, wm, ctx = fixture () in
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 800 600);
+  let app =
+    Client_app.launch server (Client_app.spec ~instance:"nohints" (Geom.rect 0 0 50 50))
+  in
+  ignore (Wm.step wm);
+  let fgeom = Server.geometry server (client_of wm app).Ctx.frame in
+  let vp = Vdesk.viewport ctx ~screen:0 in
+  check Alcotest.bool "placed inside the visible viewport" true
+    (fgeom.x >= vp.x && fgeom.y >= vp.y && fgeom.x < vp.x + vp.w && fgeom.y < vp.y + vp.h)
+
+let test_resize_desktop () =
+  let server, _wm, ctx = fixture () in
+  Vdesk.resize_desktop ctx ~screen:0 (4000, 3000);
+  (match (Ctx.screen ctx 0).Ctx.vdesk with
+  | Some vdesk -> check Alcotest.bool "resized" true (vdesk.Ctx.vsize = (4000, 3000))
+  | None -> Alcotest.fail "vdesk");
+  (* Shrinking clamps the viewport back in bounds. *)
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 2500 2000);
+  let sw, sh = Server.screen_size server ~screen:0 in
+  Vdesk.resize_desktop ctx ~screen:0 (2000, 1500);
+  let o = Vdesk.offset ctx ~screen:0 in
+  check Alcotest.bool "viewport clamped after shrink" true
+    (o.px + sw <= 2000 && o.py + sh <= 1500)
+
+let test_desktop_size_limits () =
+  let _server, _wm, ctx = fixture () in
+  Alcotest.check_raises "beyond X window limit"
+    (Invalid_argument "Vdesk.resize_desktop: bad size") (fun () ->
+      Vdesk.resize_desktop ctx ~screen:0 (40000, 2000))
+
+let test_multiple_desktops () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:(vdesk_resources ~extra:"swm*desktops: 3\n" ()) server in
+  let ctx = Wm.ctx wm in
+  check Alcotest.int "three desktops" 3 (Vdesk.desktop_count ctx ~screen:0);
+  let app = Stock.xterm server ~at:(Geom.point 50 50) () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  check Alcotest.bool "visible on desktop 0" true
+    (Server.is_viewable server client.Ctx.cwin);
+  Vdesk.switch_desktop ctx ~screen:0 1;
+  check Alcotest.int "current" 1 (Vdesk.current_desktop ctx ~screen:0);
+  check Alcotest.bool "hidden on desktop 1" false
+    (Server.is_viewable server client.Ctx.cwin);
+  Vdesk.switch_desktop ctx ~screen:0 0;
+  check Alcotest.bool "visible again" true (Server.is_viewable server client.Ctx.cwin);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Vdesk.switch_desktop: index out of range") (fun () ->
+      Vdesk.switch_desktop ctx ~screen:0 5)
+
+let test_sticky_across_desktops () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:(vdesk_resources ~extra:"swm*desktops: 2\n" ()) server in
+  let ctx = Wm.ctx wm in
+  let clock = Stock.xclock server () in
+  ignore (Wm.step wm);
+  let client = client_of wm clock in
+  Vdesk.set_sticky ctx client true;
+  Vdesk.switch_desktop ctx ~screen:0 1;
+  check Alcotest.bool "sticky window visible on the other desktop" true
+    (Server.is_viewable server client.Ctx.cwin)
+
+(* -------- the popup-positioning problem (paper §6.3.1) -------- *)
+
+let test_popup_positioning_problem_and_fix () =
+  let server, wm, ctx = fixture () in
+  let app = Stock.xterm server ~at:(Geom.point 300 300) () in
+  ignore (Wm.step wm);
+  ignore (Client_app.process_events app);
+  (* Pan far away: the app's window is now outside the visible viewport. *)
+  Vdesk.pan_to ctx ~screen:0 (Geom.point 2000 1500);
+  ignore (Wm.step wm);
+  ignore (Client_app.process_events app);
+  let client = client_of wm app in
+  let frame_desktop = Server.geometry server client.Ctx.frame in
+  (* A naive toolkit positions against the real root and clamps to the
+     screen — the dialog lands far from its parent window on the desktop.
+     Its position is in real-root coordinates; convert to desktop coords
+     through the pan offset for a fair comparison. *)
+  let o = Vdesk.offset ctx ~screen:0 in
+  let _, naive_pos = Client_app.popup_dialog app ~use_swm_root:false in
+  let distance_naive =
+    abs (naive_pos.Geom.px + o.px - frame_desktop.x)
+    + abs (naive_pos.Geom.py + o.py - frame_desktop.y)
+  in
+  (* The SWM_ROOT-aware toolkit positions against the desktop window. *)
+  let dialog, fixed_pos = Client_app.popup_dialog app ~use_swm_root:true in
+  let distance_fixed =
+    abs (fixed_pos.Geom.px - frame_desktop.x) + abs (fixed_pos.Geom.py - frame_desktop.y)
+  in
+  check Alcotest.bool "dialog parented on the desktop window" true
+    (Vdesk.is_desktop_window ctx ~screen:0 (Server.parent_of server dialog));
+  check Alcotest.bool "SWM_ROOT placement lands near its window" true
+    (distance_fixed < 300);
+  check Alcotest.bool "naive placement misses" true (distance_naive > distance_fixed)
+
+let suite =
+  [
+    Alcotest.test_case "created from resources" `Quick test_created_from_resources;
+    Alcotest.test_case "frames live in the desktop" `Quick test_frames_live_in_desktop;
+    Alcotest.test_case "SWM_ROOT property" `Quick test_swm_root_property;
+    Alcotest.test_case "pan moves glass, not clients" `Quick
+      test_pan_moves_desktop_not_clients;
+    Alcotest.test_case "pan clamps to bounds" `Quick test_pan_clamped;
+    Alcotest.test_case "viewport" `Quick test_viewport;
+    Alcotest.test_case "sticky windows stick to the glass" `Quick
+      test_sticky_stays_on_glass;
+    Alcotest.test_case "sticky resource" `Quick test_sticky_resource_starts_sticky;
+    Alcotest.test_case "USPosition vs PPosition" `Quick
+      test_usposition_absolute_on_desktop;
+    Alcotest.test_case "default placement in viewport" `Quick
+      test_default_placement_in_viewport;
+    Alcotest.test_case "resize desktop at runtime" `Quick test_resize_desktop;
+    Alcotest.test_case "desktop size limits" `Quick test_desktop_size_limits;
+    Alcotest.test_case "multiple desktops" `Quick test_multiple_desktops;
+    Alcotest.test_case "sticky across desktops" `Quick test_sticky_across_desktops;
+    Alcotest.test_case "popup positioning: problem and SWM_ROOT fix" `Quick
+      test_popup_positioning_problem_and_fix;
+  ]

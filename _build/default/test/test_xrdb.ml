@@ -1,0 +1,338 @@
+module Xrdb = Swm_xrdb.Xrdb
+
+let check = Alcotest.check
+
+let db_of entries =
+  let db = Xrdb.create () in
+  List.iter (fun (k, v) -> Xrdb.put db k v) entries;
+  db
+
+let q db names classes = Xrdb.query db ~names ~classes
+
+let test_exact_match () =
+  let db = db_of [ ("swm.color.screen0.panner", "true") ] in
+  check (Alcotest.option Alcotest.string) "exact" (Some "true")
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ])
+
+let test_loose_binding_skips () =
+  let db = db_of [ ("swm*panner", "yes") ] in
+  check (Alcotest.option Alcotest.string) "skips middle components" (Some "yes")
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ])
+
+let test_tight_requires_adjacent () =
+  let db = db_of [ ("swm.panner", "no") ] in
+  check (Alcotest.option Alcotest.string) "tight cannot skip" None
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ])
+
+let test_class_match () =
+  let db = db_of [ ("Swm*Panner", "via-class") ] in
+  check (Alcotest.option Alcotest.string) "class components" (Some "via-class")
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ])
+
+let test_name_beats_class () =
+  let db = db_of [ ("Swm*decoration", "classy"); ("swm*decoration", "namy") ] in
+  check (Alcotest.option Alcotest.string) "lowercase swm (name) wins" (Some "namy")
+    (q db [ "swm"; "color"; "screen0"; "decoration" ]
+       [ "Swm"; "Color"; "Screen"; "Decoration" ])
+
+let test_earlier_component_dominates () =
+  (* A name match at the client level beats a class match there, even when
+     the class entry has tighter bindings afterwards. *)
+  let db =
+    db_of
+      [ ("swm*xclock*decoration", "by-instance"); ("swm*XClock.decoration", "by-class") ]
+  in
+  (* names has instance at the same level where classes has XClock *)
+  check (Alcotest.option Alcotest.string) "instance (name) match wins"
+    (Some "by-instance")
+    (q db
+       [ "swm"; "color"; "screen0"; "xclock"; "decoration" ]
+       [ "Swm"; "Color"; "Screen"; "XClock"; "Decoration" ])
+
+let test_single_wild () =
+  let db = db_of [ ("swm.?.screen0.panner", "wild") ] in
+  check (Alcotest.option Alcotest.string) "? consumes one level" (Some "wild")
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ]);
+  check (Alcotest.option Alcotest.string) "? cannot consume two" None
+    (q db
+       [ "swm"; "color"; "extra"; "screen0"; "panner" ]
+       [ "Swm"; "Color"; "Extra"; "Screen"; "Panner" ])
+
+let test_wild_below_class () =
+  let db = db_of [ ("swm.?.screen0.panner", "wild"); ("swm.Color.screen0.panner", "classy") ] in
+  check (Alcotest.option Alcotest.string) "class beats ?" (Some "classy")
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ])
+
+let test_match_beats_skip () =
+  let db = db_of [ ("swm*screen0.panner", "matched"); ("swm*panner", "skipped") ] in
+  check (Alcotest.option Alcotest.string) "consuming a level beats skipping it"
+    (Some "matched")
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ])
+
+let test_last_entry_wins_on_tie () =
+  let db = db_of [ ("swm*panner", "first"); ("swm*panner", "override") ] in
+  check (Alcotest.option Alcotest.string) "same key overridden" (Some "override")
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ]);
+  check Alcotest.int "no duplicate entry" 1 (Xrdb.size db)
+
+let test_no_match () =
+  let db = db_of [ ("swm*panner", "x") ] in
+  check (Alcotest.option Alcotest.string) "different resource" None
+    (q db [ "swm"; "color"; "screen0"; "decoration" ]
+       [ "Swm"; "Color"; "Screen"; "Decoration" ])
+
+let test_trailing_component_required () =
+  let db = db_of [ ("swm*panner.scale", "24") ] in
+  check (Alcotest.option Alcotest.string) "entry longer than query" None
+    (q db [ "swm"; "color"; "screen0"; "panner" ] [ "Swm"; "Color"; "Screen"; "Panner" ])
+
+(* -------- file loading -------- *)
+
+let test_load_string () =
+  let db = Xrdb.create () in
+  let text =
+    {|
+! comment line
+swm*panner: true
+Swm*panel.openLook: \
+    button pulldown +0+0 \
+    button name +C+0
+swm.color.screen0.xclock.xclock.decoration: noTitlePanel
+|}
+  in
+  (match Xrdb.load_string db text with
+  | Ok n -> check Alcotest.int "loaded" 3 n
+  | Error msg -> Alcotest.fail msg);
+  (* The continuation must join into a single value. *)
+  match
+    q db
+      [ "swm"; "color"; "screen0"; "panel"; "openLook" ]
+      [ "Swm"; "Color"; "Screen"; "Panel"; "OpenLook" ]
+  with
+  | Some v ->
+      check Alcotest.bool "joined continuation" true
+        (String.length v > 20
+        && String.index_opt v '\\' = None
+        && String.index_opt v '\n' = None)
+  | None -> Alcotest.fail "panel definition missing"
+
+let test_load_newline_escape () =
+  let db = Xrdb.create () in
+  (match Xrdb.load_string db {|foo*bindings: a\nb|} with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "expected 1, got %d" n
+  | Error msg -> Alcotest.fail msg);
+  match q db [ "foo"; "bindings" ] [ "Foo"; "Bindings" ] with
+  | Some v -> check Alcotest.string "newline unescaped" "a\nb" v
+  | None -> Alcotest.fail "missing"
+
+let test_load_error () =
+  let db = Xrdb.create () in
+  match Xrdb.load_string db "this has no colon" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_merge () =
+  let a = db_of [ ("swm*x", "1"); ("swm*y", "2") ] in
+  let b = db_of [ ("swm*y", "3"); ("swm*z", "4") ] in
+  Xrdb.merge ~into:a b;
+  check Alcotest.int "size" 3 (Xrdb.size a);
+  check (Alcotest.option Alcotest.string) "override" (Some "3")
+    (q a [ "swm"; "y" ] [ "Swm"; "Y" ])
+
+let test_key_roundtrip () =
+  List.iter
+    (fun s ->
+      match Xrdb.parse_key s with
+      | Ok key -> check Alcotest.string "roundtrip" s (Xrdb.key_to_string key)
+      | Error msg -> Alcotest.failf "parse %S: %s" s msg)
+    [ "swm.color.screen0.panner"; "swm*panner"; "*panner"; "Swm*panel.openLook";
+      "swm.?.screen0.x" ]
+
+let test_key_errors () =
+  List.iter
+    (fun bad ->
+      match Xrdb.parse_key bad with
+      | Ok _ -> Alcotest.failf "expected %S to fail" bad
+      | Error _ -> ())
+    [ ""; "."; "a."; ".a"; "a..b"; "a b" ]
+
+let test_typed_queries () =
+  let db = db_of [ ("swm*flag", "True"); ("swm*count", " 42 "); ("swm*junk", "zzz") ] in
+  check (Alcotest.option Alcotest.bool) "bool" (Some true)
+    (Xrdb.query_bool db ~names:[ "swm"; "flag" ] ~classes:[ "Swm"; "Flag" ]);
+  check (Alcotest.option Alcotest.int) "int" (Some 42)
+    (Xrdb.query_int db ~names:[ "swm"; "count" ] ~classes:[ "Swm"; "Count" ]);
+  check (Alcotest.option Alcotest.int) "junk int" None
+    (Xrdb.query_int db ~names:[ "swm"; "junk" ] ~classes:[ "Swm"; "Junk" ])
+
+let test_to_string_reload () =
+  let db =
+    db_of [ ("swm*panner", "true"); ("swm.color.screen0.x", "multi\nline") ]
+  in
+  let text = Xrdb.to_string db in
+  let db2 = Xrdb.create () in
+  (match Xrdb.load_string db2 text with
+  | Ok 2 -> ()
+  | Ok n -> Alcotest.failf "expected 2 entries, got %d" n
+  | Error msg -> Alcotest.fail msg);
+  check (Alcotest.option Alcotest.string) "value preserved" (Some "multi\nline")
+    (q db2 [ "swm"; "color"; "screen0"; "x" ] [ "Swm"; "Color"; "Screen"; "X" ])
+
+(* -------- cpp preprocessing -------- *)
+
+let test_cpp_define_substitution () =
+  let db = Xrdb.create () in
+  let text = {|
+#define TITLEBG gray80
+swm*button.name.background: TITLEBG
+swm*notme: XTITLEBGX
+|} in
+  (match Xrdb.load_string_cpp db text with
+  | Ok 2 -> ()
+  | Ok n -> Alcotest.failf "expected 2, got %d" n
+  | Error msg -> Alcotest.fail msg);
+  check (Alcotest.option Alcotest.string) "substituted" (Some "gray80")
+    (q db [ "swm"; "button"; "name"; "background" ]
+       [ "Swm"; "Button"; "Name"; "Background" ]);
+  check (Alcotest.option Alcotest.string) "whole words only" (Some "XTITLEBGX")
+    (q db [ "swm"; "notme" ] [ "Swm"; "Notme" ])
+
+let test_cpp_ifdef () =
+  let text =
+    {|
+#ifdef COLOR
+swm*mode: colorful
+#else
+swm*mode: plain
+#endif
+#ifndef COLOR
+swm*extra: mono-only
+#endif
+|}
+  in
+  let query_mode defines =
+    let db = Xrdb.create () in
+    (match Xrdb.load_string_cpp ~defines db text with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg);
+    ( q db [ "swm"; "mode" ] [ "Swm"; "Mode" ],
+      q db [ "swm"; "extra" ] [ "Swm"; "Extra" ] )
+  in
+  let mode, extra = query_mode [ ("COLOR", "1") ] in
+  check (Alcotest.option Alcotest.string) "colour branch" (Some "colorful") mode;
+  check (Alcotest.option Alcotest.string) "ifndef skipped" None extra;
+  let mode, extra = query_mode [] in
+  check (Alcotest.option Alcotest.string) "else branch" (Some "plain") mode;
+  check (Alcotest.option Alcotest.string) "ifndef taken" (Some "mono-only") extra
+
+let test_cpp_nested_ifdef () =
+  let text =
+    {|
+#ifdef A
+#ifdef B
+swm*x: ab
+#else
+swm*x: a
+#endif
+#endif
+|}
+  in
+  let value defines =
+    let db = Xrdb.create () in
+    (match Xrdb.load_string_cpp ~defines db text with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg);
+    q db [ "swm"; "x" ] [ "Swm"; "X" ]
+  in
+  check (Alcotest.option Alcotest.string) "both" (Some "ab")
+    (value [ ("A", ""); ("B", "") ]);
+  check (Alcotest.option Alcotest.string) "only A" (Some "a") (value [ ("A", "") ]);
+  check (Alcotest.option Alcotest.string) "neither" None (value [])
+
+let test_cpp_include () =
+  let files = [ ("openlook.ad", "swm*decoration: openLook\n") ] in
+  let loader path = List.assoc_opt path files in
+  let db = Xrdb.create () in
+  let text = "#include \"openlook.ad\"\nswm*decoration: mine\n" in
+  (match Xrdb.load_string_cpp ~loader db text with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* User lines after the include override the template (paper §3). *)
+  check (Alcotest.option Alcotest.string) "override after include" (Some "mine")
+    (q db [ "swm"; "decoration" ] [ "Swm"; "Decoration" ])
+
+let test_cpp_errors () =
+  List.iter
+    (fun text ->
+      match Xrdb.preprocess text with
+      | Ok _ -> Alcotest.failf "expected %S to fail" text
+      | Error _ -> ())
+    [
+      "#include \"nope.ad\"\n";
+      "#ifdef X\n";
+      "#endif\n";
+      "#else\n";
+    ]
+
+(* Property: a query never returns a value whose key cannot match at all
+   (oracle: brute-force matcher). *)
+let component_gen = QCheck2.Gen.oneofl [ "a"; "b"; "c"; "A"; "B" ]
+
+let key_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 4)
+      (pair (oneofl [ "."; "*" ]) component_gen))
+
+let key_string_of parts =
+  String.concat ""
+    (List.mapi
+       (fun i (b, c) -> if i = 0 then (if b = "*" then "*" ^ c else c) else b ^ c)
+       parts)
+
+let prop_query_sound =
+  QCheck2.Test.make ~name:"query result comes from some matching entry" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 1 6) (pair key_gen component_gen))
+                   (list_size (int_range 1 4) component_gen))
+    (fun (entries, names) ->
+      let db = Xrdb.create () in
+      List.iteri
+        (fun i (k, _) -> Xrdb.put db (key_string_of k) (string_of_int i))
+        entries;
+      let classes = List.map String.capitalize_ascii names in
+      match Xrdb.query db ~names ~classes with
+      | None -> true
+      | Some v -> (
+          match int_of_string_opt v with
+          | None -> false
+          | Some i -> i >= 0 && i < List.length entries))
+
+let suite =
+  [
+    Alcotest.test_case "exact tight match" `Quick test_exact_match;
+    Alcotest.test_case "loose binding skips levels" `Quick test_loose_binding_skips;
+    Alcotest.test_case "tight binding cannot skip" `Quick test_tight_requires_adjacent;
+    Alcotest.test_case "class components match" `Quick test_class_match;
+    Alcotest.test_case "name beats class (swm vs Swm)" `Quick test_name_beats_class;
+    Alcotest.test_case "earlier level dominates" `Quick test_earlier_component_dominates;
+    Alcotest.test_case "? single wildcard" `Quick test_single_wild;
+    Alcotest.test_case "class beats ?" `Quick test_wild_below_class;
+    Alcotest.test_case "match beats skip" `Quick test_match_beats_skip;
+    Alcotest.test_case "same key overrides" `Quick test_last_entry_wins_on_tie;
+    Alcotest.test_case "no match" `Quick test_no_match;
+    Alcotest.test_case "longer entry cannot match" `Quick test_trailing_component_required;
+    Alcotest.test_case "load resource text" `Quick test_load_string;
+    Alcotest.test_case "backslash-n escape" `Quick test_load_newline_escape;
+    Alcotest.test_case "load error reported" `Quick test_load_error;
+    Alcotest.test_case "merge databases" `Quick test_merge;
+    Alcotest.test_case "key to_string roundtrip" `Quick test_key_roundtrip;
+    Alcotest.test_case "key parse errors" `Quick test_key_errors;
+    Alcotest.test_case "typed queries" `Quick test_typed_queries;
+    Alcotest.test_case "serialise and reload" `Quick test_to_string_reload;
+    Alcotest.test_case "cpp: #define substitution" `Quick test_cpp_define_substitution;
+    Alcotest.test_case "cpp: #ifdef/#else" `Quick test_cpp_ifdef;
+    Alcotest.test_case "cpp: nested #ifdef" `Quick test_cpp_nested_ifdef;
+    Alcotest.test_case "cpp: #include" `Quick test_cpp_include;
+    Alcotest.test_case "cpp: errors" `Quick test_cpp_errors;
+    QCheck_alcotest.to_alcotest prop_query_sound;
+  ]
