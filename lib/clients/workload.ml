@@ -65,3 +65,50 @@ let launch server ?(screen = 0) params =
     (specs params)
 
 let launch_n server ?screen n = launch server ?screen { default_params with count = n }
+
+(* -------- event storms --------
+
+   Deterministic high-rate stimulus for the batched event pipeline: each
+   storm produces a flood of notifications that the queue compression in
+   [Server] should collapse, so benches can compare coalesced vs naive
+   delivery on identical input. *)
+
+let motion_storm server ?(screen = 0) ?(seed = 7) ~steps () =
+  let rng = Random.State.make [| seed |] in
+  let sw, sh = Swm_xlib.Server.screen_size server ~screen in
+  for _ = 1 to steps do
+    let p = Geom.point (Random.State.int rng sw) (Random.State.int rng sh) in
+    Swm_xlib.Server.warp_pointer server ~screen p
+  done
+
+let configure_churn server ?(seed = 11) ~rounds apps =
+  let rng = Random.State.make [| seed |] in
+  for _ = 1 to rounds do
+    List.iter
+      (fun app ->
+        let w = Client_app.window app in
+        if Swm_xlib.Server.window_exists server w then
+          let geom = Swm_xlib.Server.geometry server w in
+          let dx = Random.State.int rng 17 - 8
+          and dy = Random.State.int rng 17 - 8 in
+          Swm_xlib.Server.move_resize server (Client_app.conn app) w
+            { geom with Geom.x = geom.x + dx; y = geom.y + dy })
+      apps
+  done
+
+let expose_storm server ?(seed = 13) ~rounds apps =
+  let rng = Random.State.make [| seed |] in
+  for _ = 1 to rounds do
+    List.iter
+      (fun app ->
+        let w = Client_app.window app in
+        if Swm_xlib.Server.window_exists server w then begin
+          let geom = Swm_xlib.Server.geometry server w in
+          let rw = 1 + Random.State.int rng (max 1 (geom.w / 2)) in
+          let rh = 1 + Random.State.int rng (max 1 (geom.h / 2)) in
+          let rx = Random.State.int rng (max 1 (geom.w - rw)) in
+          let ry = Random.State.int rng (max 1 (geom.h - rh)) in
+          Swm_xlib.Server.damage_window server w (Geom.rect rx ry rw rh)
+        end)
+      apps
+  done

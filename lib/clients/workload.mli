@@ -23,3 +23,23 @@ val launch : Swm_xlib.Server.t -> ?screen:int -> params -> Client_app.t list
 
 val launch_n : Swm_xlib.Server.t -> ?screen:int -> int -> Client_app.t list
 (** [launch_n server n] — defaults with [count = n]. *)
+
+(** {1 Event storms}
+
+    Seeded high-rate stimulus for the batched event pipeline — input the
+    server's queue compression should collapse, letting benches compare
+    coalesced against naive delivery on identical request streams. *)
+
+val motion_storm :
+  Swm_xlib.Server.t -> ?screen:int -> ?seed:int -> steps:int -> unit -> unit
+(** Warp the pointer to [steps] random on-screen positions. *)
+
+val configure_churn :
+  Swm_xlib.Server.t -> ?seed:int -> rounds:int -> Client_app.t list -> unit
+(** Each round jiggles every client's window by a few pixels via its own
+    connection (so redirects fire where a WM holds them). *)
+
+val expose_storm :
+  Swm_xlib.Server.t -> ?seed:int -> rounds:int -> Client_app.t list -> unit
+(** Each round posts a random interior damage rectangle on every client's
+    window. *)

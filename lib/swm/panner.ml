@@ -1,3 +1,4 @@
+module Metrics = Swm_xlib.Metrics
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
 module Xid = Swm_xlib.Xid
@@ -89,6 +90,7 @@ let clear_miniatures (ctx : Ctx.t) ~screen =
     stale
 
 let refresh (ctx : Ctx.t) ~screen =
+  Metrics.time_ns (Server.metrics ctx.server) "panner.refresh_ns" @@ fun () ->
   Scrollbar.refresh ctx ~screen;
   match vdesk_of ctx ~screen with
   | None -> ()

@@ -1,3 +1,4 @@
+module Metrics = Swm_xlib.Metrics
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
 module Xid = Swm_xlib.Xid
@@ -66,6 +67,7 @@ let pan_to (ctx : Ctx.t) ~screen pos =
       let vwin = vdesk.vwins.(vdesk.current) in
       let geom = Server.geometry ctx.server vwin in
       Ctx.log ctx "pan screen %d to %d,%d" screen x y;
+      Metrics.incr (Metrics.counter (Server.metrics ctx.server) "vdesk.pans");
       Server.move_resize ctx.server ctx.conn vwin { geom with Geom.x = -x; y = -y }
 
 let pan_by ctx ~screen ~dx ~dy =

@@ -78,7 +78,7 @@ type t =
   | Leave_notify of { window : Xid.t }
   | Focus_in of { window : Xid.t }
   | Focus_out of { window : Xid.t }
-  | Expose of { window : Xid.t }
+  | Expose of { window : Xid.t; damage : Geom.rect option }
   | Client_message of { window : Xid.t; name : string; data : string }
 
 let window_of = function
@@ -98,7 +98,7 @@ let window_of = function
   | Leave_notify { window }
   | Focus_in { window }
   | Focus_out { window }
-  | Expose { window }
+  | Expose { window; _ }
   | Client_message { window; _ } -> window
 
 let pp ppf event =
@@ -130,6 +130,8 @@ let pp ppf event =
   | Leave_notify { window } -> Format.fprintf ppf "LeaveNotify(win=%a)" Xid.pp window
   | Focus_in { window } -> Format.fprintf ppf "FocusIn(win=%a)" Xid.pp window
   | Focus_out { window } -> Format.fprintf ppf "FocusOut(win=%a)" Xid.pp window
-  | Expose { window } -> Format.fprintf ppf "Expose(win=%a)" Xid.pp window
+  | Expose { window; damage = None } -> Format.fprintf ppf "Expose(win=%a)" Xid.pp window
+  | Expose { window; damage = Some r } ->
+      Format.fprintf ppf "Expose(win=%a %a)" Xid.pp window Geom.pp_rect r
   | Client_message { window; name; data } ->
       Format.fprintf ppf "ClientMessage(win=%a %s %S)" Xid.pp window name data

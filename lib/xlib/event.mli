@@ -75,7 +75,10 @@ type t =
   | Leave_notify of { window : Xid.t }
   | Focus_in of { window : Xid.t }
   | Focus_out of { window : Xid.t }
-  | Expose of { window : Xid.t }
+  | Expose of { window : Xid.t; damage : Geom.rect option }
+      (** [damage = None] exposes the whole window; [Some r] a
+          window-interior rectangle.  The server's event queues merge
+          consecutive damage on the same window via {!Region.union}. *)
   | Client_message of { window : Xid.t; name : string; data : string }
 
 val window_of : t -> Xid.t

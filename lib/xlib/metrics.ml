@@ -1,0 +1,157 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+(* log2 buckets: index i counts samples whose value v satisfies
+   2^(i-1) <= v+1 < 2^i, i.e. upper bounds 0, 1, 3, 7, 15, ... *)
+let buckets = 32
+
+type histogram = {
+  counts : int array;
+  mutable hcount : int;
+  mutable hsum : int;
+  mutable hmax : int;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let find_or_create tbl name mk =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      Hashtbl.replace tbl name v;
+      v
+
+let counter t name = find_or_create t.counters name (fun () -> { c = 0 })
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.c | None -> 0
+
+let gauge t name = find_or_create t.gauges name (fun () -> { g = 0 })
+let record_max g n = if n > g.g then g.g <- n
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.g | None -> 0
+
+let histogram t name =
+  find_or_create t.histograms name (fun () ->
+      { counts = Array.make buckets 0; hcount = 0; hsum = 0; hmax = 0 })
+
+let bucket_of v =
+  let v = max 0 v in
+  let rec go i bound = if v < bound || i = buckets - 1 then i else go (i + 1) (bound * 2) in
+  go 0 1
+
+let bucket_upper i = (1 lsl i) - 1
+
+let observe h v =
+  h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum + max 0 v;
+  if v > h.hmax then h.hmax <- v
+
+let hist_count h = h.hcount
+let hist_sum h = h.hsum
+let hist_max h = h.hmax
+
+let time_ns t name f =
+  let h = histogram t name in
+  let t0 = Sys.time () in
+  let r = f () in
+  let t1 = Sys.time () in
+  observe h (int_of_float ((t1 -. t0) *. 1e9));
+  r
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.c <- 0) t.counters;
+  Hashtbl.iter (fun _ g -> g.g <- 0) t.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.counts 0 buckets 0;
+      h.hcount <- 0;
+      h.hsum <- 0;
+      h.hmax <- 0)
+    t.histograms
+
+let sorted_bindings tbl =
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Series names are [A-Za-z0-9._-] by convention; escape anyway so a stray
+   name cannot corrupt the dump. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let hist_json h =
+  let bucket_list = ref [] in
+  for i = buckets - 1 downto 0 do
+    if h.counts.(i) > 0 then
+      bucket_list :=
+        Printf.sprintf "[%d,%d]" (bucket_upper i) h.counts.(i) :: !bucket_list
+  done;
+  Printf.sprintf "{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":[%s]}" h.hcount
+    h.hsum h.hmax
+    (String.concat "," !bucket_list)
+
+let to_json t =
+  let obj entries = "{" ^ String.concat "," entries ^ "}" in
+  let counters =
+    List.map
+      (fun (name, c) -> Printf.sprintf "%s:%d" (json_string name) c.c)
+      (sorted_bindings t.counters)
+  in
+  let gauges =
+    List.map
+      (fun (name, g) -> Printf.sprintf "%s:%d" (json_string name) g.g)
+      (sorted_bindings t.gauges)
+  in
+  let hists =
+    List.map
+      (fun (name, h) -> Printf.sprintf "%s:%s" (json_string name) (hist_json h))
+      (sorted_bindings t.histograms)
+  in
+  obj
+    [
+      "\"counters\":" ^ obj counters;
+      "\"gauges\":" ^ obj gauges;
+      "\"histograms\":" ^ obj hists;
+    ]
+
+let pp ppf t =
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "%s = %d@." name c.c)
+    (sorted_bindings t.counters);
+  List.iter
+    (fun (name, g) -> Format.fprintf ppf "%s (max) = %d@." name g.g)
+    (sorted_bindings t.gauges);
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf ppf "%s: count=%d sum=%d max=%d@." name h.hcount h.hsum h.hmax)
+    (sorted_bindings t.histograms)

@@ -1,0 +1,72 @@
+(** A metrics registry for the event pipeline.
+
+    One registry lives inside each {!Server} (and anything holding the
+    server can hang its own series off it).  Three primitives:
+
+    - {b counters} — monotonically increasing ints (events enqueued,
+      coalesced away, delivered, per-request-opcode counts, pans);
+    - {b gauges} — recorded maxima (queue high-water mark);
+    - {b histograms} — log2-bucketed distributions of integer samples
+      (delivery batch sizes, dispatch latencies in nanoseconds).
+
+    Handles ({!counter}, {!gauge}, {!histogram}) are find-or-create by
+    name, so hot paths look a series up once and then pay one mutation per
+    sample.  {!to_json} dumps the whole registry as a single JSON object
+    for the bench harness and CI artifacts. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val counter_value : t -> string -> int
+(** 0 when the series does not exist. *)
+
+(** {1 Gauges (recorded maxima)} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val record_max : gauge -> int -> unit
+val gauge_value : t -> string -> int
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record a sample.  Buckets are log2-sized: sample [n >= 0] lands in
+    bucket [ceil (log2 (n + 1))], i.e. bucket upper bounds 0, 1, 3, 7,
+    15, ... *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+val time_ns : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and record its CPU time in nanoseconds into the named
+    histogram. *)
+
+(** {1 Export} *)
+
+val reset : t -> unit
+(** Zero every series (keeps the registrations, so held handles stay
+    valid). *)
+
+val to_json : t -> string
+(** The registry as one JSON object:
+    [{"counters": {..}, "gauges": {..},
+      "histograms": {name: {"count","sum","max","buckets":[[le,count],..]}}}]
+    Series are sorted by name so dumps diff cleanly. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of the front element *)
+  mutable len : int;
+  mutable hwm : int;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 16) () =
+  { buf = Array.make (pow2 (max 1 capacity) 1) None; head = 0; len = 0; hwm = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let high_water t = t.hwm
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (cap * 2) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) land (cap - 1))
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) land (Array.length t.buf - 1)) <- Some x;
+  t.len <- t.len + 1;
+  if t.len > t.hwm then t.hwm <- t.len
+
+let push_front t x =
+  if t.len = Array.length t.buf then grow t;
+  t.head <- (t.head - 1) land (Array.length t.buf - 1);
+  t.buf.(t.head) <- Some x;
+  t.len <- t.len + 1;
+  if t.len > t.hwm then t.hwm <- t.len
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) land (Array.length t.buf - 1);
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+let back_index t = (t.head + t.len - 1) land (Array.length t.buf - 1)
+let peek_back t = if t.len = 0 then None else t.buf.(back_index t)
+
+let replace_back t x =
+  if t.len = 0 then invalid_arg "Ring.replace_back: empty"
+  else t.buf.(back_index t) <- Some x
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) land (Array.length t.buf - 1)) with
+    | Some x -> f x
+    | None -> ()
+  done

@@ -1,0 +1,45 @@
+(** A growable circular buffer.
+
+    Backs the per-connection event queues in {!Server}: events are enqueued
+    at the back, delivered from the front, and the batched delivery path
+    ({!Server.read_events}) drains a contiguous run per call instead of one
+    element at a time.  The buffer doubles in place when full, so steady
+    state allocates nothing per event.
+
+    The back of the queue is also mutable ({!peek_back}, {!replace_back}),
+    which is what X-style event compression needs: a new MotionNotify
+    replaces the MotionNotify already sitting at the tail rather than
+    enqueueing behind it. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] is the initial ring size (default 16, rounded up to a power
+    of two). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the back; grows the ring when full. *)
+
+val push_front : 'a t -> 'a -> unit
+(** Prepend at the front (used to return the unconsumed remainder of a
+    partially-expanded entry). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the front element. *)
+
+val peek : 'a t -> 'a option
+val peek_back : 'a t -> 'a option
+
+val replace_back : 'a t -> 'a -> unit
+(** Overwrite the back element; raises [Invalid_argument] when empty. *)
+
+val clear : 'a t -> unit
+
+val high_water : 'a t -> int
+(** The largest length the ring has ever reached. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back, without consuming. *)

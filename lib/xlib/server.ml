@@ -1,11 +1,27 @@
 exception Bad_window of Xid.t
 exception Bad_access of string
 
+(* Queue entries: most events sit as [Plain]; pending expose damage on a
+   window is accumulated as a region so overlapping rectangles merge
+   instead of queueing one event each. *)
+type entry =
+  | Plain of Event.t
+  | Damage of { dwindow : Xid.t; mutable region : Region.t option (* None = whole window *) }
+
 type conn = {
   cid : int;
   cname : string;
-  queue : Event.t Queue.t;
+  ring : entry Ring.t;
+  mutable overflow : Event.t list;
+      (* events expanded out of a multi-rect [Damage] entry but not yet
+         handed to the client; always delivered before the ring *)
+  mutable coalesce : bool;
   mutable alive : bool;
+  m_enqueued : Metrics.counter;
+  m_coalesced : Metrics.counter;
+  m_delivered : Metrics.counter;
+  m_depth : Metrics.gauge;
+  m_batch : Metrics.histogram;
 }
 
 type window = {
@@ -45,6 +61,7 @@ type t = {
   mutable focus : Xid.t;
   mutable save_sets : (int * Xid.t) list; (* (cid, window) pairs *)
   mutable requests : int;
+  metrics : Metrics.t;
 }
 
 let bump server = server.requests <- server.requests + 1
@@ -99,14 +116,33 @@ let create ?(screens = [ default_screen ]) () =
     focus = Xid.none;
     save_sets = [];
     requests = 0;
+    metrics = Metrics.create ();
   }
+
+let metrics server = server.metrics
 
 let connect server ~name =
   let cid = server.next_cid in
   server.next_cid <- cid + 1;
-  let conn = { cid; cname = name; queue = Queue.create (); alive = true } in
+  let conn =
+    {
+      cid;
+      cname = name;
+      ring = Ring.create ();
+      overflow = [];
+      coalesce = true;
+      alive = true;
+      m_enqueued = Metrics.counter server.metrics "events.enqueued";
+      m_coalesced = Metrics.counter server.metrics "events.coalesced";
+      m_delivered = Metrics.counter server.metrics "events.delivered";
+      m_depth = Metrics.gauge server.metrics "queue.depth";
+      m_batch = Metrics.histogram server.metrics "delivery.batch_size";
+    }
+  in
   Hashtbl.replace server.conns cid conn;
   conn
+
+let set_coalesce conn flag = conn.coalesce <- flag
 
 let conn_name conn = conn.cname
 let screen_count server = Array.length server.screens
@@ -124,9 +160,48 @@ let atoms server = server.atom_table
 
 (* -------- event delivery -------- *)
 
+(* X-style event compression at enqueue time, applied only against the
+   newest queue entry so relative ordering with other event types is
+   preserved: consecutive MotionNotify on the same window keep only the
+   latest position, redundant ConfigureNotify sequences (same window, same
+   synthetic flag) fold to the final geometry, and consecutive Expose
+   damage on the same window merges via Region.union. *)
+let try_coalesce conn event =
+  conn.coalesce
+  &&
+  match (event, Ring.peek_back conn.ring) with
+  | ( Event.Motion_notify { window; _ },
+      Some (Plain (Event.Motion_notify { window = prev; _ })) )
+    when Xid.equal window prev ->
+      Ring.replace_back conn.ring (Plain event);
+      true
+  | ( Event.Configure_notify { window; synthetic; _ },
+      Some (Plain (Event.Configure_notify { window = prev; synthetic = sprev; _ })) )
+    when Xid.equal window prev && synthetic = sprev ->
+      Ring.replace_back conn.ring (Plain event);
+      true
+  | Event.Expose { window; damage }, Some (Damage d) when Xid.equal window d.dwindow ->
+      (match (d.region, damage) with
+      | None, _ -> () (* a whole-window expose already subsumes any rect *)
+      | _, None -> d.region <- None
+      | Some acc, Some r -> d.region <- Some (Region.union acc (Region.of_rect r)));
+      true
+  | _, (Some _ | None) -> false
+
 let deliver server cid event =
   match Hashtbl.find_opt server.conns cid with
-  | Some conn when conn.alive -> Queue.add event conn.queue
+  | Some conn when conn.alive ->
+      Metrics.incr conn.m_enqueued;
+      if try_coalesce conn event then Metrics.incr conn.m_coalesced
+      else begin
+        (match event with
+        | Event.Expose { window; damage } when conn.coalesce ->
+            let region = Option.map Region.of_rect damage in
+            Ring.push conn.ring (Damage { dwindow = window; region })
+        | _ -> Ring.push conn.ring (Plain event));
+        Metrics.record_max conn.m_depth
+          (Ring.length conn.ring + List.length conn.overflow)
+      end
   | Some _ | None -> ()
 
 let selectors_of window mask =
@@ -316,7 +391,8 @@ let map_window server conn id =
         if not window.mapped then begin
           window.mapped <- true;
           structure_notify server window (Event.Map_notify { window = id });
-          notify server window Event.Exposure_mask (Event.Expose { window = id })
+          notify server window Event.Exposure_mask
+            (Event.Expose { window = id; damage = None })
         end
   end
 
@@ -556,17 +632,72 @@ let selected_masks server conn id =
   | Some masks -> masks
   | None -> []
 
-let pending conn = Queue.length conn.queue
-let next_event conn = Queue.take_opt conn.queue
-let peek_event conn = Queue.peek_opt conn.queue
+let pending conn = List.length conn.overflow + Ring.length conn.ring
 
-let drain_events conn =
-  let rec loop acc =
-    match Queue.take_opt conn.queue with
-    | Some event -> loop (event :: acc)
-    | None -> List.rev acc
+(* A coalesced [Damage] entry expands to one Expose per disjoint rectangle
+   of its region: the union of delivered damage is exactly the union of the
+   damage enqueued. *)
+let events_of_entry = function
+  | Plain event -> [ event ]
+  | Damage { dwindow; region = None } ->
+      [ Event.Expose { window = dwindow; damage = None } ]
+  | Damage { dwindow; region = Some region } ->
+      List.map
+        (fun r -> Event.Expose { window = dwindow; damage = Some r })
+        (Region.rects region)
+
+let rec next_event conn =
+  match conn.overflow with
+  | event :: rest ->
+      conn.overflow <- rest;
+      Metrics.incr conn.m_delivered;
+      Some event
+  | [] -> (
+      match Ring.pop conn.ring with
+      | None -> None
+      | Some entry -> (
+          match events_of_entry entry with
+          | [] -> next_event conn (* an empty damage region delivers nothing *)
+          | event :: rest ->
+              conn.overflow <- rest;
+              Metrics.incr conn.m_delivered;
+              Some event))
+
+let rec peek_event conn =
+  match conn.overflow with
+  | event :: _ -> Some event
+  | [] -> (
+      match Ring.peek conn.ring with
+      | None -> None
+      | Some entry -> (
+          match events_of_entry entry with
+          | [] ->
+              ignore (Ring.pop conn.ring);
+              peek_event conn
+          | event :: _ -> Some event))
+
+let read_events conn ~max =
+  let rec loop acc n =
+    if n >= max then List.rev acc
+    else
+      match next_event conn with
+      | Some event -> loop (event :: acc) (n + 1)
+      | None -> List.rev acc
   in
-  loop []
+  let events = loop [] 0 in
+  (match events with [] -> () | _ -> Metrics.observe conn.m_batch (List.length events));
+  events
+
+let flush_batch conn = read_events conn ~max:max_int
+let drain_events conn = flush_batch conn
+
+(* Post damage to a window: delivered as Expose to Exposure_mask
+   selectors; overlapping damage coalesces in their queues. *)
+let damage_window server id rect =
+  bump server;
+  let window = lookup server id in
+  notify server window Event.Exposure_mask
+    (Event.Expose { window = id; damage = Some rect })
 
 let send_event server _conn ~dest event =
   bump server;

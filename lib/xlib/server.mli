@@ -9,7 +9,18 @@
 
     Clients — including the window manager itself — talk to the server
     through connections ({!conn}); each connection has a private event queue
-    fed according to the event masks it selected. *)
+    fed according to the event masks it selected.
+
+    Queues are ring buffers with X-style event compression applied at
+    enqueue time (unless disabled with {!set_coalesce}): consecutive
+    MotionNotify on the same window collapse to the latest, redundant
+    ConfigureNotify sequences fold to the final geometry, and overlapping
+    Expose damage merges via {!Region.union}.  {!read_events} and
+    {!flush_batch} drain a whole batch per call — the cheap path heavy
+    clients should prefer over one-at-a-time {!next_event} polling.  A
+    {!Metrics} registry ({!metrics}) counts events enqueued / coalesced /
+    delivered, the queue high-water mark, and the delivery batch-size
+    distribution. *)
 
 type t
 type conn
@@ -37,6 +48,18 @@ val disconnect : t -> conn -> unit
     restart). *)
 
 val conn_name : conn -> string
+
+val set_coalesce : conn -> bool -> unit
+(** Enable/disable event compression on this connection's queue (default
+    enabled).  Disabling gives the naive one-event-per-notification
+    pipeline, kept for comparison benchmarks and tests. *)
+
+val metrics : t -> Metrics.t
+(** The server's metrics registry.  Series maintained by the server itself:
+    counters [events.enqueued], [events.coalesced], [events.delivered];
+    gauge [queue.depth] (per-connection high-water mark); histogram
+    [delivery.batch_size]. *)
+
 val screen_count : t -> int
 val screen_size : t -> screen:int -> int * int
 val screen_monochrome : t -> screen:int -> bool
@@ -133,9 +156,26 @@ val select_input : t -> conn -> Xid.t -> Event.mask list -> unit
 val selected_masks : t -> conn -> Xid.t -> Event.mask list
 
 val pending : conn -> int
+(** Number of queue entries waiting (a coalesced multi-rectangle Expose
+    counts once even though it may expand to several events). *)
+
 val next_event : conn -> Event.t option
 val peek_event : conn -> Event.t option
+
+val read_events : conn -> max:int -> Event.t list
+(** Drain up to [max] events in one call — the batched counterpart of
+    {!next_event}.  Records the batch size in [delivery.batch_size]. *)
+
+val flush_batch : conn -> Event.t list
+(** Drain everything queued: [read_events ~max:max_int]. *)
+
 val drain_events : conn -> Event.t list
+(** Alias of {!flush_batch}, kept for existing callers. *)
+
+val damage_window : t -> Xid.t -> Geom.rect -> unit
+(** Post an Expose with a window-interior damage rectangle to every
+    connection selecting [Exposure_mask] there.  Overlapping damage merges
+    in the receivers' queues. *)
 
 val send_event : t -> conn -> dest:Xid.t -> Event.t -> unit
 (** Deliver an event directly to the owner of [dest] and to every connection

@@ -425,7 +425,14 @@ let encode_event (event : Event.t) =
   | Event.Leave_notify { window } -> event_frame 14 (fun b -> xid b window)
   | Event.Focus_in { window } -> event_frame 17 (fun b -> xid b window)
   | Event.Focus_out { window } -> event_frame 18 (fun b -> xid b window)
-  | Event.Expose { window } -> event_frame 15 (fun b -> xid b window)
+  | Event.Expose { window; damage } ->
+      event_frame 15 (fun b ->
+          xid b window;
+          match damage with
+          | None -> W.u8 b 0
+          | Some r ->
+              W.u8 b 1;
+              write_rect b r)
   | Event.Client_message { window; name; data } ->
       event_frame 16 (fun b ->
           xid b window;
@@ -529,7 +536,12 @@ let decode_event s ~pos =
         | 14 -> Event.Leave_notify { window = xid () }
         | 17 -> Event.Focus_in { window = xid () }
         | 18 -> Event.Focus_out { window = xid () }
-        | 15 -> Event.Expose { window = xid () }
+        | 15 ->
+            let window = xid () in
+            let damage =
+              if R.u8 s cursor = 1 then Some (read_rect s cursor) else None
+            in
+            Event.Expose { window; damage }
         | 16 ->
             let window = xid () in
             let name = read_fixed_string s cursor 13 in
@@ -543,6 +555,130 @@ let decode_event s ~pos =
   | R.Short -> Error "short read"
   | Failure msg -> Error msg
   | Invalid_argument _ -> Error "short event frame"
+
+(* -------- batched event frames -------- *)
+
+(* A batch is a length-prefixed frame holding N fixed-size event frames:
+     u8 0xEB | u8 0 | u16 count | u32 payload bytes | count * 32-byte events
+   The prefix lets a reader skip a whole batch without decoding it, and the
+   canonical event encoding makes decode_batch/encode_batch inverse down to
+   the byte level, so recorded batches stay byte-replayable. *)
+
+let batch_code = 0xeb
+
+let encode_batch events =
+  let payload = Buffer.create (32 * List.length events) in
+  List.iter (fun event -> Buffer.add_string payload (encode_event event)) events;
+  let frame = Buffer.create (Buffer.length payload + 8) in
+  W.u8 frame batch_code;
+  W.u8 frame 0;
+  W.u16 frame (List.length events);
+  W.u32 frame (Buffer.length payload);
+  Buffer.add_buffer frame payload;
+  Buffer.contents frame
+
+let decode_batch s ~pos =
+  try
+    let cursor = ref pos in
+    let code = R.u8 s cursor in
+    if code <> batch_code then
+      Error (Printf.sprintf "not a batch frame (code %d)" code)
+    else begin
+      let _pad = R.u8 s cursor in
+      let count = R.u16 s cursor in
+      let bytes = R.u32 s cursor in
+      if bytes <> count * 32 then Error "batch length mismatch"
+      else if !cursor + bytes > String.length s then Error "truncated batch"
+      else begin
+        let rec read acc n p =
+          if n = 0 then Ok (List.rev acc)
+          else
+            match decode_event s ~pos:p with
+            | Ok (event, next) -> read (event :: acc) (n - 1) next
+            | Error _ as e -> e
+        in
+        match read [] count !cursor with
+        | Ok events -> Ok (events, !cursor + bytes)
+        | Error _ as e -> e
+      end
+    end
+  with R.Short -> Error "short read"
+
+(* -------- event and request compression -------- *)
+
+(* The same compression the server queues apply at enqueue time, as a pure
+   function over an event list (for compressing a batch before it goes on
+   the wire).  Only the newest kept event is a merge candidate, so ordering
+   across event types is preserved. *)
+let compress_events events =
+  let merge kept event =
+    match (event, kept) with
+    | ( Event.Motion_notify { window; _ },
+        Event.Motion_notify { window = prev; _ } )
+      when Xid.equal window prev -> Some event
+    | ( Event.Configure_notify { window; synthetic; _ },
+        Event.Configure_notify { window = prev; synthetic = sprev; _ } )
+      when Xid.equal window prev && synthetic = sprev -> Some event
+    | ( Event.Expose { window; damage },
+        Event.Expose { window = prev; damage = dprev } )
+      when Xid.equal window prev -> (
+        match (dprev, damage) with
+        | None, _ | _, None -> Some (Event.Expose { window; damage = None })
+        | Some a, Some b ->
+            let union = Region.union (Region.of_rect a) (Region.of_rect b) in
+            (* Keep the single-rect representation when the union stays a
+               rectangle; otherwise fall back to separate events. *)
+            (match Region.rects union with
+            | [ r ] -> Some (Event.Expose { window; damage = Some r })
+            | _ -> None))
+    | _ -> None
+  in
+  let rec fold acc = function
+    | [] -> List.rev acc
+    | event :: rest -> (
+        match acc with
+        | kept :: acc_rest -> (
+            match merge kept event with
+            | Some merged -> fold (merged :: acc_rest) rest
+            | None -> fold (event :: acc) rest)
+        | [] -> fold [ event ] rest)
+  in
+  fold [] events
+
+(* Request-side folding for traces: a pan storm is hundreds of consecutive
+   ConfigureWindow requests on the desktop window; only the final geometry
+   matters for replay. *)
+let merge_changes (a : Event.config_changes) (b : Event.config_changes) =
+  let pick bo ao = match bo with Some _ -> bo | None -> ao in
+  let cstack, csibling =
+    match b.cstack with
+    | Some _ -> (b.cstack, b.csibling)
+    | None -> (a.cstack, a.csibling)
+  in
+  {
+    Event.cx = pick b.cx a.cx;
+    cy = pick b.cy a.cy;
+    cw = pick b.cw a.cw;
+    ch = pick b.ch a.ch;
+    cborder = pick b.cborder a.cborder;
+    cstack;
+    csibling;
+  }
+
+let compress_requests requests =
+  let rec fold acc = function
+    | [] -> List.rev acc
+    | req :: rest -> (
+        match (req, acc) with
+        | ( Configure_window (w, changes),
+            Configure_window (prev, changes_prev) :: acc_rest )
+          when Xid.equal w prev ->
+            fold (Configure_window (w, merge_changes changes_prev changes) :: acc_rest)
+              rest
+        | Warp_pointer _, Warp_pointer _ :: acc_rest -> fold (req :: acc_rest) rest
+        | _ -> fold (req :: acc) rest)
+  in
+  fold [] requests
 
 (* -------- traces -------- *)
 
@@ -565,6 +701,8 @@ module Trace = struct
     match decode_requests s with
     | Ok reqs -> Ok { items = List.rev reqs }
     | Error _ as e -> e
+
+  let compress t = { items = List.rev (compress_requests (requests t)) }
 
   let replay t server conn ~remap =
     (* Created windows get fresh server ids; recorded ids are mapped to the

@@ -41,6 +41,10 @@ type request =
 
 val pp_request : Format.formatter -> request -> unit
 
+val opcode : request -> int
+(** The wire opcode (1..16) — also the key of the per-opcode request
+    counters in {!Server.metrics}. *)
+
 val encode_request : request -> string
 (** X-framed bytes: 4-byte-aligned, length-prefixed. *)
 
@@ -56,6 +60,35 @@ val encode_event : Event.t -> string
 
 val decode_event : string -> pos:int -> (Event.t * int, string) result
 
+(** {1 Batched event frames}
+
+    A batch frame carries N events under one length-prefixed header —
+    [u8 0xEB | u8 0 | u16 count | u32 payload-bytes | count * 32-byte
+    events] — so a connection flush costs one frame instead of N, and a
+    reader can skip a batch without decoding it.  The canonical event
+    encoding makes the pair inverse down to the byte level:
+    [encode_batch (fst (decode_batch bytes)) = bytes]. *)
+
+val encode_batch : Event.t list -> string
+val decode_batch : string -> pos:int -> (Event.t list * int, string) result
+
+(** {1 Compression}
+
+    The same X-style compression the server queues apply at enqueue time,
+    as pure functions for the wire layer: only the newest kept element is a
+    merge candidate, so ordering across kinds is preserved. *)
+
+val compress_events : Event.t list -> Event.t list
+(** Collapse consecutive MotionNotify on one window to the latest,
+    fold redundant ConfigureNotify runs to the final geometry, and merge
+    consecutive Expose damage on one window when the union remains a
+    rectangle. *)
+
+val compress_requests : request list -> request list
+(** Fold consecutive [Configure_window] requests on the same window into
+    one carrying the final changes, and runs of [Warp_pointer] to the last
+    position — a panning storm compresses to a single configure. *)
+
 (** {1 Traces} *)
 
 module Trace : sig
@@ -70,6 +103,10 @@ module Trace : sig
   val to_bytes : t -> string
   val of_bytes : string -> (t, string) result
   val requests : t -> request list
+
+  val compress : t -> t
+  (** {!compress_requests} applied to the whole trace; replaying the
+      compressed trace reaches the same final window state. *)
 
   val replay :
     t -> Server.t -> Server.conn -> remap:(Xid.t -> Xid.t) -> (int, string) result

@@ -6,6 +6,7 @@ type t = {
   to_client : Xid.t Xid.Tbl.t;
   mutable sent : int;
   mutable received : int;
+  op_counters : Metrics.counter option array; (* per-opcode request counts *)
 }
 
 (* Client ids live in their own space; roots get well-known client ids so a
@@ -23,6 +24,7 @@ let create server ~name =
       to_client = Xid.Tbl.create 16;
       sent = 0;
       received = 0;
+      op_counters = Array.make 32 None;
     }
   in
   for screen = 0 to Server.screen_count server - 1 do
@@ -52,7 +54,27 @@ let to_server_id t cid =
 let to_client_id t sid =
   match Xid.Tbl.find_opt t.to_client sid with Some cid -> cid | None -> sid
 
+(* Per-request-opcode counters ("requests.opcode.NN"), resolved once per
+   opcode and cached. *)
+let count_opcode t req =
+  let code = Wire.opcode req in
+  if code >= 0 && code < Array.length t.op_counters then begin
+    let counter =
+      match t.op_counters.(code) with
+      | Some c -> c
+      | None ->
+          let c =
+            Metrics.counter (Server.metrics t.server)
+              (Printf.sprintf "requests.opcode.%02d" code)
+          in
+          t.op_counters.(code) <- Some c;
+          c
+    in
+    Metrics.incr counter
+  end
+
 let execute t (req : Wire.request) =
+  count_opcode t req;
   let s = to_server_id t in
   match req with
   | Wire.Create_window { wid; parent; geom; border; override_redirect } ->
@@ -133,7 +155,7 @@ let translate_event t (event : Event.t) : Event.t =
   | Event.Leave_notify { window } -> Event.Leave_notify { window = c window }
   | Event.Focus_in { window } -> Event.Focus_in { window = c window }
   | Event.Focus_out { window } -> Event.Focus_out { window = c window }
-  | Event.Expose { window } -> Event.Expose { window = c window }
+  | Event.Expose r -> Event.Expose { r with window = c r.window }
   | Event.Client_message r -> Event.Client_message { r with window = c r.window }
 
 let drain_event_bytes t =
@@ -145,3 +167,12 @@ let drain_event_bytes t =
   let bytes = Buffer.contents buf in
   t.received <- t.received + String.length bytes;
   bytes
+
+let flush_batch_bytes t =
+  match Server.flush_batch t.sconn with
+  | [] -> ""
+  | events ->
+      let events = Wire.compress_events (List.map (translate_event t) events) in
+      let bytes = Wire.encode_batch events in
+      t.received <- t.received + String.length bytes;
+      bytes

@@ -34,7 +34,14 @@ val submit_bytes : t -> string -> (int, string) result
 
 val drain_event_bytes : t -> string
 (** Encode and remove all pending events, window ids translated back into
-    the client's id space (unknown server windows pass through). *)
+    the client's id space (unknown server windows pass through), one
+    32-byte frame per event. *)
+
+val flush_batch_bytes : t -> string
+(** The batched counterpart of {!drain_event_bytes}: drain everything
+    pending, run {!Wire.compress_events} over it, and return one
+    length-prefixed {!Wire.encode_batch} frame ([""] when nothing is
+    queued). *)
 
 val bytes_sent : t -> int
 val bytes_received : t -> int

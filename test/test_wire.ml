@@ -131,7 +131,8 @@ let test_event_roundtrips () =
       Event.Motion_notify { window = w; pos = Geom.point 5 6; root_pos = Geom.point 7 8 };
       Event.Enter_notify { window = w };
       Event.Leave_notify { window = w };
-      Event.Expose { window = w };
+      Event.Expose { window = w; damage = None };
+      Event.Expose { window = w; damage = Some { Geom.x = 4; y = 8; w = 40; h = 20 } };
       Event.Client_message { window = w; name = "WM_PROTOCOLS"; data = "DELETE" };
     ]
 
