@@ -32,6 +32,7 @@ module Gwm_like = Swm_baselines.Gwm_like
 module Mlisp = Swm_baselines.Mlisp
 
 module Metrics = Swm_xlib.Metrics
+module Tracing = Swm_xlib.Tracing
 module Wire = Swm_xlib.Wire
 
 (* -------- runner -------- *)
@@ -860,12 +861,9 @@ let bench_pipeline () =
     (Metrics.counter_value m "events.delivered");
   (results, naive_delivered, coal_delivered, ratio, state_match, m)
 
-(* Machine-readable dump for CI: bechamel numbers for the pipeline family
-   plus the deterministic event-count evidence and the metrics registry. *)
-let write_pipeline_json ~path
-    (results, naive_delivered, coal_delivered, ratio, state_match, metrics) =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"results\": [\n";
+(* Shared serialisation of a bechamel result list. *)
+let add_results_json b results =
+  Buffer.add_string b "  \"results\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
@@ -878,7 +876,15 @@ let write_pipeline_json ~path
            | Some _ | None -> "null")
            (if i = List.length results - 1 then "" else ",")))
     (List.sort (fun a b -> compare a.rname b.rname) results);
-  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  ],\n"
+
+(* Machine-readable dump for CI: bechamel numbers for the pipeline family
+   plus the deterministic event-count evidence and the metrics registry. *)
+let write_pipeline_json ~path
+    (results, naive_delivered, coal_delivered, ratio, state_match, metrics) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  add_results_json b results;
   Buffer.add_string b
     (Printf.sprintf
        "  \"motion_storm\": {\"naive_delivered\": %d, \"coalesced_delivered\": \
@@ -892,6 +898,123 @@ let write_pipeline_json ~path
   close_out oc;
   Format.printf "   -> wrote %s@." path
 
+(* -------- O1: observability — span tracing across the request path -------- *)
+
+let bench_observability () =
+  (* The same pan-storm fixture as pipeline/pan_storm, once with the tracer
+     left disabled (the shipping default — this is the overhead the guards
+     cost everyone) and once recording (the cost of turning tracing on). *)
+  let mk_pan_storm ~traced () =
+    let server = Server.create () in
+    let wm =
+      Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server
+    in
+    let ctx = Wm.ctx wm in
+    let _apps =
+      Workload.launch server
+        { Workload.default_params with count = 30; area = (3000, 2400) }
+    in
+    ignore (Wm.step wm);
+    if traced then Tracing.start (Server.tracer server);
+    let flip = ref false in
+    fun () ->
+      flip := not !flip;
+      for i = 1 to 10 do
+        Vdesk.pan_to ctx ~screen:0
+          (if !flip then Geom.point (i * 100) (i * 80) else Geom.point 0 0)
+      done;
+      ignore (Wm.step wm)
+  in
+  let off_tracer = Tracing.create () in
+  let on_tracer = Tracing.create () in
+  Tracing.start on_tracer;
+  let results =
+    report ~experiment:"O1: span tracing (observability)"
+      ~claim:
+        "a disabled span is one flag check (no allocation, no clock read); \
+         enabled tracing writes into a bounded ring so it can stay on"
+      (run_tests
+         [
+           Test.make ~name:"observability/span-disabled"
+             (Staged.stage (fun () -> Tracing.span off_tracer "bench" (fun () -> ())));
+           Test.make ~name:"observability/span-enabled"
+             (Staged.stage (fun () -> Tracing.span on_tracer "bench" (fun () -> ())));
+           Test.make ~name:"observability/instant-enabled"
+             (Staged.stage (fun () -> Tracing.instant on_tracer "tick"));
+           Test.make ~name:"observability/pan_storm-traced-off"
+             (Staged.stage (mk_pan_storm ~traced:false ()));
+           Test.make ~name:"observability/pan_storm-traced-on"
+             (Staged.stage (mk_pan_storm ~traced:true ()));
+           (* By now the enabled ring has wrapped: exports pay full price. *)
+           Test.make ~name:"observability/chrome-export-full-ring"
+             (Staged.stage (fun () -> ignore (Tracing.to_chrome_json on_tracer)));
+         ])
+  in
+  let off = find "observability/pan_storm-traced-off" results
+  and on = find "observability/pan_storm-traced-on" results in
+  verdict
+    "pan storm traced-on/traced-off = %.2fx; disabled span costs %s (ring \
+     holds %d events, %d dropped)"
+    (on /. off)
+    (Format.asprintf "%a" pp_ns (find "observability/span-disabled" results))
+    (List.length (Tracing.events on_tracer))
+    (Tracing.dropped on_tracer);
+  results
+
+let write_observability_json ~path results ~pipeline_pan_ns =
+  let off = find "observability/pan_storm-traced-off" results
+  and on = find "observability/pan_storm-traced-on" results
+  and span_disabled = find "observability/span-disabled" results
+  and span_enabled = find "observability/span-enabled" results in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.2f" v in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  add_results_json b results;
+  (* disabled_vs_pipeline_ratio compares the instrumented-but-disabled pan
+     storm against the pipeline family's identical fixture measured in the
+     same process: the guards' overhead relative to run-to-run noise. *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"overhead\": {\"span_disabled_ns\": %s, \"span_enabled_ns\": %s, \
+        \"pan_storm_traced_off_ns\": %s, \"pan_storm_traced_on_ns\": %s, \
+        \"traced_on_ratio\": %s, \"disabled_vs_pipeline_ratio\": %s}\n"
+       (num span_disabled) (num span_enabled) (num off) (num on)
+       (num (on /. off))
+       (num (off /. pipeline_pan_ns)));
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "   -> wrote %s@." path
+
+(* The acceptance artifact: a traced scripted session (pan storm + iconify
+   burst over swmcmd) exported as Chrome trace-event JSON for Perfetto. *)
+let write_sample_trace ~path =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look ] server in
+  let _xterm = Stock.xterm server ~at:(Geom.point 60 80) () in
+  let _xclock = Stock.xclock server ~at:(Geom.point 600 60) () in
+  ignore (Wm.step wm);
+  Tracing.start (Server.tracer server);
+  let sender = Server.connect server ~name:"bench-swmcmd" in
+  let send line =
+    Swm_core.Swmcmd.send server sender ~screen:0 line;
+    ignore (Wm.step wm)
+  in
+  for i = 1 to 10 do
+    send (Printf.sprintf "f.panTo(%d,%d)" (i * 120) (i * 80))
+  done;
+  for _ = 1 to 3 do
+    send "f.iconify(XTerm)";
+    send "f.deiconify(XTerm)"
+  done;
+  Tracing.stop (Server.tracer server);
+  let oc = open_out path in
+  output_string oc (Tracing.to_chrome_json (Server.tracer server));
+  close_out oc;
+  Format.printf "   -> wrote %s (%d events)@." path
+    (List.length (Tracing.events (Server.tracer server)))
+
 let () =
   Arg.parse
     [ ("--smoke", Arg.Set smoke, " tiny quota, for CI smoke runs") ]
@@ -899,7 +1022,12 @@ let () =
     "bench [--smoke]";
   Format.printf "swm benchmark harness — one experiment per DESIGN.md index entry%s@."
     (if !smoke then " (smoke run)" else "");
-  write_pipeline_json ~path:"BENCH_pipeline.json" (bench_pipeline ());
+  let ((pipeline_results, _, _, _, _, _) as pipeline) = bench_pipeline () in
+  write_pipeline_json ~path:"BENCH_pipeline.json" pipeline;
+  write_observability_json ~path:"BENCH_observability.json"
+    (bench_observability ())
+    ~pipeline_pan_ns:(find "pipeline/pan_storm" pipeline_results);
+  write_sample_trace ~path:"BENCH_observability.trace.json";
   bench_figures ();
   bench_panner ();
   bench_manage_comparison ();

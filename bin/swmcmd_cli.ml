@@ -5,34 +5,97 @@
    the WM's event loop picks it up and executes it.  Commands are taken
    from argv (joined), e.g.:
 
-     swmcmd_cli "f.iconify(XTerm)" *)
+     swmcmd_cli "f.iconify(XTerm)"
+
+   Introspection flags run the channel in both directions — the command
+   goes in over SWM_COMMAND and the reply comes back on SWM_RESULT:
+
+     swmcmd_cli --metrics            print the WM's metrics registry (JSON)
+     swmcmd_cli --slowlog            print the slow-op log (JSON)
+     swmcmd_cli --trace FILE         trace a scripted session (pan storm +
+                                     iconify burst) and write Chrome
+                                     trace-event JSON to FILE *)
 
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
+module Prop = Swm_xlib.Prop
+module Wire = Swm_xlib.Wire
+module Wire_conn = Swm_xlib.Wire_conn
+module Tracing = Swm_xlib.Tracing
 module Wm = Swm_core.Wm
 module Ctx = Swm_core.Ctx
 module Swmcmd = Swm_core.Swmcmd
 module Templates = Swm_core.Templates
 module Stock = Swm_clients.Stock
 
-let () =
-  let command =
-    if Array.length Sys.argv > 1 then
-      String.concat " " (Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)))
-    else "f.iconify(XTerm)"
-  in
+type mode = Command of string | Metrics | Slowlog | Trace of string
+
+let usage () =
+  prerr_endline
+    "usage: swmcmd_cli [COMMAND... | --metrics | --slowlog | --trace FILE]";
+  exit 2
+
+let parse_args () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] -> Command "f.iconify(XTerm)"
+  | [ "--metrics" ] -> Metrics
+  | [ "--slowlog" ] -> Slowlog
+  | [ "--trace"; file ] -> Trace file
+  | first :: _ as rest ->
+      if String.length first > 0 && first.[0] = '-' then usage ()
+      else Command (String.concat " " rest)
+
+let setup () =
   let server = Server.create () in
   let wm = Wm.start ~resources:[ Templates.open_look ] server in
-  let ctx = Wm.ctx wm in
   let _xterm = Stock.xterm server ~at:(Geom.point 60 80) () in
   let _xclock = Stock.xclock server ~at:(Geom.point 600 60) () in
   ignore (Wm.step wm);
+  (server, wm)
 
-  (* An unrelated client sends the command. *)
+(* One swmcmd round-trip: append the line, let the WM drain it. *)
+let roundtrip server wm sender line =
+  Swmcmd.send server sender ~screen:0 line;
+  ignore (Wm.step wm)
+
+let read_reply server =
+  match Swmcmd.read_result server ~screen:0 with
+  | Some text -> text
+  | None ->
+      prerr_endline "swmcmd_cli: swm left no SWM_RESULT reply";
+      exit 1
+
+(* The scripted session the trace captures: a pan storm followed by an
+   iconify burst, with the command lines submitted as encoded bytes through
+   a Wire_conn so the trace starts at wire decode and reaches down through
+   dispatch to pans and redraws. *)
+let scripted_session server wm =
+  let wire = Wire_conn.create server ~name:"swmcmd-wire" in
+  let root = Wire_conn.root_id wire ~screen:0 in
+  let submit line =
+    (match
+       Wire_conn.submit wire
+         (Wire.Change_property
+            { window = root; name = Prop.swm_command; value = line })
+     with
+    | Ok () -> ()
+    | Error msg -> Printf.eprintf "swmcmd_cli: wire error: %s\n" msg);
+    ignore (Wm.step wm)
+  in
+  for i = 1 to 10 do
+    submit (Printf.sprintf "f.panTo(%d,%d)" (i * 120) (i * 80))
+  done;
+  for _ = 1 to 3 do
+    submit "f.iconify(XTerm)";
+    submit "f.deiconify(XTerm)"
+  done;
+  submit "f.panTo(0,0)"
+
+let run_command command =
+  let server, wm = setup () in
+  let ctx = Wm.ctx wm in
   let sender = Server.connect server ~name:"swmcmd" in
-  Swmcmd.send server sender ~screen:0 command;
-  ignore (Wm.step wm);
-
+  roundtrip server wm sender command;
   Printf.printf "sent: %s\n" command;
   List.iter
     (fun (c : Ctx.client) ->
@@ -44,3 +107,34 @@ let () =
   match ctx.Ctx.mode with
   | Ctx.Prompting _ -> print_endline "swm is now prompting for a target window"
   | _ -> ()
+
+let run_introspection verb =
+  let server, wm = setup () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  (* Give the introspection something to report. *)
+  roundtrip server wm sender "f.panTo(240,160)";
+  roundtrip server wm sender verb;
+  print_string (read_reply server);
+  print_newline ()
+
+let run_trace file =
+  let server, wm = setup () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  roundtrip server wm sender "f.trace(start)";
+  scripted_session server wm;
+  roundtrip server wm sender "f.trace(stop)";
+  roundtrip server wm sender "f.trace(dump)";
+  let json = read_reply server in
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc json);
+  let tracer = Server.tracer server in
+  Printf.printf "wrote %s: %d events (%d dropped), %d slow spans\n" file
+    (List.length (Tracing.events tracer))
+    (Tracing.dropped tracer)
+    (List.length (Tracing.slow_log tracer))
+
+let () =
+  match parse_args () with
+  | Command command -> run_command command
+  | Metrics -> run_introspection "f.metrics"
+  | Slowlog -> run_introspection "f.slowlog"
+  | Trace file -> run_trace file

@@ -4,6 +4,7 @@ module Xid = Swm_xlib.Xid
 module Event = Swm_xlib.Event
 module Wobj = Swm_oi.Wobj
 module Panel_spec = Swm_oi.Panel_spec
+module Tracing = Swm_xlib.Tracing
 
 let decoration_name (ctx : Ctx.t) (client : Ctx.client) =
   match Config.query_client ctx.cfg ~screen:client.screen (Ctx.client_scope client)
@@ -80,6 +81,12 @@ let propagate_shape (ctx : Ctx.t) (client : Ctx.client) =
   | _ -> ()
 
 let build (ctx : Ctx.t) (client : Ctx.client) ~at =
+  (let tracer = Server.tracer ctx.server in
+   if Tracing.enabled tracer then
+     Tracing.span tracer "decoration.build"
+       ~attrs:[ ("client", string_of_int (Xid.to_int client.cwin)) ]
+   else fun f -> f ())
+  @@ fun () ->
   let parent = Vdesk.effective_parent ctx ~screen:client.screen ~sticky:client.sticky in
   let cgeom = Server.geometry ctx.server client.cwin in
   (match decoration_name ctx client with
@@ -157,6 +164,12 @@ let teardown (ctx : Ctx.t) (client : Ctx.client) ~to_root =
   client.frame <- client.cwin
 
 let redecorate (ctx : Ctx.t) (client : Ctx.client) =
+  (let tracer = Server.tracer ctx.server in
+   if Tracing.enabled tracer then
+     Tracing.span tracer "decoration.redraw"
+       ~attrs:[ ("client", string_of_int (Xid.to_int client.cwin)) ]
+   else fun f -> f ())
+  @@ fun () ->
   let parent_geom = Server.geometry ctx.server client.frame in
   let pos = Geom.point parent_geom.x parent_geom.y in
   (* Park the client on the real root while rebuilding. *)
@@ -171,6 +184,12 @@ let redecorate (ctx : Ctx.t) (client : Ctx.client) =
   build ctx client ~at:pos
 
 let client_resized (ctx : Ctx.t) (client : Ctx.client) (w, h) =
+  (let tracer = Server.tracer ctx.server in
+   if Tracing.enabled tracer then
+     Tracing.span tracer "decoration.resize"
+       ~attrs:[ ("client", string_of_int (Xid.to_int client.cwin)) ]
+   else fun f -> f ())
+  @@ fun () ->
   let w, h = Icccm.constrain_size (Icccm.read_size_hints ctx client.cwin) (w, h) in
   match (client.deco, client.client_panel) with
   | Some deco, Some panel ->

@@ -5,6 +5,8 @@ module Prop = Swm_xlib.Prop
 module Wobj = Swm_oi.Wobj
 module Menu = Swm_oi.Menu
 module Panel_spec = Swm_oi.Panel_spec
+module Metrics = Swm_xlib.Metrics
+module Tracing = Swm_xlib.Tracing
 
 type invocation = {
   inv_obj : Wobj.t option;
@@ -20,7 +22,7 @@ let data_arg_functions =
   [
     "f.warpvertical"; "f.warphorizontal"; "f.pan"; "f.panto"; "f.desktop";
     "f.menu"; "f.exec"; "f.places"; "f.resizedesktop"; "f.setlabel";
-    "f.setbindings"; "f.warpto"; "f.scrollholder"; "f.function";
+    "f.setbindings"; "f.warpto"; "f.scrollholder"; "f.function"; "f.trace";
   ]
 
 let window_functions =
@@ -32,7 +34,7 @@ let window_functions =
 
 let nullary_functions =
   [ "f.quit"; "f.restart"; "f.refresh"; "f.unpostmenu"; "f.circulateup";
-    "f.circulatedown" ]
+    "f.circulatedown"; "f.metrics"; "f.slowlog" ]
 
 let function_names = window_functions @ data_arg_functions @ nullary_functions
 
@@ -358,6 +360,29 @@ let circulate (ctx : Ctx.t) ~screen direction =
   | (`Up | `Down), ([] | [ _ ])  -> ());
   Panner.refresh ctx ~screen
 
+(* -------- runtime introspection (f.metrics / f.trace / f.slowlog) -------- *)
+
+(* Replies travel the swmcmd channel in reverse: the result text is written
+   to the SWM_RESULT root property, where the sending client reads it back
+   (paper §4.3 run in both directions). *)
+let set_result (ctx : Ctx.t) ~screen text =
+  let scr = Ctx.screen ctx screen in
+  Server.change_property ctx.server ctx.conn scr.root ~name:Prop.swm_result
+    (Prop.String text)
+
+let trace_control (ctx : Ctx.t) ~screen arg =
+  let tracer = Server.tracer ctx.server in
+  match Option.map (fun a -> String.lowercase_ascii (String.trim a)) arg with
+  | Some "start" ->
+      Tracing.start tracer;
+      set_result ctx ~screen "{\"tracing\":\"started\"}"
+  | Some "stop" ->
+      Tracing.stop tracer;
+      set_result ctx ~screen "{\"tracing\":\"stopped\"}"
+  | Some "dump" -> set_result ctx ~screen (Tracing.to_chrome_json tracer)
+  | Some _ | None ->
+      set_result ctx ~screen "{\"error\":\"f.trace takes start, stop or dump\"}"
+
 let run_nullary (ctx : Ctx.t) inv name =
   match name with
   | "f.quit" -> ctx.running <- false
@@ -368,6 +393,12 @@ let run_nullary (ctx : Ctx.t) inv name =
   | "f.unpostmenu" -> unpost_menu ctx ~screen:inv.inv_screen
   | "f.circulateup" -> circulate ctx ~screen:inv.inv_screen `Up
   | "f.circulatedown" -> circulate ctx ~screen:inv.inv_screen `Down
+  | "f.metrics" ->
+      set_result ctx ~screen:inv.inv_screen
+        (Metrics.to_json (Server.metrics ctx.server))
+  | "f.slowlog" ->
+      set_result ctx ~screen:inv.inv_screen
+        (Tracing.slow_log_json (Server.tracer ctx.server))
   | _ -> ()
 
 let rec run_data ~depth (ctx : Ctx.t) inv name arg =
@@ -464,6 +495,7 @@ let rec run_data ~depth (ctx : Ctx.t) inv name arg =
           | Some holder, Some delta -> Icons.scroll_holder ctx holder delta
           | _ -> ())
       | None -> ())
+  | "f.trace" -> trace_control ctx ~screen arg
   | "f.warpto" -> (
       match arg with
       | Some class_arg -> (
@@ -486,18 +518,32 @@ and execute_at ~depth (ctx : Ctx.t) inv (funcs : Bindings.func_call list) =
   | [] -> ()
   | f :: rest -> (
       let name = canon f.fname in
+      let tracer = Server.tracer ctx.server in
       if List.mem name nullary_functions then begin
-        run_nullary ctx inv name;
+        (if Tracing.enabled tracer then Tracing.span tracer name
+         else fun f -> f ())
+        @@ (fun () -> run_nullary ctx inv name);
         execute_at ~depth ctx inv rest
       end
       else if List.mem name data_arg_functions then begin
-        run_data ~depth ctx inv name f.farg;
+        (if Tracing.enabled tracer then
+           Tracing.span tracer name
+             ~attrs:(match f.farg with None -> [] | Some a -> [ ("arg", a) ])
+         else fun f -> f ())
+        @@ (fun () -> run_data ~depth ctx inv name f.farg);
         execute_at ~depth ctx inv rest
       end
       else if List.mem name window_functions then begin
         match resolve_targets ctx inv f with
         | Clients clients ->
-            List.iter (run_on_client ctx name) clients;
+            List.iter
+              (fun (client : Ctx.client) ->
+                (if Tracing.enabled tracer then
+                   Tracing.span tracer name
+                     ~attrs:[ ("client", client.instance) ]
+                 else fun f -> f ())
+                @@ fun () -> run_on_client ctx name client)
+              clients;
             execute_at ~depth ctx inv rest
         | Needs_prompt ->
             (* Park this function and the rest until a window is picked. *)
@@ -521,8 +567,17 @@ let execute_string (ctx : Ctx.t) inv text =
   (* Reuse the bindings function-list grammar by parsing a synthetic
      binding. *)
   match Bindings.parse ("<Btn1> : " ^ String.trim text) with
-  | Ok [ { funcs; _ } ] ->
+  | Ok [ { funcs; _ } ] -> (
       execute ctx inv funcs;
-      Ok ()
+      (* Typos must not vanish: run what is known, report what is not. *)
+      match
+        List.filter (fun (f : Bindings.func_call) -> not (known f.fname)) funcs
+      with
+      | [] -> Ok ()
+      | unknown ->
+          Error
+            ("unknown function "
+            ^ String.concat ", "
+                (List.map (fun (f : Bindings.func_call) -> f.fname) unknown)))
   | Ok _ -> Error "expected a plain function list"
   | Error msg -> Error msg

@@ -38,7 +38,10 @@ val execute : Ctx.t -> invocation -> Bindings.func_call list -> unit
 
 val execute_string : Ctx.t -> invocation -> string -> (unit, string) result
 (** Parse and run a command string such as ["f.iconify(xterm)"] or
-    ["f.save f.zoom"] — the swmcmd entry point. *)
+    ["f.save f.zoom"] — the swmcmd entry point.  Known functions run even
+    when the line also contains unknown names, but any unknown name turns
+    the result into [Error] so callers (and the [swmcmd.errors] counter)
+    see the typo. *)
 
 val resume_with_target : Ctx.t -> Ctx.client -> unit
 (** Complete a pending prompting-mode invocation on the selected client. *)

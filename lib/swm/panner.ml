@@ -90,6 +90,11 @@ let clear_miniatures (ctx : Ctx.t) ~screen =
     stale
 
 let refresh (ctx : Ctx.t) ~screen =
+  (let tracer = Server.tracer ctx.server in
+   if Swm_xlib.Tracing.enabled tracer then
+     Swm_xlib.Tracing.span tracer "panner.refresh"
+   else fun f -> f ())
+  @@ fun () ->
   Metrics.time_ns (Server.metrics ctx.server) "panner.refresh_ns" @@ fun () ->
   Scrollbar.refresh ctx ~screen;
   match vdesk_of ctx ~screen with

@@ -1,9 +1,17 @@
 module Server = Swm_xlib.Server
 module Prop = Swm_xlib.Prop
+module Metrics = Swm_xlib.Metrics
+module Tracing = Swm_xlib.Tracing
 
 let send server conn ~screen command =
   let root = Server.root server ~screen in
   Server.append_string_property server conn root ~name:Prop.swm_command command
+
+let read_result server ~screen =
+  let root = Server.root server ~screen in
+  match Server.get_property server root ~name:Prop.swm_result with
+  | Some (Prop.String text) -> Some text
+  | Some _ | None -> None
 
 let handle_property_change (ctx : Ctx.t) ~screen =
   let root = (Ctx.screen ctx screen).root in
@@ -17,6 +25,15 @@ let handle_property_change (ctx : Ctx.t) ~screen =
           if line <> "" then
             match Functions.execute_string ctx inv line with
             | Ok () -> ()
-            | Error _ -> ())
+            | Error msg ->
+                (* A bad line must not vanish silently: count it and leave a
+                   trace breadcrumb carrying the offending text. *)
+                let metrics = Server.metrics ctx.server in
+                Metrics.incr (Metrics.counter metrics "swmcmd.errors");
+                Ctx.log ctx "swmcmd: bad line %S: %s" line msg;
+                let tracer = Server.tracer ctx.server in
+                if Tracing.enabled tracer then
+                  Tracing.instant tracer "swmcmd.error"
+                    ~attrs:[ ("line", line); ("error", msg) ])
         (String.split_on_char '\n' text)
   | Some _ | None -> ()

@@ -4,13 +4,23 @@
     property on a root window; swm reads and deletes the property and
     executes each line.  Functions that need a window put swm into
     prompting mode (the pointer "changes to a question mark") — the next
-    button press selects the target. *)
+    button press selects the target.
+
+    Introspection verbs ([f.metrics], [f.trace(dump)], [f.slowlog]) run the
+    channel in reverse: swm writes the reply to the SWM_RESULT root
+    property, which the sender reads back with {!read_result}. *)
 
 val send :
   Swm_xlib.Server.t -> Swm_xlib.Server.conn -> screen:int -> string -> unit
 (** Client side: append one command line to the root property, as the
     [swmcmd] shell utility does. *)
 
+val read_result : Swm_xlib.Server.t -> screen:int -> string option
+(** Client side: the current SWM_RESULT reply, if any — the text written by
+    the most recent introspection command swm executed. *)
+
 val handle_property_change : Ctx.t -> screen:int -> unit
 (** WM side: called on PropertyNotify for SWM_COMMAND — drain and execute.
-    Errors in individual lines are ignored (a real swm would beep). *)
+    A line that fails to parse or execute is not silently dropped: it bumps
+    the [swmcmd.errors] counter and, when tracing is on, records a
+    [swmcmd.error] instant carrying the offending line. *)

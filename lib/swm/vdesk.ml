@@ -64,6 +64,12 @@ let pan_to (ctx : Ctx.t) ~screen pos =
       let w, h = vdesk.vsize in
       let x = max 0 (min pos.Geom.px (w - sw)) in
       let y = max 0 (min pos.Geom.py (h - sh)) in
+      let tracer = Server.tracer ctx.server in
+      (if Swm_xlib.Tracing.enabled tracer then
+         Swm_xlib.Tracing.span tracer "vdesk.pan_to"
+           ~attrs:[ ("x", string_of_int x); ("y", string_of_int y) ]
+       else fun f -> f ())
+      @@ fun () ->
       let vwin = vdesk.vwins.(vdesk.current) in
       let geom = Server.geometry ctx.server vwin in
       Ctx.log ctx "pan screen %d to %d,%d" screen x y;

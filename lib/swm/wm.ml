@@ -1,4 +1,5 @@
 module Metrics = Swm_xlib.Metrics
+module Tracing = Swm_xlib.Tracing
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
 module Xid = Swm_xlib.Xid
@@ -625,8 +626,15 @@ let handle_event (ctx : Ctx.t) (event : Event.t) =
       ()
 
 (* Every event goes through here so dispatch latency lands in the
-   [wm.dispatch_ns] histogram alongside the server's queue counters. *)
+   [wm.dispatch_ns] histogram (CPU time) alongside the server's queue
+   counters, and — when tracing is on — as a [wm.dispatch] span that
+   parents everything the handler does (function runs, redraws, pans). *)
 let handle_event_timed (ctx : Ctx.t) event =
+  let tracer = Server.tracer ctx.server in
+  (if Tracing.enabled tracer then
+     Tracing.span tracer "wm.dispatch" ~attrs:[ ("event", Event.kind_name event) ]
+   else fun f -> f ())
+  @@ fun () ->
   Metrics.time_ns (Server.metrics ctx.server) "wm.dispatch_ns" (fun () ->
       handle_event ctx event)
 

@@ -101,6 +101,27 @@ let window_of = function
   | Expose { window; _ }
   | Client_message { window; _ } -> window
 
+(* Constant strings so tracing attributes allocate nothing per event. *)
+let kind_name = function
+  | Map_request _ -> "MapRequest"
+  | Configure_request _ -> "ConfigureRequest"
+  | Map_notify _ -> "MapNotify"
+  | Unmap_notify _ -> "UnmapNotify"
+  | Destroy_notify _ -> "DestroyNotify"
+  | Reparent_notify _ -> "ReparentNotify"
+  | Configure_notify _ -> "ConfigureNotify"
+  | Property_notify _ -> "PropertyNotify"
+  | Button_press _ -> "ButtonPress"
+  | Button_release _ -> "ButtonRelease"
+  | Key_press _ -> "KeyPress"
+  | Motion_notify _ -> "MotionNotify"
+  | Enter_notify _ -> "EnterNotify"
+  | Leave_notify _ -> "LeaveNotify"
+  | Focus_in _ -> "FocusIn"
+  | Focus_out _ -> "FocusOut"
+  | Expose _ -> "Expose"
+  | Client_message _ -> "ClientMessage"
+
 let pp ppf event =
   match event with
   | Map_request { window; parent } ->

@@ -84,4 +84,8 @@ type t =
 val window_of : t -> Xid.t
 (** The event window. *)
 
+val kind_name : t -> string
+(** The X protocol name of the event's kind ("ButtonPress", "Expose", ...);
+    a constant string, cheap enough for tracing attributes. *)
+
 val pp : Format.formatter -> t -> unit

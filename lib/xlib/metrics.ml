@@ -68,6 +68,11 @@ let hist_count h = h.hcount
 let hist_sum h = h.hsum
 let hist_max h = h.hmax
 
+(* Two clocks, two helpers.  [time_ns] charges CPU time (Sys.time): right
+   for "how much work did this do" series.  [time_mono_ns] charges wall
+   time from the monotonic clock: right for latency series and the only
+   clock spans may use (Tracing shares the same source).  Which clock a
+   series uses is part of its contract — see the .mli. *)
 let time_ns t name f =
   let h = histogram t name in
   let t0 = Sys.time () in
@@ -75,6 +80,39 @@ let time_ns t name f =
   let t1 = Sys.time () in
   observe h (int_of_float ((t1 -. t0) *. 1e9));
   r
+
+let time_mono_ns t name f =
+  let h = histogram t name in
+  let t0 = Int64.to_int (Monotonic_clock.now ()) in
+  let r = f () in
+  let t1 = Int64.to_int (Monotonic_clock.now ()) in
+  observe h (t1 - t0);
+  r
+
+(* Quantile estimate from the log2 buckets: find the bucket holding the
+   q-th sample and interpolate linearly inside it.  Error is bounded by
+   the bucket width (a factor of 2), which is fine for p50/p99 summary
+   lines; exact values need the raw samples we deliberately do not keep. *)
+let hist_quantile h q =
+  if h.hcount = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int h.hcount in
+    let rec go i cum =
+      if i >= buckets then float_of_int h.hmax
+      else begin
+        let c = h.counts.(i) in
+        if c > 0 && float_of_int (cum + c) >= target then begin
+          let lower = if i = 0 then 0. else float_of_int (bucket_upper (i - 1) + 1) in
+          let upper = float_of_int (min (bucket_upper i) h.hmax) in
+          let within = Float.max 0. ((target -. float_of_int cum) /. float_of_int c) in
+          Float.min upper (lower +. ((upper -. lower) *. within))
+        end
+        else go (i + 1) (cum + c)
+      end
+    in
+    go 0 0
+  end
 
 let reset t =
   Hashtbl.iter (fun _ c -> c.c <- 0) t.counters;
@@ -116,8 +154,9 @@ let hist_json h =
       bucket_list :=
         Printf.sprintf "[%d,%d]" (bucket_upper i) h.counts.(i) :: !bucket_list
   done;
-  Printf.sprintf "{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":[%s]}" h.hcount
-    h.hsum h.hmax
+  Printf.sprintf
+    "{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%.1f,\"p99\":%.1f,\"buckets\":[%s]}"
+    h.hcount h.hsum h.hmax (hist_quantile h 0.5) (hist_quantile h 0.99)
     (String.concat "," !bucket_list)
 
 let to_json t =

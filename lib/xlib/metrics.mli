@@ -53,9 +53,32 @@ val hist_count : histogram -> int
 val hist_sum : histogram -> int
 val hist_max : histogram -> int
 
+val hist_quantile : histogram -> float -> float
+(** [hist_quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) from
+    the log2 buckets, interpolating linearly inside the bucket holding the
+    q-th sample.  The estimate is within one bucket (a factor of 2) of the
+    true value; 0 when the histogram is empty. *)
+
+(** {2 Clocks}
+
+    Two timing helpers record into histograms, and they deliberately use
+    different clocks:
+
+    - {!time_ns} charges {e CPU time} ([Sys.time]) — use it for
+      work-per-operation series.  Server/WM series using it:
+      [wm.dispatch_ns], [panner.refresh_ns].
+    - {!time_mono_ns} charges {e wall time} from the monotonic clock —
+      use it for latency a user would perceive.  {!Tracing} spans use the
+      same monotonic source, so span durations and [time_mono_ns] series
+      are directly comparable; CPU-time series are not. *)
+
 val time_ns : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk and record its CPU time in nanoseconds into the named
     histogram. *)
+
+val time_mono_ns : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and record its wall (monotonic) time in nanoseconds into
+    the named histogram. *)
 
 (** {1 Export} *)
 
@@ -63,10 +86,18 @@ val reset : t -> unit
 (** Zero every series (keeps the registrations, so held handles stay
     valid). *)
 
+val json_string : string -> string
+(** Escape and quote a string as a JSON string literal.  Used for every
+    series name in {!to_json} (so a stray name can never corrupt the dump)
+    and shared with {!Tracing}'s exporters. *)
+
 val to_json : t -> string
 (** The registry as one JSON object:
     [{"counters": {..}, "gauges": {..},
-      "histograms": {name: {"count","sum","max","buckets":[[le,count],..]}}}]
-    Series are sorted by name so dumps diff cleanly. *)
+      "histograms": {name: {"count","sum","max","p50","p99",
+      "buckets":[[le,count],..]}}}]
+    [p50]/[p99] are {!hist_quantile} estimates.  Series are sorted by name
+    so dumps diff cleanly, and names are escaped with {!json_string} so the
+    dump is always valid JSON. *)
 
 val pp : Format.formatter -> t -> unit

@@ -104,3 +104,4 @@ let wm_delete_window = "WM_DELETE_WINDOW"
 let swm_root = "SWM_ROOT"
 let swm_command = "SWM_COMMAND"
 let swm_places = "SWM_PLACES"
+let swm_result = "SWM_RESULT"

@@ -76,3 +76,8 @@ val swm_command : string
 
 val swm_places : string
 (** Root-window property accumulating swmhints session records (§7). *)
+
+val swm_result : string
+(** Root-window property where swm writes the reply to an introspection
+    command ([f.metrics], [f.trace(dump)], [f.slowlog]) so the sending
+    client can read it back — the swmcmd round-trip run in reverse. *)

@@ -22,6 +22,7 @@ type conn = {
   m_delivered : Metrics.counter;
   m_depth : Metrics.gauge;
   m_batch : Metrics.histogram;
+  c_tracer : Tracing.t;
 }
 
 type window = {
@@ -62,6 +63,7 @@ type t = {
   mutable save_sets : (int * Xid.t) list; (* (cid, window) pairs *)
   mutable requests : int;
   metrics : Metrics.t;
+  s_tracer : Tracing.t;
 }
 
 let bump server = server.requests <- server.requests + 1
@@ -117,9 +119,11 @@ let create ?(screens = [ default_screen ]) () =
     save_sets = [];
     requests = 0;
     metrics = Metrics.create ();
+    s_tracer = Tracing.create ();
   }
 
 let metrics server = server.metrics
+let tracer server = server.s_tracer
 
 let connect server ~name =
   let cid = server.next_cid in
@@ -137,6 +141,7 @@ let connect server ~name =
       m_delivered = Metrics.counter server.metrics "events.delivered";
       m_depth = Metrics.gauge server.metrics "queue.depth";
       m_batch = Metrics.histogram server.metrics "delivery.batch_size";
+      c_tracer = server.s_tracer;
     }
   in
   Hashtbl.replace server.conns cid conn;
@@ -192,8 +197,16 @@ let deliver server cid event =
   match Hashtbl.find_opt server.conns cid with
   | Some conn when conn.alive ->
       Metrics.incr conn.m_enqueued;
-      if try_coalesce conn event then Metrics.incr conn.m_coalesced
+      if try_coalesce conn event then begin
+        Metrics.incr conn.m_coalesced;
+        if Tracing.enabled conn.c_tracer then
+          Tracing.instant conn.c_tracer "server.coalesce"
+            ~attrs:[ ("event", Event.kind_name event); ("conn", conn.cname) ]
+      end
       else begin
+        if Tracing.enabled conn.c_tracer then
+          Tracing.instant conn.c_tracer "server.enqueue"
+            ~attrs:[ ("event", Event.kind_name event); ("conn", conn.cname) ];
         (match event with
         | Event.Expose { window; damage } when conn.coalesce ->
             let region = Option.map Region.of_rect damage in
@@ -677,6 +690,10 @@ let rec peek_event conn =
           | event :: _ -> Some event))
 
 let read_events conn ~max =
+  (if Tracing.enabled conn.c_tracer then
+     Tracing.span conn.c_tracer "server.deliver" ~attrs:[ ("conn", conn.cname) ]
+   else fun f -> f ())
+  @@ fun () ->
   let rec loop acc n =
     if n >= max then List.rev acc
     else

@@ -60,6 +60,13 @@ val metrics : t -> Metrics.t
     gauge [queue.depth] (per-connection high-water mark); histogram
     [delivery.batch_size]. *)
 
+val tracer : t -> Tracing.t
+(** The server's span tracer (disabled until {!Tracing.start}).  The
+    server itself records [server.enqueue] / [server.coalesce] instants at
+    queue time and a [server.deliver] span around each {!read_events}
+    batch; every other pipeline layer (wire decode, WM dispatch, [f.*]
+    functions, redraws, pans) nests its spans into the same tracer. *)
+
 val screen_count : t -> int
 val screen_size : t -> screen:int -> int * int
 val screen_monochrome : t -> screen:int -> bool

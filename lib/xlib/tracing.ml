@@ -1,0 +1,215 @@
+type kind = Span | Instant
+
+type event = {
+  ev_name : string;
+  ev_kind : kind;
+  ev_ts : int;
+  ev_dur : int;
+  ev_depth : int;
+  ev_attrs : (string * string) list;
+}
+
+type slow_entry = {
+  slow_name : string;
+  slow_ts : int;
+  slow_dur : int;
+  slow_ancestry : string list;
+  slow_attrs : (string * string) list;
+}
+
+type frame = { f_name : string; f_start : int; f_attrs : (string * string) list }
+
+type t = {
+  mutable on : bool;
+  ring : event option array;
+  mutable head : int; (* next write slot *)
+  mutable total : int; (* events recorded since last clear *)
+  mutable stack : frame list; (* innermost open span first *)
+  mutable epoch : int;
+  mutable slow_threshold : int;
+  slow_capacity : int;
+  mutable slow : slow_entry list; (* newest first, length <= slow_capacity *)
+  mutable slow_length : int;
+}
+
+(* The monotonic clock (CLOCK_MONOTONIC via bechamel's stubs): spans need
+   wall-time durations that survive CPU idling, unlike Sys.time. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let create ?(capacity = 4096) ?(slow_capacity = 64) () =
+  {
+    on = false;
+    ring = Array.make (max 1 capacity) None;
+    head = 0;
+    total = 0;
+    stack = [];
+    epoch = now_ns ();
+    slow_threshold = 10_000_000;
+    slow_capacity = max 1 slow_capacity;
+    slow = [];
+    slow_length = 0;
+  }
+
+let enabled t = t.on
+let set_enabled t flag = t.on <- flag
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.total <- 0;
+  t.stack <- [];
+  t.slow <- [];
+  t.slow_length <- 0;
+  t.epoch <- now_ns ()
+
+let start t =
+  clear t;
+  t.on <- true
+
+let stop t = t.on <- false
+
+let set_slow_threshold_ns t ns = t.slow_threshold <- ns
+let slow_threshold_ns t = t.slow_threshold
+
+let record t ev =
+  t.ring.(t.head) <- Some ev;
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let record_slow t name ts dur attrs =
+  let ancestry = List.rev_map (fun f -> f.f_name) t.stack in
+  let entry =
+    { slow_name = name; slow_ts = ts; slow_dur = dur; slow_ancestry = ancestry;
+      slow_attrs = attrs }
+  in
+  t.slow <- entry :: t.slow;
+  t.slow_length <- t.slow_length + 1;
+  if t.slow_length > t.slow_capacity then begin
+    (* Drop the oldest (last).  The log is short, so the walk is cheap. *)
+    let rec trim = function
+      | [] | [ _ ] -> []
+      | x :: rest -> x :: trim rest
+    in
+    t.slow <- trim t.slow;
+    t.slow_length <- t.slow_capacity
+  end
+
+let close_span t =
+  match t.stack with
+  | [] -> () (* start/clear happened inside the span; nothing to close *)
+  | frame :: rest ->
+      t.stack <- rest;
+      let now = now_ns () in
+      let dur = now - frame.f_start in
+      record t
+        {
+          ev_name = frame.f_name;
+          ev_kind = Span;
+          ev_ts = frame.f_start - t.epoch;
+          ev_dur = dur;
+          ev_depth = List.length rest;
+          ev_attrs = frame.f_attrs;
+        };
+      if dur >= t.slow_threshold then
+        record_slow t frame.f_name (frame.f_start - t.epoch) dur frame.f_attrs
+
+let span t ?(attrs = []) name f =
+  if not t.on then f ()
+  else begin
+    t.stack <- { f_name = name; f_start = now_ns (); f_attrs = attrs } :: t.stack;
+    match f () with
+    | v ->
+        close_span t;
+        v
+    | exception e ->
+        close_span t;
+        raise e
+  end
+
+let instant t ?(attrs = []) name =
+  if t.on then
+    record t
+      {
+        ev_name = name;
+        ev_kind = Instant;
+        ev_ts = now_ns () - t.epoch;
+        ev_dur = 0;
+        ev_depth = List.length t.stack;
+        ev_attrs = attrs;
+      }
+
+let events t =
+  (* Oldest first: the ring wraps at [head], so the oldest surviving entry
+     sits at [head] once the ring has wrapped. *)
+  let n = Array.length t.ring in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match t.ring.((t.head + i) mod n) with
+    | Some ev -> acc := ev :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let event_count t = t.total
+let dropped t = max 0 (t.total - Array.length t.ring)
+let slow_log t = List.rev t.slow
+
+(* -------- export -------- *)
+
+let attr_json attrs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Metrics.json_string k ^ ":" ^ Metrics.json_string v)
+         attrs)
+  ^ "}"
+
+(* Chrome trace-event timestamps are microseconds (floats). *)
+let us ns = Printf.sprintf "%d.%03d" (ns / 1000) (abs ns mod 1000)
+
+let chrome_event buf ev ~first =
+  if not first then Buffer.add_string buf ",\n";
+  (match ev.ev_kind with
+  | Span ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"name\":%s,\"cat\":\"swm\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+            \"ts\":%s,\"dur\":%s"
+           (Metrics.json_string ev.ev_name) (us ev.ev_ts) (us ev.ev_dur))
+  | Instant ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"name\":%s,\"cat\":\"swm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+            \"tid\":1,\"ts\":%s"
+           (Metrics.json_string ev.ev_name) (us ev.ev_ts)));
+  if ev.ev_attrs <> [] then
+    Buffer.add_string buf (",\"args\":" ^ attr_json ev.ev_attrs);
+  Buffer.add_char buf '}'
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun ev ->
+      chrome_event buf ev ~first:!first;
+      first := false)
+    (events t);
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let slow_log_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"ts_ns\":%d,\"dur_ns\":%d,\"ancestry\":[%s],\"args\":%s}"
+           (Metrics.json_string e.slow_name) e.slow_ts e.slow_dur
+           (String.concat "," (List.map Metrics.json_string e.slow_ancestry))
+           (attr_json e.slow_attrs)))
+    (slow_log t);
+  Buffer.add_string buf "]";
+  Buffer.contents buf

@@ -114,6 +114,12 @@ let execute t (req : Wire.request) =
 
 let submit_bytes t bytes =
   t.sent <- t.sent + String.length bytes;
+  (if Tracing.enabled (Server.tracer t.server) then
+     Tracing.span (Server.tracer t.server) "wire.decode"
+       ~attrs:
+         [ ("bytes", string_of_int (String.length bytes)); ("conn", Server.conn_name t.sconn) ]
+   else fun f -> f ())
+  @@ fun () ->
   let rec loop count pos =
     if pos >= String.length bytes then Ok count
     else
@@ -169,6 +175,11 @@ let drain_event_bytes t =
   bytes
 
 let flush_batch_bytes t =
+  (if Tracing.enabled (Server.tracer t.server) then
+     Tracing.span (Server.tracer t.server) "wire.flush"
+       ~attrs:[ ("conn", Server.conn_name t.sconn) ]
+   else fun f -> f ())
+  @@ fun () ->
   match Server.flush_batch t.sconn with
   | [] -> ""
   | events ->

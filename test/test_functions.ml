@@ -332,10 +332,19 @@ let test_unknown_function_skipped () =
   let app = Stock.xterm server () in
   ignore (Wm.step wm);
   let client = client_of wm app in
-  (* Unknown functions are ignored; the rest still run. *)
-  run ctx ~client "f.noSuchThing f.iconify";
+  (* Unknown functions are skipped but reported; the rest still run. *)
+  let result =
+    Functions.execute_string ctx
+      (Functions.invocation ~client ~screen:0 ())
+      "f.noSuchThing f.iconify"
+  in
   check Alcotest.bool "known function still ran" true
-    (client.Ctx.state = Prop.Iconic)
+    (client.Ctx.state = Prop.Iconic);
+  match result with
+  | Error msg ->
+      check Alcotest.bool "typo named" true
+        (Astring_contains.contains msg "f.noSuchThing")
+  | Ok () -> Alcotest.fail "unknown function should be reported"
 
 let suite =
   [

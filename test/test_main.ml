@@ -18,6 +18,7 @@ let () =
       ("functions", Test_functions.suite);
       ("panner", Test_panner.suite);
       ("swmcmd", Test_swmcmd.suite);
+      ("tracing", Test_tracing.suite);
       ("restart", Test_restart.suite);
       ("baselines", Test_baselines.suite);
       ("render", Test_render.suite);

@@ -85,6 +85,88 @@ let test_bad_command_ignored () =
   (* Must not raise. *)
   ignore (Wm.step wm)
 
+let test_bad_command_counted () =
+  let server, wm, _ctx = fixture () in
+  Swm_xlib.Tracing.start (Server.tracer server);
+  let sender = Server.connect server ~name:"swmcmd" in
+  Swmcmd.send server sender ~screen:0 "not even a function";
+  Swmcmd.send server sender ~screen:0 "f.refresh";
+  (* a good line must not count *)
+  ignore (Wm.step wm);
+  check Alcotest.int "error counted" 1
+    (Swm_xlib.Metrics.counter_value (Server.metrics server) "swmcmd.errors");
+  (* The offending line survives as a trace breadcrumb. *)
+  let errors =
+    List.filter
+      (fun (e : Swm_xlib.Tracing.event) -> e.ev_name = "swmcmd.error")
+      (Swm_xlib.Tracing.events (Server.tracer server))
+  in
+  match errors with
+  | [ e ] ->
+      check (Alcotest.option Alcotest.string) "line kept"
+        (Some "not even a function")
+        (List.assoc_opt "line" e.ev_attrs)
+  | l -> Alcotest.failf "expected 1 swmcmd.error instant, got %d" (List.length l)
+
+(* -------- introspection: the channel run in reverse -------- *)
+
+let test_metrics_roundtrip () =
+  let server, wm, _ctx = fixture () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  check (Alcotest.option Alcotest.string) "no reply yet" None
+    (Swmcmd.read_result server ~screen:0);
+  Swmcmd.send server sender ~screen:0 "f.metrics";
+  ignore (Wm.step wm);
+  match Swmcmd.read_result server ~screen:0 with
+  | None -> Alcotest.fail "f.metrics left no SWM_RESULT"
+  | Some json ->
+      check Alcotest.bool "looks like the registry dump" true
+        (Astring_contains.contains json "\"counters\"")
+
+let test_trace_roundtrip () =
+  (* Full vdesk fixture: the pan must produce a vdesk.pan_to span nested in
+     the dispatch span, all retrievable out-of-process. *)
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look ] server in
+  let _xterm = Stock.xterm server ~at:(Geom.point 60 80) () in
+  ignore (Wm.step wm);
+  let sender = Server.connect server ~name:"swmcmd" in
+  let roundtrip line =
+    Swmcmd.send server sender ~screen:0 line;
+    ignore (Wm.step wm)
+  in
+  roundtrip "f.trace(start)";
+  roundtrip "f.panTo(300,200)";
+  roundtrip "f.iconify(XTerm)";
+  roundtrip "f.trace(stop)";
+  roundtrip "f.trace(dump)";
+  match Swmcmd.read_result server ~screen:0 with
+  | None -> Alcotest.fail "f.trace(dump) left no SWM_RESULT"
+  | Some json ->
+      List.iter
+        (fun span ->
+          check Alcotest.bool (span ^ " span present") true
+            (Astring_contains.contains json ("\"name\":\"" ^ span ^ "\"")))
+        [ "wm.dispatch"; "f.panto"; "vdesk.pan_to"; "panner.refresh";
+          "f.iconify" ]
+
+let test_slowlog_roundtrip () =
+  let server, wm, _ctx = fixture () in
+  Swm_xlib.Tracing.set_slow_threshold_ns (Server.tracer server) 0;
+  let sender = Server.connect server ~name:"swmcmd" in
+  let roundtrip line =
+    Swmcmd.send server sender ~screen:0 line;
+    ignore (Wm.step wm)
+  in
+  roundtrip "f.trace(start)";
+  roundtrip "f.refresh";
+  roundtrip "f.slowlog";
+  match Swmcmd.read_result server ~screen:0 with
+  | None -> Alcotest.fail "f.slowlog left no SWM_RESULT"
+  | Some json ->
+      check Alcotest.bool "f.refresh made the zero-threshold slow log" true
+        (Astring_contains.contains json "\"name\":\"f.refresh\"")
+
 let suite =
   [
     Alcotest.test_case "command executes" `Quick test_command_executes;
@@ -94,4 +176,9 @@ let suite =
     Alcotest.test_case "prompting from swmcmd (paper example)" `Quick
       test_prompting_from_swmcmd;
     Alcotest.test_case "bad commands ignored" `Quick test_bad_command_ignored;
+    Alcotest.test_case "bad commands counted and traced" `Quick
+      test_bad_command_counted;
+    Alcotest.test_case "f.metrics round-trip" `Quick test_metrics_roundtrip;
+    Alcotest.test_case "f.trace round-trip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "f.slowlog round-trip" `Quick test_slowlog_roundtrip;
   ]
