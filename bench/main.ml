@@ -34,6 +34,8 @@ module Mlisp = Swm_baselines.Mlisp
 module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
 module Wire = Swm_xlib.Wire
+module Wire_conn = Swm_xlib.Wire_conn
+module Fault = Swm_xlib.Fault
 
 (* -------- runner -------- *)
 
@@ -898,6 +900,193 @@ let write_pipeline_json ~path
   close_out oc;
   Format.printf "   -> wrote %s@." path
 
+(* -------- R1: robustness — fault absorption and recovery -------- *)
+
+(* Client-side stimulus in these fixtures may legally hit windows the
+   injector just destroyed; that error belongs to the simulated client. *)
+let client_absorb f =
+  try f () with Server.Bad_window _ | Server.Bad_access _ -> ()
+
+let bench_robustness () =
+  (* Manage-churn-destroy one pair of clients per run under an always-on
+     heavy fault plan: the unit of WM work with the injector firing. *)
+  let mk_faulted_cycle () =
+    let server = Server.create () in
+    let wm = Wm.start ~resources:quiet_resources server in
+    let ctx = Wm.ctx wm in
+    let heavy =
+      { (Fault.storm ~seed:11 ()) with Fault.p_destroy_window = 0.02;
+        p_garble_property = 0.1; max_faults = 0 }
+    in
+    ignore (Server.arm_faults server ~protect:[ ctx.Ctx.conn ] heavy);
+    let round = ref 0 in
+    fun () ->
+      incr round;
+      let apps =
+        try Workload.launch_n server 2
+        with Server.Bad_window _ | Server.Bad_access _ -> []
+      in
+      ignore (Wm.step wm);
+      client_absorb (fun () ->
+          Workload.configure_churn server ~seed:!round ~rounds:1 apps);
+      ignore (Wm.step wm);
+      List.iter (fun app -> client_absorb (fun () -> Client_app.destroy app)) apps;
+      ignore (Wm.step wm)
+  in
+  (* Crash-recovery latency: kill the WM and start a fresh instance that
+     must re-adopt the surviving population. *)
+  let mk_recovery () =
+    let server = Server.create () in
+    let wm = ref (Wm.start ~resources:quiet_resources server) in
+    let _apps = Workload.launch_n server 15 in
+    ignore (Wm.step !wm);
+    fun () ->
+      Wm.shutdown !wm;
+      wm := Wm.start ~resources:quiet_resources server
+  in
+  (* Crash-safe persistence costs: atomic write and lenient read of a
+     50-client places file. *)
+  let places_content =
+    let server = Server.create () in
+    let wm = Wm.start ~resources:quiet_resources server in
+    let _apps = Workload.launch_n server 50 in
+    ignore (Wm.step wm);
+    Session.places_file ~display:":0" ~local_host:"localhost"
+      (Functions.places_hints (Wm.ctx wm))
+  in
+  let tmp = Filename.temp_file "swm_bench" ".places" in
+  let results =
+    report ~experiment:"R1: robustness — fault absorption and recovery"
+      ~claim:
+        "a racing client must cost the WM one absorbed error, not a crash; \
+         restart re-adopts the session; persistence is atomic + checksummed"
+      (run_tests
+         [
+           Test.make ~name:"robustness/manage-under-faults"
+             (Staged.stage (mk_faulted_cycle ()));
+           Test.make ~name:"robustness/recovery-restart-15"
+             (Staged.stage (mk_recovery ()));
+           Test.make ~name:"robustness/places-write-atomic-50"
+             (Staged.stage (fun () ->
+                  Session.write_atomic ~path:tmp places_content));
+           Test.make ~name:"robustness/places-read-lenient-50"
+             (Staged.stage (fun () ->
+                  ignore (Session.read_places places_content)));
+         ])
+  in
+  (if Sys.file_exists tmp then Sys.remove tmp);
+  results
+
+(* Deterministic evidence for the JSON artifact: a fixed storm under a
+   heavy plan, counting faults injected and errors absorbed against wall
+   time, plus a measured recovery (restart + re-adoption) latency. *)
+let measure_robustness () =
+  let server = Server.create () in
+  let wm = ref (Wm.start ~resources:quiet_resources server) in
+  let ctx = Wm.ctx !wm in
+  let apps = Workload.launch_n server 12 in
+  ignore (Wm.step !wm);
+  let heavy =
+    { (Fault.storm ~seed:4242 ()) with Fault.p_destroy_window = 0.05;
+      p_kill_connection = 0.002; p_garble_property = 0.15;
+      p_truncate_frame = 0.1; p_corrupt_frame = 0.1; max_faults = 0 }
+  in
+  let wc = Wire_conn.create server ~name:"wire-chaos" in
+  let wroot = Wire_conn.root_id wc ~screen:0 in
+  let fault = Server.arm_faults server ~protect:[ ctx.Ctx.conn ] heavy in
+  let m = Server.metrics server in
+  let rounds = if !smoke then 10 else 100 in
+  (* The plan is hot enough to wipe a static population long before the
+     storm ends (and a dry victim pool stops injecting), so each round
+     replenishes the client herd like real sessions do. *)
+  let apps = ref apps in
+  Metrics.time_mono_ns m "bench.robustness_storm_ns" (fun () ->
+      for round = 1 to rounds do
+        (try apps := Workload.launch_n server 2 @ !apps
+         with Server.Bad_window _ | Server.Bad_access _ -> ());
+        apps :=
+          List.filter
+            (fun a -> Server.window_exists server (Client_app.window a))
+            !apps;
+        client_absorb (fun () ->
+            Workload.motion_storm server ~seed:round ~steps:20 ());
+        client_absorb (fun () ->
+            Workload.configure_churn server ~seed:round ~rounds:1 !apps);
+        client_absorb (fun () ->
+            Workload.expose_storm server ~seed:round ~rounds:1 !apps);
+        (* Wire-frame traffic so truncate/corrupt faults have a site. *)
+        client_absorb (fun () ->
+            let wid = Wire_conn.fresh_id wc in
+            let batch =
+              Wire.encode_request
+                (Wire.Create_window
+                   { wid; parent = wroot; geom = Geom.rect 5 5 40 40;
+                     border = 0; override_redirect = false })
+              ^ Wire.encode_request (Wire.Map_window wid)
+            in
+            ignore (Wire_conn.submit_bytes wc batch));
+        ignore (Wm.step !wm)
+      done);
+  let storm_ns =
+    Metrics.hist_sum (Metrics.histogram m "bench.robustness_storm_ns")
+  in
+  let injected = Fault.injected fault in
+  let xerrors = Metrics.counter_value m "wm.xerrors" in
+  let rejected = Metrics.counter_value m "wire.rejected_frames" in
+  let faults_per_sec =
+    float_of_int injected /. (float_of_int (max 1 storm_ns) /. 1e9)
+  in
+  Server.disarm_faults server;
+  (* The plan above is hot enough that little of the herd outlives the
+     storm; recovery latency is about re-adopting a live session, so
+     repopulate before measuring it. *)
+  let _repop = Workload.launch_n server 10 in
+  ignore (Wm.step !wm);
+  (* Recovery: median-ish single shot of kill + restart + re-adopt. *)
+  let cycles = if !smoke then 3 else 20 in
+  Metrics.time_mono_ns m "bench.recovery_ns" (fun () ->
+      for _ = 1 to cycles do
+        Wm.shutdown !wm;
+        wm := Wm.start ~resources:quiet_resources server
+      done);
+  let recovery_ns =
+    Metrics.hist_sum (Metrics.histogram m "bench.recovery_ns") / cycles
+  in
+  let survivors = List.length (Ctx.all_clients (Wm.ctx !wm)) in
+  verdict
+    "%d faults injected over %d storm rounds (%.0f absorbed/sec wall); %d X \
+     errors absorbed, %d frames rejected; WM alive throughout"
+    injected rounds faults_per_sec xerrors rejected;
+  verdict "restart recovery: %.2f ms to re-adopt %d survivors"
+    (float_of_int recovery_ns /. 1e6)
+    survivors;
+  (m, injected, xerrors, rejected, faults_per_sec, storm_ns, recovery_ns,
+   survivors)
+
+let write_robustness_json ~path results
+    (metrics, injected, xerrors, rejected, faults_per_sec, storm_ns,
+     recovery_ns, survivors) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  add_results_json b results;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"fault_storm\": {\"injected\": %d, \"xerrors_absorbed\": %d, \
+        \"frames_rejected\": %d, \"faults_absorbed_per_sec\": %.1f, \
+        \"storm_wall_ns\": %d},\n"
+       injected xerrors rejected faults_per_sec storm_ns);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"recovery\": {\"restart_ns\": %d, \"survivors_readopted\": %d},\n"
+       recovery_ns survivors);
+  Buffer.add_string b
+    (Printf.sprintf "  \"metrics\": %s\n" (Metrics.to_json metrics));
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "   -> wrote %s@." path
+
 (* -------- O1: observability — span tracing across the request path -------- *)
 
 let bench_observability () =
@@ -1015,19 +1204,34 @@ let write_sample_trace ~path =
   Format.printf "   -> wrote %s (%d events)@." path
     (List.length (Tracing.events (Server.tracer server)))
 
+let robustness_only = ref false
+
 let () =
   Arg.parse
-    [ ("--smoke", Arg.Set smoke, " tiny quota, for CI smoke runs") ]
+    [
+      ("--smoke", Arg.Set smoke, " tiny quota, for CI smoke runs");
+      ( "--robustness",
+        Arg.Set robustness_only,
+        " run only the robustness family (writes BENCH_robustness.json)" );
+    ]
     (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
-    "bench [--smoke]";
+    "bench [--smoke] [--robustness]";
   Format.printf "swm benchmark harness — one experiment per DESIGN.md index entry%s@."
     (if !smoke then " (smoke run)" else "");
+  if !robustness_only then begin
+    write_robustness_json ~path:"BENCH_robustness.json" (bench_robustness ())
+      (measure_robustness ());
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   let ((pipeline_results, _, _, _, _, _) as pipeline) = bench_pipeline () in
   write_pipeline_json ~path:"BENCH_pipeline.json" pipeline;
   write_observability_json ~path:"BENCH_observability.json"
     (bench_observability ())
     ~pipeline_pan_ns:(find "pipeline/pan_storm" pipeline_results);
   write_sample_trace ~path:"BENCH_observability.trace.json";
+  write_robustness_json ~path:"BENCH_robustness.json" (bench_robustness ())
+    (measure_robustness ());
   bench_figures ();
   bench_panner ();
   bench_manage_comparison ();

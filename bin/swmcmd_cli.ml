@@ -14,7 +14,10 @@
      swmcmd_cli --slowlog            print the slow-op log (JSON)
      swmcmd_cli --trace FILE         trace a scripted session (pan storm +
                                      iconify burst) and write Chrome
-                                     trace-event JSON to FILE *)
+                                     trace-event JSON to FILE
+     swmcmd_cli --chaos SEED         run a workload storm under the seeded
+                                     fault plan and report what the WM
+                                     absorbed (replayable per seed) *)
 
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
@@ -28,11 +31,17 @@ module Swmcmd = Swm_core.Swmcmd
 module Templates = Swm_core.Templates
 module Stock = Swm_clients.Stock
 
-type mode = Command of string | Metrics | Slowlog | Trace of string
+type mode =
+  | Command of string
+  | Metrics
+  | Slowlog
+  | Trace of string
+  | Chaos of int
 
 let usage () =
   prerr_endline
-    "usage: swmcmd_cli [COMMAND... | --metrics | --slowlog | --trace FILE]";
+    "usage: swmcmd_cli [COMMAND... | --metrics | --slowlog | --trace FILE | \
+     --chaos SEED]";
   exit 2
 
 let parse_args () =
@@ -41,6 +50,8 @@ let parse_args () =
   | [ "--metrics" ] -> Metrics
   | [ "--slowlog" ] -> Slowlog
   | [ "--trace"; file ] -> Trace file
+  | [ "--chaos"; seed ] -> (
+      match int_of_string_opt seed with Some s -> Chaos s | None -> usage ())
   | first :: _ as rest ->
       if String.length first > 0 && first.[0] = '-' then usage ()
       else Command (String.concat " " rest)
@@ -132,9 +143,57 @@ let run_trace file =
     (Tracing.dropped tracer)
     (List.length (Tracing.slow_log tracer))
 
+(* A replayable chaos demo: the test suite's storm at CLI scale, printing
+   the injected fault schedule and what the WM absorbed. *)
+let run_chaos seed =
+  let module Fault = Swm_xlib.Fault in
+  let module Metrics = Swm_xlib.Metrics in
+  let module Workload = Swm_clients.Workload in
+  let server = Server.create () in
+  let wm = Wm.start ~resources:[ Templates.open_look ] server in
+  let ctx = Wm.ctx wm in
+  let apps = Workload.launch_n server 8 in
+  ignore (Wm.step wm);
+  let plan = Fault.storm ~seed () in
+  Format.printf "fault plan: %a@." Fault.pp_plan plan;
+  let fault = Server.arm_faults server ~protect:[ ctx.Ctx.conn ] plan in
+  let client_side f =
+    try f () with Server.Bad_window _ | Server.Bad_access _ -> ()
+  in
+  for round = 0 to 3 do
+    client_side (fun () ->
+        Workload.motion_storm server ~seed:(seed + round) ~steps:40 ());
+    client_side (fun () ->
+        Workload.configure_churn server ~seed:(seed + round) ~rounds:2 apps);
+    client_side (fun () ->
+        Workload.expose_storm server ~seed:(seed + round) ~rounds:1 apps);
+    ignore (Wm.step wm)
+  done;
+  List.iter
+    (fun action ->
+      let n = Fault.count fault action in
+      if n > 0 then Printf.printf "injected %-18s %d\n" (Fault.action_name action) n)
+    Fault.all_actions;
+  let m = Server.metrics server in
+  Printf.printf "total faults injected   %d\n" (Fault.injected fault);
+  Printf.printf "X errors absorbed by WM %d\n" (Metrics.counter_value m "wm.xerrors");
+  Printf.printf "wire frames rejected    %d\n"
+    (Metrics.counter_value m "wire.rejected_frames");
+  Printf.printf "clients still managed   %d\n"
+    (List.length (Ctx.all_clients ctx));
+  (* The restart half of the story: a fresh WM re-adopts the survivors. *)
+  Server.disarm_faults server;
+  Wm.shutdown wm;
+  let wm2 = Wm.start ~resources:[ Templates.open_look ] server in
+  ignore (Wm.step wm2);
+  Printf.printf "re-adopted by fresh WM  %d\n"
+    (List.length (Ctx.all_clients (Wm.ctx wm2)));
+  print_endline "WM survived the storm (replay with the same seed to reproduce)"
+
 let () =
   match parse_args () with
   | Command command -> run_command command
   | Metrics -> run_introspection "f.metrics"
   | Slowlog -> run_introspection "f.slowlog"
   | Trace file -> run_trace file
+  | Chaos seed -> run_chaos seed

@@ -90,6 +90,9 @@ type t = {
   mutable last_places : string option;
   mutable identify_win : Xid.t;
   mutable confirm : string -> bool;
+  mutable autosave_path : string option;
+  mutable autosave_interval : int; (* dispatched events between autosaves *)
+  mutable autosave_pending : int; (* events dispatched since the last one *)
   host : string;
   display : string;
 }

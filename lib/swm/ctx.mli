@@ -112,6 +112,13 @@ type t = {
   mutable last_places : string option;  (** most recent f.places output *)
   mutable identify_win : Xid.t;  (** the f.identify popup, or none *)
   mutable confirm : string -> bool;  (** f.*(multiple) per-window prompt *)
+  mutable autosave_path : string option;
+      (** the [autosaveFile] resource (or f.autosave's argument): where the
+          periodic crash-safe places snapshot goes; [None] disables it *)
+  mutable autosave_interval : int;
+      (** dispatched events between autosaves ([autosaveInterval], default
+          64) — a WM crash loses at most one interval of session state *)
+  mutable autosave_pending : int;  (** events since the last autosave *)
   host : string;
   display : string;
 }

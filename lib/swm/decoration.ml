@@ -183,7 +183,11 @@ let redecorate (ctx : Ctx.t) (client : Ctx.client) =
   teardown ctx client ~to_root:false;
   build ctx client ~at:pos
 
+(* The resize/move/retitle paths race with client destroys: a BadWindow
+   from a dying client is absorbed here rather than unwinding the event
+   loop; {!Wm} sweeps the corpse afterwards. *)
 let client_resized (ctx : Ctx.t) (client : Ctx.client) (w, h) =
+  Xguard.run ctx ~where:"decoration.resize" @@ fun () ->
   (let tracer = Server.tracer ctx.server in
    if Tracing.enabled tracer then
      Tracing.span tracer "decoration.resize"
@@ -204,12 +208,14 @@ let client_resized (ctx : Ctx.t) (client : Ctx.client) (w, h) =
       Icccm.send_synthetic_configure ctx client
 
 let move_frame (ctx : Ctx.t) (client : Ctx.client) pos =
+  Xguard.run ctx ~where:"decoration.move" @@ fun () ->
   let geom = Server.geometry ctx.server client.frame in
   Server.move_resize ctx.server ctx.conn client.frame
     { geom with Geom.x = pos.Geom.px; y = pos.Geom.py };
   Icccm.send_synthetic_configure ctx client
 
 let update_name (ctx : Ctx.t) (client : Ctx.client) =
+  Xguard.run ctx ~where:"decoration.name" @@ fun () ->
   client.wm_name <- Icccm.read_name ctx client.cwin;
   match client.deco with
   | None -> ()

@@ -21,7 +21,7 @@ let invocation ?obj ?client ~screen () =
 let data_arg_functions =
   [
     "f.warpvertical"; "f.warphorizontal"; "f.pan"; "f.panto"; "f.desktop";
-    "f.menu"; "f.exec"; "f.places"; "f.resizedesktop"; "f.setlabel";
+    "f.menu"; "f.exec"; "f.places"; "f.autosave"; "f.resizedesktop"; "f.setlabel";
     "f.setbindings"; "f.warpto"; "f.scrollholder"; "f.function"; "f.trace";
   ]
 
@@ -189,15 +189,17 @@ let places_hints (ctx : Ctx.t) =
        (fun (a : Ctx.client) b -> Xid.compare a.cwin b.cwin)
        (Ctx.all_clients ctx))
 
-let places (ctx : Ctx.t) ~file_arg =
-  let remote_format =
-    Config.query1 ctx.cfg ~screen:0 "remoteStartFormat"
-  in
+let places_content (ctx : Ctx.t) =
+  let remote_format = Config.query1 ctx.cfg ~screen:0 "remoteStartFormat" in
   let content =
     Session.places_file ?remote_format ~display:ctx.display ~local_host:ctx.host
       (places_hints ctx)
   in
   ctx.last_places <- Some content;
+  content
+
+let places (ctx : Ctx.t) ~file_arg =
+  let content = places_content ctx in
   let path =
     match file_arg with
     | Some p when p <> "" -> Some p
@@ -205,7 +207,26 @@ let places (ctx : Ctx.t) ~file_arg =
   in
   match path with
   | None -> ()
-  | Some path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content)
+  | Some path -> Session.write_atomic ~path content
+
+(* The periodic crash-safety snapshot: same content as f.places, always
+   written atomically, to the autosaveFile (or the explicit argument). *)
+let autosave (ctx : Ctx.t) ~file_arg =
+  let path =
+    match file_arg with
+    | Some p when p <> "" -> Some p
+    | Some _ | None -> ctx.autosave_path
+  in
+  match path with
+  | None -> ()
+  | Some path ->
+      let content = places_content ctx in
+      Session.write_atomic ~path content;
+      ctx.autosave_pending <- 0;
+      Metrics.incr (Metrics.counter (Server.metrics ctx.server) "session.autosaves");
+      let tracer = Server.tracer ctx.server in
+      if Tracing.enabled tracer then
+        Tracing.instant tracer "session.autosave" ~attrs:[ ("path", path) ]
 
 (* -------- single-function execution on one client -------- *)
 
@@ -451,6 +472,7 @@ let rec run_data ~depth (ctx : Ctx.t) inv name arg =
   | "f.exec" -> (
       match arg with Some cmd -> ctx.executed <- cmd :: ctx.executed | None -> ())
   | "f.places" -> places ctx ~file_arg:arg
+  | "f.autosave" -> autosave ctx ~file_arg:arg
   | "f.setlabel" -> (
       (* f.setLabel(object,new label) — dynamic appearance, paper §4.2. *)
       match split_first_comma arg with
@@ -536,13 +558,16 @@ and execute_at ~depth (ctx : Ctx.t) inv (funcs : Bindings.func_call list) =
       else if List.mem name window_functions then begin
         match resolve_targets ctx inv f with
         | Clients clients ->
+            (* Per-client guard: one client dying mid-list must not abort
+               the function for the remaining targets. *)
             List.iter
               (fun (client : Ctx.client) ->
                 (if Tracing.enabled tracer then
                    Tracing.span tracer name
                      ~attrs:[ ("client", client.instance) ]
                  else fun f -> f ())
-                @@ fun () -> run_on_client ctx name client)
+                @@ fun () ->
+                Xguard.run ctx ~where:name (fun () -> run_on_client ctx name client))
               clients;
             execute_at ~depth ctx inv rest
         | Needs_prompt ->

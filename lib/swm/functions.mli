@@ -52,3 +52,10 @@ val places_hints : Ctx.t -> Session.hint list
 (** The session records f.places would write: one per restartable managed
     client (those with WM_COMMAND), capturing geometry, icon position,
     state and stickiness. *)
+
+val autosave : Ctx.t -> file_arg:string option -> unit
+(** [f.autosave]: write the f.places content atomically (tmp + rename,
+    trailing checksum) to [file_arg] or the [autosaveFile] resource, reset
+    the autosave countdown, and count [session.autosaves].  {!Wm} calls
+    this every [autosaveInterval] dispatched events, so a WM crash loses
+    at most one interval of session state.  A no-op with no path. *)

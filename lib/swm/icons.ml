@@ -162,7 +162,12 @@ let place_icon (ctx : Ctx.t) (client : Ctx.client) icon =
         ~at:(Geom.point pos.Geom.px pos.Geom.py);
       Wobj.map icon
 
+(* Iconify/deiconify touch the client window, its frame and any client-set
+   icon window — all of which a racing client can destroy mid-operation.
+   Absorb BadWindow/BadAccess at this boundary (twm's "died mid-reparent"
+   race); {!Wm.sweep_dead} reclaims the entry afterwards. *)
 let iconify (ctx : Ctx.t) (client : Ctx.client) =
+  Xguard.run ctx ~where:"icons.iconify" @@ fun () ->
   if client.state <> Prop.Iconic then begin
     Server.unmap_window ctx.server ctx.conn client.frame;
     (match build_icon ctx client with
@@ -175,6 +180,7 @@ let iconify (ctx : Ctx.t) (client : Ctx.client) =
   end
 
 let deiconify (ctx : Ctx.t) (client : Ctx.client) =
+  Xguard.run ctx ~where:"icons.deiconify" @@ fun () ->
   if client.state = Prop.Iconic then begin
     (match client.icon_obj with
     | Some icon ->

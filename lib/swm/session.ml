@@ -69,7 +69,7 @@ let split_args s =
   flush ();
   if !in_quotes then Error "unterminated quote" else Ok (List.rev !words)
 
-let hint_of_args s =
+let hint_of_args_inner s =
   match split_args s with
   | Error _ as e -> e
   | Ok words ->
@@ -137,6 +137,13 @@ let hint_of_args s =
                   host = !host;
                 }))
 
+(* Hints arrive from root-window property bytes a hostile or faulty client
+   controls entirely, so the parser must degrade to [Error] on any input. *)
+let hint_of_args s =
+  match hint_of_args_inner s with
+  | r -> r
+  | exception e -> Error ("swmhints parse failure: " ^ Printexc.to_string e)
+
 (* -------- restart table -------- *)
 
 type table = { mutable hints : hint list }
@@ -145,22 +152,33 @@ let create_table () = { hints = [] }
 let add table hint = table.hints <- table.hints @ [ hint ]
 let size table = List.length table.hints
 
+type load_stats = { loaded : int; rejected : int; first_error : string option }
+
+(* Graceful degradation: a corrupt line loses that one hint, never the
+   session.  SWM_PLACES is client-writable, so any byte sequence must load. *)
 let load table text =
   let lines =
     String.split_on_char '\n' text
     |> List.map String.trim
     |> List.filter (fun l -> l <> "")
   in
-  let rec loop n = function
-    | [] -> Ok n
-    | line :: rest -> (
-        match hint_of_args line with
-        | Ok hint ->
-            add table hint;
-            loop (n + 1) rest
-        | Error msg -> Error (Printf.sprintf "%s in %S" msg line))
-  in
-  loop 0 lines
+  List.fold_left
+    (fun stats line ->
+      match hint_of_args line with
+      | Ok hint ->
+          add table hint;
+          { stats with loaded = stats.loaded + 1 }
+      | Error msg ->
+          {
+            stats with
+            rejected = stats.rejected + 1;
+            first_error =
+              (match stats.first_error with
+              | Some _ as e -> e
+              | None -> Some (Printf.sprintf "%s in %S" msg line));
+          })
+    { loaded = 0; rejected = 0; first_error = None }
+    lines
 
 let take_match table ~command ~host =
   let host_matches hint =
@@ -203,6 +221,18 @@ let expand_format fmt ~host ~display ~command =
   done;
   Buffer.contents buf
 
+(* FNV-1a 32-bit over the file content preceding the checksum line.  Not
+   cryptographic — it detects truncation and bit rot, which is what a WM
+   crash mid-write (or a dying disk) produces. *)
+let checksum text =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    text;
+  Printf.sprintf "%08x" !h
+
+let checksum_prefix = "# swm-checksum: "
+
 let places_file ?(remote_format = default_remote_format) ~display ~local_host hints =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "#!/bin/sh\n# written by swm f.places\n";
@@ -217,18 +247,66 @@ let places_file ?(remote_format = default_remote_format) ~display ~local_host hi
       in
       Buffer.add_string buf (start ^ "\n"))
     hints;
-  Buffer.contents buf
+  let content = Buffer.contents buf in
+  (* The trailing checksum line is itself a shell comment, so the file
+     remains an executable .xinitrc replacement. *)
+  content ^ checksum_prefix ^ checksum content ^ "\n"
 
-let parse_places_file text =
-  let lines = String.split_on_char '\n' text in
-  let rec loop acc = function
-    | [] -> Ok (List.rev acc)
-    | line :: rest ->
-        let line = String.trim line in
+type places_read = {
+  hints : hint list;
+  p_rejected : int;
+  p_first_error : string option;
+  p_checksum : [ `Valid | `Missing | `Mismatch ];
+}
+
+let read_places text =
+  let prefix_len = String.length checksum_prefix in
+  let covered = Buffer.create (String.length text) in
+  let hints = ref [] in
+  let rejected = ref 0 in
+  let first_error = ref None in
+  let check = ref `Missing in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if
+        String.length line >= prefix_len
+        && String.sub line 0 prefix_len = checksum_prefix
+      then begin
+        let expect =
+          String.trim (String.sub line prefix_len (String.length line - prefix_len))
+        in
+        check :=
+          if String.equal expect (checksum (Buffer.contents covered)) then `Valid
+          else `Mismatch
+      end
+      else begin
+        Buffer.add_string covered raw;
+        Buffer.add_char covered '\n';
         if String.length line > 9 && String.sub line 0 9 = "swmhints " then
           match hint_of_args (String.sub line 9 (String.length line - 9)) with
-          | Ok hint -> loop (hint :: acc) rest
-          | Error msg -> Error (Printf.sprintf "%s in %S" msg line)
-        else loop acc rest
-  in
-  loop [] lines
+          | Ok hint -> hints := hint :: !hints
+          | Error msg ->
+              incr rejected;
+              if !first_error = None then
+                first_error := Some (Printf.sprintf "%s in %S" msg line)
+      end)
+    (String.split_on_char '\n' text);
+  {
+    hints = List.rev !hints;
+    p_rejected = !rejected;
+    p_first_error = !first_error;
+    p_checksum = !check;
+  }
+
+let parse_places_file text =
+  let r = read_places text in
+  match (r.p_checksum, r.p_first_error) with
+  | `Mismatch, _ -> Error "places file checksum mismatch"
+  | (`Valid | `Missing), Some msg -> Error msg
+  | (`Valid | `Missing), None -> Ok r.hints
+
+let write_atomic ~path content =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc content);
+  Sys.rename tmp path

@@ -40,9 +40,17 @@ val create_table : unit -> table
 val add : table -> hint -> unit
 val size : table -> int
 
-val load : table -> string -> (int, string) result
+type load_stats = {
+  loaded : int;
+  rejected : int;  (** malformed lines skipped *)
+  first_error : string option;
+}
+
+val load : table -> string -> load_stats
 (** Load the contents of the SWM_PLACES root property (one swmhints argument
-    string per line); returns the number of entries. *)
+    string per line).  Malformed lines are skipped, not fatal — the property
+    is client-writable, so any byte sequence must load the salvageable
+    entries and report the rest.  Never raises. *)
 
 val take_match : table -> command:string -> host:string option -> hint option
 (** Find and *remove* the entry whose command (and host, when both sides
@@ -61,7 +69,36 @@ val places_file :
 (** Generate the [.xinitrc]-replacement text.  [remote_format] is the
     customizable remote-start string (paper §7.1) with [%h] = host,
     [%d] = display, [%c] = command; default
-    ["rsh %h \"env DISPLAY=%d %c\" &"]. *)
+    ["rsh %h \"env DISPLAY=%d %c\" &"].  The text ends with a
+    [# swm-checksum: <fnv1a-32-hex>] comment line over everything before
+    it, so a truncated or bit-rotted file is detectable on reload while
+    the file stays an executable shell script. *)
+
+val checksum : string -> string
+(** FNV-1a 32-bit, lower-case hex — the places-file checksum function. *)
+
+val checksum_prefix : string
+(** The checksum line's leading text, ["# swm-checksum: "]. *)
+
+type places_read = {
+  hints : hint list;  (** every line that parsed, in file order *)
+  p_rejected : int;  (** swmhints lines that did not parse *)
+  p_first_error : string option;
+  p_checksum : [ `Valid | `Missing | `Mismatch ];
+      (** [`Missing] for pre-checksum files (or ones truncated before the
+          trailing line) *)
+}
+
+val read_places : string -> places_read
+(** Lenient recovery: salvage every parseable hint from a places file,
+    reporting what was lost and whether the checksum held.  Never
+    raises — this is the crash-recovery path. *)
 
 val parse_places_file : string -> (hint list, string) result
-(** Recover the hints from a places file (used to restart a session). *)
+(** Strict recovery: [Error] if the checksum mismatches or any swmhints
+    line is malformed (used by [swmhints check] and tests); files without
+    a checksum line are accepted for compatibility. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write via [path ^ ".tmp"] then rename, so a crash mid-write leaves
+    either the old file or the new one, never a torn mixture. *)

@@ -23,9 +23,14 @@ let handle_property_change (ctx : Ctx.t) ~screen =
         (fun line ->
           let line = String.trim line in
           if line <> "" then
-            match Functions.execute_string ctx inv line with
-            | Ok () -> ()
-            | Error msg ->
+            (* Per-line guard: one line hitting a freshly-destroyed window
+               must not abort the rest of the batch. *)
+            match
+              Xguard.protect ctx ~where:"swmcmd"
+                (fun () -> Functions.execute_string ctx inv line)
+            with
+            | Some (Ok ()) | None -> ()
+            | Some (Error msg) ->
                 (* A bad line must not vanish silently: count it and leave a
                    trace breadcrumb carrying the offending text. *)
                 let metrics = Server.metrics ctx.server in

@@ -74,7 +74,25 @@ let setup_screen (ctx : Ctx.t) ~screen =
 let read_session (ctx : Ctx.t) =
   let root = (Ctx.screen ctx 0).root in
   match Server.get_property ctx.server root ~name:Prop.swm_places with
-  | Some (Prop.String text) -> ignore (Session.load ctx.session text)
+  | Some (Prop.String text) ->
+      (* SWM_PLACES is client-writable: salvage what parses, surface the
+         rest instead of silently dropping it. *)
+      let stats = Session.load ctx.session text in
+      if stats.Session.rejected > 0 then begin
+        Metrics.add
+          (Metrics.counter (Server.metrics ctx.server) "session.load_errors")
+          stats.Session.rejected;
+        let first = Option.value stats.Session.first_error ~default:"" in
+        Ctx.log ctx "session: rejected %d SWM_PLACES line(s), kept %d (%s)"
+          stats.Session.rejected stats.Session.loaded first;
+        Tracing.note (Server.tracer ctx.server) "session.load_error"
+          ~attrs:
+            [
+              ("rejected", string_of_int stats.Session.rejected);
+              ("loaded", string_of_int stats.Session.loaded);
+              ("error", first);
+            ]
+      end
   | Some _ | None -> ()
 
 (* -------- manage -------- *)
@@ -102,7 +120,7 @@ let initial_position (ctx : Ctx.t) ~screen ~sticky win hint =
           let slot = cascade_slot ctx ~screen in
           Geom.point (slot.px + o.px) (slot.py + o.py))
 
-let manage (ctx : Ctx.t) win =
+let manage_inner (ctx : Ctx.t) win =
   if
     Server.window_exists ctx.server win
     && (not (Server.override_redirect ctx.server win))
@@ -185,27 +203,46 @@ let unmanage (ctx : Ctx.t) (client : Ctx.client) ~destroyed =
       Server.ungrab_pointer ctx.server ctx.conn;
       ctx.mode <- Ctx.Idle
   | Ctx.Moving _ | Ctx.Resizing _ | Ctx.Idle | Ctx.Prompting _ -> ());
-  (match client.icon_obj with
-  | Some icon ->
-      (match client.holder with
-      | Some holder ->
-          holder.holder_clients <-
-            List.filter (fun c -> c != client) holder.holder_clients;
-          (match holder.holder_obj with
-          | Some hobj ->
-              Wobj.remove_child hobj icon;
-              Wobj.relayout hobj
-          | None -> ())
+  (* Each teardown step is guarded on its own: the client (or its icon
+     windows) may already be gone, and a BadWindow while dismantling one
+     piece must not leave the rest registered in the tables. *)
+  Xguard.run ctx ~where:"unmanage.icon" (fun () ->
+      match client.icon_obj with
+      | Some icon ->
+          (match client.holder with
+          | Some holder ->
+              holder.holder_clients <-
+                List.filter (fun c -> c != client) holder.holder_clients;
+              (match holder.holder_obj with
+              | Some hobj ->
+                  Wobj.remove_child hobj icon;
+                  Wobj.relayout hobj
+              | None -> ())
+          | None -> ());
+          Wobj.unrealize icon;
+          client.icon_obj <- None
       | None -> ());
-      Wobj.unrealize icon;
-      client.icon_obj <- None
-  | None -> ());
   Ctx.log ctx "unmanage %s win=%a destroyed=%b" client.instance Xid.pp client.cwin
     destroyed;
-  Decoration.teardown ctx client ~to_root:(not destroyed);
+  Xguard.run ctx ~where:"unmanage.teardown" (fun () ->
+      Decoration.teardown ctx client ~to_root:(not destroyed));
   Xid.Tbl.remove ctx.clients client.cwin;
   Xid.Tbl.remove ctx.frames client.cwin;
-  Panner.refresh ctx ~screen:client.screen
+  Xguard.run ctx ~where:"unmanage.refresh" (fun () ->
+      Panner.refresh ctx ~screen:client.screen)
+
+(* Manage under guard: the client can disappear between the MapRequest and
+   any of the requests manage issues (the twm mid-reparent race).  On an
+   absorbed error, roll back whatever made it into the tables. *)
+let manage (ctx : Ctx.t) win =
+  match Xguard.protect ctx ~where:"manage" (fun () -> manage_inner ctx win) with
+  | Some () -> ()
+  | None -> (
+      match Xid.Tbl.find_opt ctx.clients win with
+      | Some client ->
+          Xguard.run ctx ~where:"manage.rollback" (fun () ->
+              unmanage ctx client ~destroyed:true)
+      | None -> ())
 
 let managed (ctx : Ctx.t) win = Ctx.client_of_window ctx win <> None
 let find_client (ctx : Ctx.t) win = Ctx.client_of_window ctx win
@@ -625,18 +662,51 @@ let handle_event (ctx : Ctx.t) (event : Event.t) =
   | Event.Expose _ | Event.Client_message _ | Event.Focus_in _ | Event.Focus_out _ ->
       ()
 
+(* After an absorbed X error the tables may hold clients whose windows are
+   already gone (the racing client destroyed them mid-operation).  Unmanage
+   each of those — guarded, since teardown touches the same dead windows. *)
+let sweep_dead (ctx : Ctx.t) =
+  List.iter
+    (fun (client : Ctx.client) ->
+      if not (Server.window_exists ctx.server client.cwin) then
+        Xguard.run ctx ~where:"sweep_dead" (fun () ->
+            unmanage ctx client ~destroyed:true))
+    (Ctx.all_clients ctx)
+
+(* The periodic crash-safe snapshot: count dispatched events and rewrite the
+   autosave file every [autosave_interval] of them (§ robustness). *)
+let autosave_tick (ctx : Ctx.t) =
+  match ctx.autosave_path with
+  | None -> ()
+  | Some _ ->
+      ctx.autosave_pending <- ctx.autosave_pending + 1;
+      if ctx.autosave_pending >= ctx.autosave_interval then
+        Xguard.run ctx ~where:"autosave" (fun () ->
+            Functions.autosave ctx ~file_arg:None)
+
 (* Every event goes through here so dispatch latency lands in the
    [wm.dispatch_ns] histogram (CPU time) alongside the server's queue
    counters, and — when tracing is on — as a [wm.dispatch] span that
-   parents everything the handler does (function runs, redraws, pans). *)
+   parents everything the handler does (function runs, redraws, pans).
+
+   The handler runs under {!Xguard}: a BadWindow/BadAccess raised by a
+   racing client is absorbed at this boundary (counted in [wm.xerrors]),
+   after which dead clients are swept instead of crashing the WM. *)
 let handle_event_timed (ctx : Ctx.t) event =
   let tracer = Server.tracer ctx.server in
   (if Tracing.enabled tracer then
      Tracing.span tracer "wm.dispatch" ~attrs:[ ("event", Event.kind_name event) ]
    else fun f -> f ())
   @@ fun () ->
-  Metrics.time_ns (Server.metrics ctx.server) "wm.dispatch_ns" (fun () ->
-      handle_event ctx event)
+  (match
+     Metrics.time_ns (Server.metrics ctx.server) "wm.dispatch_ns" (fun () ->
+         Xguard.protect ctx
+           ~where:("dispatch:" ^ Event.kind_name event)
+           (fun () -> handle_event ctx event))
+   with
+  | Some () -> ()
+  | None -> sweep_dead ctx);
+  autosave_tick ctx
 
 (* Batch size per read: big enough that a pan storm drains in a few reads,
    small enough that shutdown is noticed between batches. *)
@@ -742,10 +812,22 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
       last_places = None;
       identify_win = Xid.none;
       confirm = (fun _ -> true);
+      autosave_path = None;
+      autosave_interval = 64;
+      autosave_pending = 0;
       host;
       display;
     }
   in
+  (match Config.query1 cfg ~screen:0 "autosaveFile" with
+  | Some "" | None -> ()
+  | Some path -> ctx.autosave_path <- Some path);
+  (match Config.query1 cfg ~screen:0 "autosaveInterval" with
+  | Some n -> (
+      match int_of_string_opt (String.trim n) with
+      | Some n when n > 0 -> ctx.autosave_interval <- n
+      | Some _ | None -> ())
+  | None -> ());
   read_session ctx;
   for screen = 0 to nscreens - 1 do
     setup_screen ctx ~screen;
@@ -760,16 +842,19 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
         manage ctx panner_win;
         Panner.refresh ctx ~screen
     | None -> ());
-    (* Adopt pre-existing client windows. *)
+    (* Adopt pre-existing client windows.  Per-child guard: a client can
+       die between [children_of] and any of these queries, and one corpse
+       must not abort adoption of the rest. *)
     let scr = Ctx.screen ctx screen in
     List.iter
       (fun child ->
-        if
-          Server.is_mapped server child
-          && (not (Server.override_redirect server child))
-          && (not (managed ctx child))
-          && Server.conn_name (Server.owner_of server child) <> "swm"
-        then manage ctx child)
+        Xguard.run ctx ~where:"adopt" (fun () ->
+            if
+              Server.is_mapped server child
+              && (not (Server.override_redirect server child))
+              && (not (managed ctx child))
+              && Server.conn_name (Server.owner_of server child) <> "swm"
+            then manage ctx child))
       (Server.children_of server scr.root)
   done;
   ignore (step ctx);

@@ -1,0 +1,22 @@
+module Server = Swm_xlib.Server
+module Metrics = Swm_xlib.Metrics
+module Tracing = Swm_xlib.Tracing
+module Xid = Swm_xlib.Xid
+
+let absorbed (ctx : Ctx.t) ~where msg =
+  Metrics.incr (Metrics.counter (Server.metrics ctx.server) "wm.xerrors");
+  Ctx.log ctx "absorbed X error in %s: %s" where msg;
+  Tracing.note (Server.tracer ctx.server) "wm.xerror"
+    ~attrs:[ ("where", where); ("error", msg) ]
+
+let protect (ctx : Ctx.t) ~where f =
+  try Some (f ()) with
+  | Server.Bad_window id ->
+      absorbed ctx ~where (Format.asprintf "BadWindow %a" Xid.pp id);
+      None
+  | Server.Bad_access msg ->
+      absorbed ctx ~where ("BadAccess: " ^ msg);
+      None
+
+let run (ctx : Ctx.t) ~where f =
+  match protect ctx ~where f with Some () | None -> ()

@@ -1,0 +1,151 @@
+type action =
+  | Destroy_window
+  | Kill_connection
+  | Stall_connection
+  | Truncate_frame
+  | Corrupt_frame
+  | Garble_property
+
+let action_name = function
+  | Destroy_window -> "destroy_window"
+  | Kill_connection -> "kill_connection"
+  | Stall_connection -> "stall_connection"
+  | Truncate_frame -> "truncate_frame"
+  | Corrupt_frame -> "corrupt_frame"
+  | Garble_property -> "garble_property"
+
+let all_actions =
+  [
+    Destroy_window;
+    Kill_connection;
+    Stall_connection;
+    Truncate_frame;
+    Corrupt_frame;
+    Garble_property;
+  ]
+
+let index = function
+  | Destroy_window -> 0
+  | Kill_connection -> 1
+  | Stall_connection -> 2
+  | Truncate_frame -> 3
+  | Corrupt_frame -> 4
+  | Garble_property -> 5
+
+type plan = {
+  seed : int;
+  p_destroy_window : float;
+  p_kill_connection : float;
+  p_stall_connection : float;
+  p_truncate_frame : float;
+  p_corrupt_frame : float;
+  p_garble_property : float;
+  max_faults : int;
+}
+
+let quiet =
+  {
+    seed = 0;
+    p_destroy_window = 0.0;
+    p_kill_connection = 0.0;
+    p_stall_connection = 0.0;
+    p_truncate_frame = 0.0;
+    p_corrupt_frame = 0.0;
+    p_garble_property = 0.0;
+    max_faults = 0;
+  }
+
+let storm ?(seed = 1) () =
+  {
+    seed;
+    p_destroy_window = 0.04;
+    p_kill_connection = 0.005;
+    p_stall_connection = 0.01;
+    p_truncate_frame = 0.05;
+    p_corrupt_frame = 0.05;
+    p_garble_property = 0.05;
+    max_faults = 64;
+  }
+
+let pp_plan ppf p =
+  Format.fprintf ppf
+    "seed=%d destroy=%.3f kill=%.3f stall=%.3f truncate=%.3f corrupt=%.3f \
+     garble=%.3f max=%d"
+    p.seed p.p_destroy_window p.p_kill_connection p.p_stall_connection
+    p.p_truncate_frame p.p_corrupt_frame p.p_garble_property p.max_faults
+
+type t = {
+  plan : plan;
+  rng : Random.State.t;
+  counts : int array;
+  mutable injected : int;
+  metrics : Metrics.t option;
+  tracer : Tracing.t option;
+}
+
+let arm ?metrics ?tracer plan =
+  {
+    plan;
+    rng = Random.State.make [| plan.seed; 0x5f37 |];
+    counts = Array.make (List.length all_actions) 0;
+    injected = 0;
+    metrics;
+    tracer;
+  }
+
+let plan t = t.plan
+let rng t = t.rng
+let injected t = t.injected
+let count t action = t.counts.(index action)
+let counts t = List.map (fun a -> (a, count t a)) all_actions
+let exhausted t = t.plan.max_faults > 0 && t.injected >= t.plan.max_faults
+
+let roll t p = p > 0.0 && Random.State.float t.rng 1.0 < p
+
+let draw_request t =
+  if exhausted t then None
+  else if roll t t.plan.p_destroy_window then Some Destroy_window
+  else if roll t t.plan.p_kill_connection then Some Kill_connection
+  else if roll t t.plan.p_stall_connection then Some Stall_connection
+  else None
+
+let draw_frame t =
+  if exhausted t then None
+  else if roll t t.plan.p_truncate_frame then Some Truncate_frame
+  else if roll t t.plan.p_corrupt_frame then Some Corrupt_frame
+  else None
+
+let draw_property t = (not (exhausted t)) && roll t t.plan.p_garble_property
+
+let fire t ?(attrs = []) action =
+  t.injected <- t.injected + 1;
+  t.counts.(index action) <- t.counts.(index action) + 1;
+  (match t.metrics with
+  | Some m ->
+      Metrics.incr (Metrics.counter m "faults.injected");
+      Metrics.incr (Metrics.counter m ("faults." ^ action_name action))
+  | None -> ());
+  match t.tracer with
+  | Some tr when Tracing.enabled tr ->
+      Tracing.instant tr ~attrs ("fault." ^ action_name action)
+  | Some _ | None -> ()
+
+let truncate t bytes =
+  let n = String.length bytes in
+  if n = 0 then bytes else String.sub bytes 0 (Random.State.int t.rng n)
+
+let corrupt t bytes =
+  let n = String.length bytes in
+  if n = 0 then bytes
+  else begin
+    let b = Bytes.of_string bytes in
+    let i = Random.State.int t.rng n in
+    let flip = 1 + Random.State.int t.rng 255 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor flip));
+    Bytes.to_string b
+  end
+
+let garble t s =
+  if String.length s = 0 then s
+  else if Random.State.bool t.rng then corrupt t s
+  else truncate t s

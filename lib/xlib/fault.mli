@@ -1,0 +1,106 @@
+(** Deterministic, seeded fault injection.
+
+    A fault {e plan} gives each fault class a per-site probability; an
+    armed plan ({!t}) carries its own [Random.State] seeded from the
+    plan, so the same plan over the same request sequence injects the
+    same faults — chaos tests are replayable from a single integer.
+
+    The module is deliberately mechanism-free: it only decides {e
+    whether} a fault fires at a site and mutates byte strings.  The
+    {!Server} executes window/connection faults (it owns the victims)
+    and {!Wire_conn} applies frame faults; both report each injection
+    back through {!fire}, which counts it in {!Metrics}
+    ([faults.injected], [faults.<action>]) and stamps a {!Tracing}
+    instant ([fault.<action>]).
+
+    Sites:
+    - {e request} ({!draw_request}) — between any two protocol
+      requests the server may destroy a client window, kill a
+      connection, or stall/unstall one (its queue stops delivering).
+      This is the twm "client died mid-reparent" race, made
+      schedulable.
+    - {e frame} ({!draw_frame}) — a submitted wire byte string may be
+      truncated or have a byte flipped before decoding.
+    - {e property} ({!draw_property}) — a property write may have its
+      bytes garbled, feeding the reader malformed text. *)
+
+type action =
+  | Destroy_window
+  | Kill_connection
+  | Stall_connection
+  | Truncate_frame
+  | Corrupt_frame
+  | Garble_property
+
+val action_name : action -> string
+val all_actions : action list
+
+type plan = {
+  seed : int;
+  p_destroy_window : float;  (** per request *)
+  p_kill_connection : float;  (** per request *)
+  p_stall_connection : float;  (** per request; toggles stalled state *)
+  p_truncate_frame : float;  (** per submitted wire byte string *)
+  p_corrupt_frame : float;  (** per submitted wire byte string *)
+  p_garble_property : float;  (** per property write *)
+  max_faults : int;  (** stop injecting after this many; [<= 0] = unlimited *)
+}
+
+val quiet : plan
+(** All probabilities zero — an armed but inert plan. *)
+
+val storm : ?seed:int -> unit -> plan
+(** A moderately hostile default (a few percent per site, budget 64). *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+type t
+
+val arm : ?metrics:Metrics.t -> ?tracer:Tracing.t -> plan -> t
+val plan : t -> plan
+val rng : t -> Random.State.t
+(** The plan's private generator — executors use it to pick victims so
+    victim choice is covered by the seed too. *)
+
+(** {1 Site decisions}
+
+    Decisions draw from the rng but do {e not} count the fault — the
+    executor calls {!fire} once it has actually applied one (a draw
+    with no eligible victim injects nothing). *)
+
+val draw_request : t -> action option
+(** [Some Destroy_window | Kill_connection | Stall_connection], or
+    [None]. *)
+
+val draw_frame : t -> action option
+(** [Some Truncate_frame | Corrupt_frame], or [None]. *)
+
+val draw_property : t -> bool
+
+val fire : t -> ?attrs:(string * string) list -> action -> unit
+(** Record one injected fault: bumps [faults.injected] and
+    [faults.<action>], stamps a [fault.<action>] tracing instant with
+    [attrs]. *)
+
+(** {1 Byte mutilation} *)
+
+val truncate : t -> string -> string
+(** A strict prefix of the input (possibly empty). *)
+
+val corrupt : t -> string -> string
+(** Same length, one byte xor-flipped (never a no-op flip). *)
+
+val garble : t -> string -> string
+(** Property-value mutilation: flip a byte or chop the tail. *)
+
+(** {1 Accounting} *)
+
+val injected : t -> int
+(** Total faults fired. *)
+
+val count : t -> action -> int
+val counts : t -> (action * int) list
+(** Per-action totals, in {!all_actions} order. *)
+
+val exhausted : t -> bool
+(** The [max_faults] budget is spent; no further draws fire. *)

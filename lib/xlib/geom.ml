@@ -97,7 +97,11 @@ let parse s =
     if !pos <> n then fail "trailing characters"
     else if width = None && xoff = None then fail "empty geometry"
     else Ok { width; height; xoff; yoff }
-  with Syntax msg -> Error msg
+  with
+  | Syntax msg -> Error msg
+  | Failure _ ->
+      (* int_of_string overflow: a numeral too large for an int *)
+      Error (Printf.sprintf "number out of range in %S" s)
 
 let parse_exn s =
   match parse s with

@@ -17,6 +17,9 @@ type conn = {
          handed to the client; always delivered before the ring *)
   mutable coalesce : bool;
   mutable alive : bool;
+  mutable stalled : bool;
+      (* a stalled connection accumulates events but delivers none — the
+         fault harness's model of a client that stopped reading *)
   m_enqueued : Metrics.counter;
   m_coalesced : Metrics.counter;
   m_delivered : Metrics.counter;
@@ -64,9 +67,21 @@ type t = {
   mutable requests : int;
   metrics : Metrics.t;
   s_tracer : Tracing.t;
+  mutable fault : Fault.t option;
+  mutable fault_protected : int list; (* cids faults may never victimise *)
+  mutable injecting : bool; (* reentrancy guard: fault execution bumps too *)
 }
 
-let bump server = server.requests <- server.requests + 1
+(* Fault execution needs [destroy_window]/[disconnect], defined below
+   [bump]; the indirection is filled in at the bottom of the module. *)
+let inject_hook : (t -> unit) ref = ref (fun _ -> ())
+
+let bump server =
+  server.requests <- server.requests + 1;
+  match server.fault with
+  | Some _ when not server.injecting -> !inject_hook server
+  | Some _ | None -> ()
+
 let request_count server = server.requests
 
 let lookup server id =
@@ -120,6 +135,9 @@ let create ?(screens = [ default_screen ]) () =
     requests = 0;
     metrics = Metrics.create ();
     s_tracer = Tracing.create ();
+    fault = None;
+    fault_protected = [];
+    injecting = false;
   }
 
 let metrics server = server.metrics
@@ -136,6 +154,7 @@ let connect server ~name =
       overflow = [];
       coalesce = true;
       alive = true;
+      stalled = false;
       m_enqueued = Metrics.counter server.metrics "events.enqueued";
       m_coalesced = Metrics.counter server.metrics "events.coalesced";
       m_delivered = Metrics.counter server.metrics "events.delivered";
@@ -595,7 +614,19 @@ let change_property server conn id ~name value =
   bump server;
   let window = lookup server id in
   ignore (Atom.intern server.atom_table name);
-  ignore conn;
+  (* Property fault site: a string write from an unprotected client may
+     arrive garbled, so readers must survive malformed property bytes. *)
+  let value =
+    match (server.fault, value) with
+    | Some f, Prop.String s
+      when (not server.injecting)
+           && (not (List.mem conn.cid server.fault_protected))
+           && Fault.draw_property f ->
+        Fault.fire f Fault.Garble_property
+          ~attrs:[ ("property", name); ("conn", conn.cname) ];
+        Prop.String (Fault.garble f s)
+    | _ -> value
+  in
   Hashtbl.replace window.props name value;
   notify server window Event.Property_change
     (Event.Property_notify { window = id; name; deleted = false })
@@ -660,7 +691,9 @@ let events_of_entry = function
         (Region.rects region)
 
 let rec next_event conn =
-  match conn.overflow with
+  if conn.stalled then None
+  else
+    match conn.overflow with
   | event :: rest ->
       conn.overflow <- rest;
       Metrics.incr conn.m_delivered;
@@ -677,7 +710,9 @@ let rec next_event conn =
               Some event))
 
 let rec peek_event conn =
-  match conn.overflow with
+  if conn.stalled then None
+  else
+    match conn.overflow with
   | event :: _ -> Some event
   | [] -> (
       match Ring.peek conn.ring with
@@ -868,3 +903,83 @@ let is_shaped server id = (lookup server id).shape <> None
 
 let all_windows server = Xid.Tbl.fold (fun id _ acc -> id :: acc) server.windows []
 let window_count server = Xid.Tbl.length server.windows
+
+(* -------- fault injection -------- *)
+
+let is_fault_protected server cid = cid = 0 || List.mem cid server.fault_protected
+
+let stalled conn = conn.stalled
+let set_stalled conn flag = conn.stalled <- flag
+
+(* Pick deterministically among candidates sorted by a stable key, so the
+   victim sequence depends only on the plan seed and the request history. *)
+let pick rng = function
+  | [] -> None
+  | candidates ->
+      let arr = Array.of_list candidates in
+      Some arr.(Random.State.int rng (Array.length arr))
+
+let run_fault server f (action : Fault.action) =
+  match action with
+  | Fault.Destroy_window -> (
+      let candidates =
+        Xid.Tbl.fold
+          (fun id w acc ->
+            if (not (Xid.is_none w.parent)) && not (is_fault_protected server w.owner)
+            then id :: acc
+            else acc)
+          server.windows []
+        |> List.sort Xid.compare
+      in
+      match pick (Fault.rng f) candidates with
+      | None -> ()
+      | Some victim ->
+          Fault.fire f action ~attrs:[ ("window", Format.asprintf "%a" Xid.pp victim) ];
+          destroy_window server victim)
+  | Fault.Kill_connection | Fault.Stall_connection -> (
+      let candidates =
+        Hashtbl.fold
+          (fun cid conn acc ->
+            if conn.alive && not (is_fault_protected server cid) then conn :: acc
+            else acc)
+          server.conns []
+        |> List.sort (fun a b -> compare a.cid b.cid)
+      in
+      match pick (Fault.rng f) candidates with
+      | None -> ()
+      | Some victim ->
+          Fault.fire f action ~attrs:[ ("conn", victim.cname) ];
+          if action = Fault.Kill_connection then disconnect server victim
+          else victim.stalled <- not victim.stalled)
+  | Fault.Truncate_frame | Fault.Corrupt_frame | Fault.Garble_property ->
+      (* Frame faults are applied by Wire_conn, property faults inline in
+         change_property; neither reaches the request site. *)
+      ()
+
+let maybe_inject server =
+  match server.fault with
+  | None -> ()
+  | Some f ->
+      if not server.injecting then begin
+        server.injecting <- true;
+        Fun.protect
+          ~finally:(fun () -> server.injecting <- false)
+          (fun () ->
+            match Fault.draw_request f with
+            | None -> ()
+            | Some action -> run_fault server f action)
+      end
+
+let () = inject_hook := maybe_inject
+
+let arm_faults server ?(protect = []) plan =
+  let f = Fault.arm ~metrics:server.metrics ~tracer:server.s_tracer plan in
+  server.fault <- Some f;
+  server.fault_protected <- List.map (fun conn -> conn.cid) protect;
+  f
+
+let disarm_faults server =
+  server.fault <- None;
+  server.fault_protected <- []
+
+let faults server = server.fault

@@ -233,3 +233,34 @@ val window_count : t -> int
 val request_count : t -> int
 (** Number of protocol requests processed so far — the simulator's
     stand-in for wire traffic, used by the toolkit-overhead benches. *)
+
+(** {1 Fault injection}
+
+    An armed {!Fault} plan fires at request boundaries: before a request
+    executes, the server may destroy an unprotected client's window, kill
+    an unprotected connection (full {!disconnect} semantics: save-set
+    rescue then resource destruction), or stall one (its queue stops
+    delivering until the next stall fault un-stalls it).  This is how a
+    chaos test schedules the "client died between two WM operations"
+    race deterministically: the very next WM request touching the victim
+    raises {!Bad_window}, exactly as a real server would answer.
+
+    String property writes from unprotected connections may additionally
+    be garbled ({!Fault.draw_property}), and {!Wire_conn} applies frame
+    faults to submitted bytes.  Every injection is counted in
+    {!metrics} ([faults.*]) and stamped as a [fault.*] tracing instant. *)
+
+val arm_faults : t -> ?protect:conn list -> Fault.plan -> Fault.t
+(** Arm a plan.  [protect] lists connections faults must never
+    victimise (pass the WM's own connection: a real X server does not
+    destroy the WM's resources behind its back); their property writes
+    are never garbled either.  Replaces any previously armed plan. *)
+
+val disarm_faults : t -> unit
+val faults : t -> Fault.t option
+(** The armed harness, for fault accounting mid-run. *)
+
+val stalled : conn -> bool
+val set_stalled : conn -> bool -> unit
+(** Manual stall control for tests: a stalled connection enqueues
+    events but {!next_event}/{!read_events} deliver nothing. *)

@@ -138,6 +138,12 @@ let instant t ?(attrs = []) name =
         ev_attrs = attrs;
       }
 
+let note t ?(attrs = []) name =
+  if t.on then begin
+    instant t ~attrs name;
+    record_slow t name (now_ns () - t.epoch) 0 attrs
+  end
+
 let events t =
   (* Oldest first: the ring wraps at [head], so the oldest surviving entry
      sits at [head] once the ring has wrapped. *)

@@ -85,6 +85,12 @@ val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 val instant : t -> ?attrs:(string * string) list -> string -> unit
 (** A zero-duration point event at the current depth. *)
 
+val note : t -> ?attrs:(string * string) list -> string -> unit
+(** An {!instant} that is {e also} copied into the slow-op log
+    regardless of duration, with its ancestry — for rare events that
+    must survive ring wrap-around (absorbed X errors, injected
+    faults' aftermath).  A no-op while disabled, like {!instant}. *)
+
 (** {1 Inspection and export} *)
 
 val events : t -> event list

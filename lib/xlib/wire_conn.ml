@@ -7,7 +7,10 @@ type t = {
   mutable sent : int;
   mutable received : int;
   op_counters : Metrics.counter option array; (* per-opcode request counts *)
+  m_rejected : Metrics.counter; (* frames refused by decode or execution *)
 }
+
+type submit_error = { executed : int; error : string }
 
 (* Client ids live in their own space; roots get well-known client ids so a
    fresh connection can name them (X tells clients the root ids in the
@@ -25,6 +28,7 @@ let create server ~name =
       sent = 0;
       received = 0;
       op_counters = Array.make 32 None;
+      m_rejected = Metrics.counter (Server.metrics server) "wire.rejected_frames";
     }
   in
   for screen = 0 to Server.screen_count server - 1 do
@@ -112,31 +116,62 @@ let execute t (req : Wire.request) =
   | Wire.Add_to_save_set w -> Server.add_to_save_set t.server t.sconn (s w)
   | Wire.Remove_from_save_set w -> Server.remove_from_save_set t.server t.sconn (s w)
 
+(* Frame fault site: an armed plan may truncate the submitted byte string
+   or flip one byte before decoding — a torn or corrupted stream.  The
+   decoder then rejects the damaged frame like any other bad input. *)
+let apply_frame_faults t bytes =
+  match Server.faults t.server with
+  | Some f when String.length bytes > 0 -> (
+      let attrs =
+        [ ("conn", Server.conn_name t.sconn);
+          ("bytes", string_of_int (String.length bytes)) ]
+      in
+      match Fault.draw_frame f with
+      | Some Fault.Truncate_frame ->
+          Fault.fire f Fault.Truncate_frame ~attrs;
+          Fault.truncate f bytes
+      | Some Fault.Corrupt_frame ->
+          Fault.fire f Fault.Corrupt_frame ~attrs;
+          Fault.corrupt f bytes
+      | Some _ | None -> bytes)
+  | Some _ | None -> bytes
+
 let submit_bytes t bytes =
   t.sent <- t.sent + String.length bytes;
+  let bytes = apply_frame_faults t bytes in
   (if Tracing.enabled (Server.tracer t.server) then
      Tracing.span (Server.tracer t.server) "wire.decode"
        ~attrs:
          [ ("bytes", string_of_int (String.length bytes)); ("conn", Server.conn_name t.sconn) ]
    else fun f -> f ())
   @@ fun () ->
+  (* On any failure the result reports how many requests already executed:
+     a batch is not transactional, and callers accounting for partial
+     effects (traces, replays, chaos tests) need the split point. *)
+  let fail count msg =
+    Metrics.incr t.m_rejected;
+    Error { executed = count; error = msg }
+  in
   let rec loop count pos =
     if pos >= String.length bytes then Ok count
     else
       match Wire.decode_request bytes ~pos with
-      | Error _ as e -> e
+      | Error msg -> fail count msg
       | Ok (req, next) -> (
           match execute t req with
           | () -> loop (count + 1) next
-          | exception Wire_error msg -> Error msg
+          | exception Wire_error msg -> fail count msg
           | exception Server.Bad_window id ->
-              Error (Format.asprintf "BadWindow %a" Xid.pp id)
-          | exception Server.Bad_access msg -> Error ("BadAccess: " ^ msg)
-          | exception Invalid_argument msg -> Error msg)
+              fail count (Format.asprintf "BadWindow %a" Xid.pp id)
+          | exception Server.Bad_access msg -> fail count ("BadAccess: " ^ msg)
+          | exception Invalid_argument msg -> fail count msg)
   in
   loop 0 0
 
-let submit t req = Result.map (fun _ -> ()) (submit_bytes t (Wire.encode_request req))
+let submit t req =
+  match submit_bytes t (Wire.encode_request req) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e.error
 
 (* Translate the window ids inside an event into the client's space. *)
 let translate_event t (event : Event.t) : Event.t =

@@ -25,12 +25,23 @@ val root_id : t -> screen:int -> Xid.t
     an X connection learns from the setup handshake). *)
 
 val submit : t -> Wire.request -> (unit, string) result
-(** Convenience: encode then {!submit_bytes}. *)
+(** Convenience: encode then {!submit_bytes}, reporting only the error
+    message. *)
 
-val submit_bytes : t -> string -> (int, string) result
+type submit_error = {
+  executed : int;
+      (** requests that ran before the failure — a batch is not
+          transactional, so partial effects are already visible *)
+  error : string;  (** first decode or execution error *)
+}
+
+val submit_bytes : t -> string -> (int, submit_error) result
 (** Decode and execute every request in the byte string; ids are translated
     from the client's space.  Returns the number executed, or the first
-    error. *)
+    error together with how many requests preceded it.  Every failed
+    submission also bumps the [wire.rejected_frames] counter in
+    {!Server.metrics}.  If the server has an armed {!Fault} plan, the byte
+    string may first be truncated or corrupted (frame fault site). *)
 
 val drain_event_bytes : t -> string
 (** Encode and remove all pending events, window ids translated back into

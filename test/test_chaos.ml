@@ -1,0 +1,217 @@
+(* Chaos suite: the workload storms of test_fuzz run again, but under
+   seeded fault plans ({!Swm_xlib.Fault}) that destroy client windows
+   between requests, kill or stall connections, corrupt wire frames and
+   garble property bytes.  Three properties must hold for every plan:
+
+   - the WM never crashes (no exception escapes [Wm.step]);
+   - the client tables stay consistent (every managed client's window
+     still exists once the queue is drained);
+   - after the WM is torn down and a fresh instance started, every
+     surviving viable client is re-adopted — 100%, not "most".
+
+   Every run is replayable from its integer seed. *)
+
+module Server = Swm_xlib.Server
+module Fault = Swm_xlib.Fault
+module Metrics = Swm_xlib.Metrics
+module Xid = Swm_xlib.Xid
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Icons = Swm_core.Icons
+module Templates = Swm_core.Templates
+module Workload = Swm_clients.Workload
+
+let check = Alcotest.check
+
+let resources =
+  [ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ]
+
+(* Client-side stimulus races the injector on purpose: a storm step may
+   address a window the fault plan just destroyed, or speak through a
+   killed connection.  That is the client's problem, not the WM's — absorb
+   it here so only exceptions out of [Wm.step] count as failures. *)
+let client_side f =
+  try f () with Server.Bad_window _ | Server.Bad_access _ -> ()
+
+let wm_step ~seed wm =
+  try ignore (Wm.step wm)
+  with e ->
+    Alcotest.failf "seed %d: WM crashed: %s" seed (Printexc.to_string e)
+
+(* The clients a fresh WM is expected to adopt: mapped, not
+   override-redirect, owner connection alive and not a WM. *)
+let adoptable server =
+  let root = Server.root server ~screen:0 in
+  List.filter
+    (fun w ->
+      Server.window_exists server w
+      && Server.is_mapped server w
+      && (not (Server.override_redirect server w))
+      && match Server.owner_of server w with
+         | owner -> Server.conn_name owner <> "swm"
+         | exception Server.Bad_access _ -> false)
+    (Server.children_of server root)
+
+(* One full chaos cycle: populate, storm under an armed plan, check
+   invariants, restart the WM, check adoption. *)
+let run_chaos ~seed ~clients ~rounds plan =
+  let server = Server.create () in
+  let wm = Wm.start ~resources server in
+  let ctx = Wm.ctx wm in
+  let apps = Workload.launch_n server clients in
+  wm_step ~seed wm;
+  let fault = Server.arm_faults server ~protect:[ ctx.Ctx.conn ] plan in
+  for round = 0 to rounds - 1 do
+    let sub = (seed * 31) + round in
+    client_side (fun () -> Workload.motion_storm server ~seed:sub ~steps:25 ());
+    wm_step ~seed wm;
+    client_side (fun () -> Workload.configure_churn server ~seed:sub ~rounds:2 apps);
+    wm_step ~seed wm;
+    client_side (fun () -> Workload.expose_storm server ~seed:sub ~rounds:1 apps);
+    wm_step ~seed wm;
+    (* Iconify a rotating third of the population, deiconify the rest. *)
+    List.iteri
+      (fun i c ->
+        if (i + round) mod 3 = 0 then Icons.iconify ctx c
+        else Icons.deiconify ctx c)
+      (Ctx.all_clients ctx);
+    wm_step ~seed wm
+  done;
+  (* Invariant: once the queue is drained, no managed client is a corpse. *)
+  List.iter
+    (fun (c : Ctx.client) ->
+      if not (Server.window_exists server c.Ctx.cwin) then
+        Alcotest.failf "seed %d: managed client %d has no window" seed
+          (Xid.to_int c.Ctx.cwin))
+    (Ctx.all_clients ctx);
+  (* Restart: tear the WM down (frames die, save-set clients return to the
+     root) and verify a fresh instance re-adopts every survivor.  A hot
+     plan can wipe the whole herd, which would make the adoption check
+     vacuous — so a few late arrivals always join on the wreckage first. *)
+  Server.disarm_faults server;
+  let _late = Workload.launch_n server 3 in
+  wm_step ~seed wm;
+  Wm.shutdown wm;
+  let survivors = adoptable server in
+  let wm2 =
+    try Wm.start ~resources server
+    with e ->
+      Alcotest.failf "seed %d: restarted WM crashed: %s" seed
+        (Printexc.to_string e)
+  in
+  wm_step ~seed wm2;
+  List.iter
+    (fun w ->
+      if Wm.find_client wm2 w = None then
+        Alcotest.failf "seed %d: survivor %d not re-adopted" seed (Xid.to_int w))
+    survivors;
+  (Fault.injected fault, List.length survivors)
+
+let test_chaos_200_seeds () =
+  let total = ref 0 and survivors = ref 0 in
+  for seed = 1 to 200 do
+    let injected, adopted =
+      run_chaos ~seed ~clients:6 ~rounds:3 (Fault.storm ~seed ())
+    in
+    total := !total + injected;
+    survivors := !survivors + adopted
+  done;
+  (* The suite is only meaningful if the plans actually fired AND the
+     adoption check actually had clients to re-adopt. *)
+  check Alcotest.bool "faults were injected" true (!total > 1000);
+  check Alcotest.bool "adoption checks were not vacuous" true (!survivors > 200)
+
+let test_chaos_quiet_plan_is_inert () =
+  (* The harness itself must not perturb anything: a quiet plan injects
+     zero faults, and with no faults every client survives to adoption. *)
+  let injected, survivors = run_chaos ~seed:42 ~clients:6 ~rounds:3 Fault.quiet in
+  check Alcotest.int "no faults under quiet plan" 0 injected;
+  check Alcotest.bool "full population survives" true (survivors >= 6)
+
+let test_chaos_deterministic () =
+  (* Same seed, same plan: the injector fires the same faults, class by
+     class — replayability is what makes chaos failures debuggable. *)
+  let counts seed =
+    let server = Server.create () in
+    let wm = Wm.start ~resources server in
+    let ctx = Wm.ctx wm in
+    let apps = Workload.launch_n server 6 in
+    ignore (Wm.step wm);
+    let fault =
+      Server.arm_faults server ~protect:[ ctx.Ctx.conn ] (Fault.storm ~seed ())
+    in
+    client_side (fun () -> Workload.motion_storm server ~seed ~steps:50 ());
+    client_side (fun () -> Workload.configure_churn server ~seed ~rounds:3 apps);
+    ignore (Wm.step wm);
+    List.map (fun a -> Fault.count fault a) Fault.all_actions
+  in
+  check
+    Alcotest.(list int)
+    "identical fault schedule" (counts 1234) (counts 1234)
+
+let test_metrics_account_for_faults () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources server in
+  let ctx = Wm.ctx wm in
+  let apps = Workload.launch_n server 8 in
+  ignore (Wm.step wm);
+  let heavy =
+    {
+      (Fault.storm ~seed:7 ()) with
+      Fault.p_destroy_window = 0.2;
+      p_garble_property = 0.2;
+      max_faults = 0;
+    }
+  in
+  let fault = Server.arm_faults server ~protect:[ ctx.Ctx.conn ] heavy in
+  for round = 0 to 2 do
+    client_side (fun () -> Workload.configure_churn server ~seed:round ~rounds:2 apps);
+    client_side (fun () -> Workload.expose_storm server ~seed:round ~rounds:1 apps);
+    wm_step ~seed:7 wm
+  done;
+  let m = Server.metrics server in
+  check Alcotest.int "faults.injected matches the armed plan's count"
+    (Fault.injected fault)
+    (Metrics.counter_value m "faults.injected");
+  check Alcotest.bool "destroys fired" true
+    (Metrics.counter_value m "faults.destroy_window" > 0)
+
+(* A qcheck pass over random plans: probabilities drawn freely, not just
+   the storm defaults. *)
+let plan_gen =
+  QCheck2.Gen.(
+    map
+      (fun (seed, (a, b), (c, d)) ->
+        {
+          Fault.seed;
+          p_destroy_window = float_of_int a /. 400.;
+          p_kill_connection = float_of_int b /. 4000.;
+          p_stall_connection = float_of_int b /. 2000.;
+          p_truncate_frame = float_of_int c /. 400.;
+          p_corrupt_frame = float_of_int d /. 400.;
+          p_garble_property = float_of_int d /. 400.;
+          max_faults = 48;
+        })
+      (triple (int_range 1 1_000_000)
+         (pair (int_range 0 40) (int_range 0 40))
+         (pair (int_range 0 40) (int_range 0 40))))
+
+let prop_no_crash_under_random_plans =
+  QCheck2.Test.make ~name:"WM survives random fault plans" ~count:60 plan_gen
+    (fun plan ->
+      let _injected, _survivors =
+        run_chaos ~seed:plan.Fault.seed ~clients:5 ~rounds:2 plan
+      in
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "200 seeded fault plans, zero crashes" `Quick
+      test_chaos_200_seeds;
+    Alcotest.test_case "quiet plan is inert" `Quick test_chaos_quiet_plan_is_inert;
+    Alcotest.test_case "fault schedule is deterministic" `Quick
+      test_chaos_deterministic;
+    Alcotest.test_case "metrics account for faults" `Quick
+      test_metrics_account_for_faults;
+    QCheck_alcotest.to_alcotest prop_no_crash_under_random_plans;
+  ]

@@ -28,4 +28,5 @@ let () =
       ("golden", Test_golden.suite);
       ("robustness", Test_robustness.suite);
       ("fuzz", Test_fuzz.suite);
+      ("chaos", Test_chaos.suite);
     ]

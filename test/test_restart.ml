@@ -180,6 +180,68 @@ let test_places_file_roundtrip_through_disk_format () =
       let fgeom = Server.geometry server2 (client_of wm2 term2).Ctx.frame in
       check Alcotest.int "restored through file format" 123 fgeom.x
 
+let test_restart_from_autosave () =
+  (* Crash-safety: the WM is killed without ever running f.places, and the
+     next session restores sticky/iconic state and geometry from the
+     periodic autosave file alone. *)
+  let path = Filename.temp_file "swm_autosave" ".places" in
+  Sys.remove path;
+  let autosave_resources =
+    [
+      Templates.open_look;
+      "swm*rootPanels:\n"
+      ^ Printf.sprintf "swm*autosaveFile: %s\nswm*autosaveInterval: 3\n" path;
+    ]
+  in
+  let server1 = Server.create () in
+  let wm1 = Wm.start ~resources:autosave_resources server1 in
+  let ctx1 = Wm.ctx wm1 in
+  check Alcotest.bool "autosaveFile resource read" true
+    (ctx1.Ctx.autosave_path = Some path);
+  check Alcotest.int "autosaveInterval resource read" 3 ctx1.Ctx.autosave_interval;
+  let term = Stock.xterm server1 ~at:(Geom.point 60 80) () in
+  let clock = Stock.xclock server1 ~at:(Geom.point 900 40) () in
+  ignore (Wm.step wm1);
+  Vdesk.set_sticky ctx1 (client_of wm1 term) true;
+  let clock_client = client_of wm1 clock in
+  clock_client.Ctx.icon_pos <- Some (Geom.point 0 0);
+  Icons.iconify ctx1 clock_client;
+  (* Enough dispatched events to cross the interval: autosave fires on its
+     own, no f.places anywhere. *)
+  for i = 1 to 6 do
+    Client_app.resize_self term (400 + i, 300);
+    ignore (Wm.step wm1)
+  done;
+  check Alcotest.bool "autosave file written" true (Sys.file_exists path);
+
+  (* The WM "crashes": no shutdown hook runs, the file is all that's left. *)
+  let content =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  let r = Session.read_places content in
+  check Alcotest.bool "autosave checksum valid" true (r.Session.p_checksum = `Valid);
+  check Alcotest.int "no rejected lines" 0 r.Session.p_rejected;
+  check Alcotest.int "both clients autosaved" 2 (List.length r.Session.hints);
+
+  (* Next login: replay the autosaved hints, restart the clients. *)
+  let server2 = Server.create () in
+  replay_hints server2 r.Session.hints;
+  let term2 = Stock.xterm server2 () in
+  let clock2 = Stock.xclock server2 () in
+  let wm2 = Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server2 in
+  ignore (Wm.step wm2);
+  check Alcotest.bool "term adopted" true (Wm.find_client wm2 (Client_app.window term2) <> None);
+  check Alcotest.bool "clock adopted" true (Wm.find_client wm2 (Client_app.window clock2) <> None);
+  check Alcotest.bool "sticky restored from autosave" true
+    (client_of wm2 term2).Ctx.sticky;
+  check Alcotest.bool "iconic restored from autosave" true
+    ((client_of wm2 clock2).Ctx.state = Prop.Iconic)
+
 (* Paper §7: xplaces assumes Xt command-line options, so XView clients are
    "out in the cold"; swm's WM_COMMAND matching restores both. *)
 let test_xplaces_vs_swm_for_non_xt_toolkits () =
@@ -265,4 +327,6 @@ let suite =
       test_unmatched_clients_placed_normally;
     Alcotest.test_case "roundtrip through the places file" `Quick
       test_places_file_roundtrip_through_disk_format;
+    Alcotest.test_case "restart from the autosave file" `Quick
+      test_restart_from_autosave;
   ]

@@ -101,11 +101,52 @@ let test_load () =
     Session.hint_to_args sample_hint ^ "\n\n"
     ^ Session.hint_to_args { sample_hint with command = "xterm" }
   in
-  (match Session.load table text with
-  | Ok 2 -> ()
-  | Ok n -> Alcotest.failf "expected 2, got %d" n
-  | Error msg -> Alcotest.fail msg);
+  let stats = Session.load table text in
+  check Alcotest.int "loaded" 2 stats.Session.loaded;
+  check Alcotest.int "rejected" 0 stats.Session.rejected;
   check Alcotest.int "size" 2 (Session.size table)
+
+let test_load_salvages_good_lines () =
+  (* SWM_PLACES is client-writable: bad lines are skipped and counted, good
+     ones still load, and load never raises. *)
+  let table = Session.create_table () in
+  let text =
+    "-geometry garbage -cmd \"x\"\n"
+    ^ Session.hint_to_args sample_hint
+    ^ "\n-cmd \"unterminated\n"
+  in
+  let stats = Session.load table text in
+  check Alcotest.int "loaded" 1 stats.Session.loaded;
+  check Alcotest.int "rejected" 2 stats.Session.rejected;
+  check Alcotest.bool "first error reported" true (stats.Session.first_error <> None);
+  check Alcotest.int "size" 1 (Session.size table)
+
+let test_args_hostile () =
+  (* Malformed / hostile swmhints input must return Error, never raise:
+     these bytes can arrive from any client via SWM_PLACES (or from the
+     fault injector garbling the property). *)
+  List.iter
+    (fun bad ->
+      match Session.hint_of_args bad with
+      | Ok _ -> Alcotest.failf "expected %S to fail" bad
+      | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "hint_of_args raised on %S: %s" bad (Printexc.to_string e))
+    [
+      (* unbalanced quotes, in both positions *)
+      "-geometry 10x10+0+0 -cmd \"xterm";
+      "-geometry 10x10+0+0 -cmd xterm\"";
+      "\"";
+      (* missing -cmd entirely *)
+      "-geometry 10x10+0+0 -state NormalState -sticky";
+      (* oversized geometry numerals: int_of_string overflow territory *)
+      "-geometry 999999999999999999999999x10+0+0 -cmd \"x\"";
+      "-geometry 10x10+99999999999999999999999999+0 -cmd \"x\"";
+      (* flag with no value at end of line *)
+      "-geometry 10x10+0+0 -cmd \"x\" -state";
+      (* binary junk, as after wire corruption *)
+      "-geometry \x00\xff\x01 -cmd \"\x07\"";
+    ]
 
 let test_places_file () =
   let hints =
@@ -128,6 +169,57 @@ let test_places_file () =
       check Alcotest.bool "sticky preserved" true
         (List.exists (fun h -> h.Session.sticky) parsed)
   | Error msg -> Alcotest.fail msg
+
+let test_places_checksum () =
+  let content = Session.places_file ~display:":0" ~local_host:"localhost" [ sample_hint ] in
+  check Alcotest.bool "checksum trailer present" true
+    (Astring_contains.contains content Session.checksum_prefix);
+  (match Session.read_places content with
+  | { Session.p_checksum = `Valid; p_rejected = 0; hints = [ _ ]; _ } -> ()
+  | _ -> Alcotest.fail "pristine file should verify");
+  (* Tamper with a body byte: strict parse refuses, lenient read reports. *)
+  let tampered =
+    String.mapi (fun i c -> if i = 10 && c <> 'Z' then 'Z' else c) content
+  in
+  (match Session.parse_places_file tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered file should fail strict parse");
+  (match Session.read_places tampered with
+  | { Session.p_checksum = `Mismatch; _ } -> ()
+  | _ -> Alcotest.fail "tampered file should report Mismatch");
+  (* A checksum-less file (pre-upgrade format) is still accepted. *)
+  let lines = String.split_on_char '\n' content in
+  let body =
+    List.filter
+      (fun l -> not (Astring_contains.contains l Session.checksum_prefix))
+      lines
+    |> String.concat "\n"
+  in
+  match Session.parse_places_file body with
+  | Ok [ _ ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "checksum-less file should still parse"
+
+let test_places_truncated () =
+  (* A crash mid-write leaves a prefix of the file: lenient read salvages
+     whole swmhints lines and flags the checksum, and never raises. *)
+  let hints = [ sample_hint; { sample_hint with command = "xterm" } ] in
+  let content = Session.places_file ~display:":0" ~local_host:"localhost" hints in
+  for cut = 0 to String.length content - 1 do
+    let prefix = String.sub content 0 cut in
+    let r = Session.read_places prefix in
+    check Alcotest.bool "truncated checksum never Valid or salvage ok" true
+      (r.Session.p_checksum <> `Valid || List.length r.Session.hints <= 2)
+  done
+
+let test_write_atomic () =
+  let path = Filename.temp_file "swm_places" ".test" in
+  Session.write_atomic ~path "hello\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.string "content written" "hello" line;
+  check Alcotest.bool "tmp file cleaned up" false (Sys.file_exists (path ^ ".tmp"))
 
 let test_custom_remote_format () =
   let hints = [ { sample_hint with host = Some "faraway" } ] in
@@ -175,7 +267,12 @@ let suite =
     Alcotest.test_case "identical WM_COMMAND limitation" `Quick
       test_identical_commands_limitation;
     Alcotest.test_case "load property text" `Quick test_load;
+    Alcotest.test_case "load salvages good lines" `Quick test_load_salvages_good_lines;
+    Alcotest.test_case "hostile swmhints input" `Quick test_args_hostile;
     Alcotest.test_case "places file" `Quick test_places_file;
+    Alcotest.test_case "places checksum" `Quick test_places_checksum;
+    Alcotest.test_case "places truncated read" `Quick test_places_truncated;
+    Alcotest.test_case "atomic write" `Quick test_write_atomic;
     Alcotest.test_case "custom remote format" `Quick test_custom_remote_format;
     QCheck_alcotest.to_alcotest prop_roundtrip;
   ]

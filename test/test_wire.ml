@@ -261,6 +261,49 @@ let test_wire_client_under_wm () =
   | Ok () -> Alcotest.fail "expected unknown-id error"
   | Error _ -> ()
 
+(* -------- partial-batch accounting -------- *)
+
+let test_partial_batch_accounting () =
+  let module Wire_conn = Swm_xlib.Wire_conn in
+  let module Metrics = Swm_xlib.Metrics in
+  let server = Server.create () in
+  let wc = Wire_conn.create server ~name:"batcher" in
+  let root = Wire_conn.root_id wc ~screen:0 in
+  let wid1 = Wire_conn.fresh_id wc and wid2 = Wire_conn.fresh_id wc in
+  let create wid =
+    Wire.encode_request
+      (Wire.Create_window
+         { wid; parent = root; geom = Geom.rect 0 0 50 50; border = 0;
+           override_redirect = false })
+  in
+  (* Two good frames, then garbage: the error must say how many requests
+     executed before the decoder choked, and both windows must exist. *)
+  let batch = create wid1 ^ create wid2 ^ "GARBAGE!" in
+  (match Wire_conn.submit_bytes wc batch with
+  | Ok n -> Alcotest.failf "expected decode error, got Ok %d" n
+  | Error { Wire_conn.executed; error } ->
+      check Alcotest.int "executed before failure" 2 executed;
+      check Alcotest.bool "error text" true (String.length error > 0));
+  check Alcotest.bool "first window created" true
+    (Wire_conn.resolve wc wid1 <> None);
+  check Alcotest.bool "second window created" true
+    (Wire_conn.resolve wc wid2 <> None);
+  check Alcotest.int "rejected frame counted" 1
+    (Metrics.counter_value (Server.metrics server) "wire.rejected_frames");
+  (* A server-side error mid-batch reports the same way: frame 1 maps an
+     id the server never allocated. *)
+  let bad =
+    Wire.encode_request (Wire.Map_window wid1)
+    ^ Wire.encode_request (Wire.Map_window (Xid.of_int 987654))
+    ^ Wire.encode_request (Wire.Map_window wid2)
+  in
+  (match Wire_conn.submit_bytes wc bad with
+  | Ok n -> Alcotest.failf "expected unknown-id error, got Ok %d" n
+  | Error { Wire_conn.executed; _ } ->
+      check Alcotest.int "one executed before unknown id" 1 executed);
+  check Alcotest.int "second rejection counted" 2
+    (Metrics.counter_value (Server.metrics server) "wire.rejected_frames")
+
 (* -------- properties -------- *)
 
 let request_gen =
@@ -333,6 +376,8 @@ let suite =
       test_trace_roundtrip_and_replay;
     Alcotest.test_case "wire-only client under the WM" `Quick
       test_wire_client_under_wm;
+    Alcotest.test_case "partial-batch accounting" `Quick
+      test_partial_batch_accounting;
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
     QCheck_alcotest.to_alcotest prop_stream_roundtrip;
   ]
