@@ -1093,7 +1093,7 @@ let bench_observability () =
   (* The same pan-storm fixture as pipeline/pan_storm, once with the tracer
      left disabled (the shipping default — this is the overhead the guards
      cost everyone) and once recording (the cost of turning tracing on). *)
-  let mk_pan_storm ~traced () =
+  let mk_pan_storm ?(traced = false) ?(recorder = false) () =
     let server = Server.create () in
     let wm =
       Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server
@@ -1105,6 +1105,7 @@ let bench_observability () =
     in
     ignore (Wm.step wm);
     if traced then Tracing.start (Server.tracer server);
+    if recorder then Swm_xlib.Recorder.start (Server.recorder server);
     let flip = ref false in
     fun () ->
       flip := not !flip;
@@ -1117,11 +1118,15 @@ let bench_observability () =
   let off_tracer = Tracing.create () in
   let on_tracer = Tracing.create () in
   Tracing.start on_tracer;
+  let off_recorder = Swm_xlib.Recorder.create () in
+  let on_recorder = Swm_xlib.Recorder.create () in
+  Swm_xlib.Recorder.start on_recorder;
   let results =
-    report ~experiment:"O1: span tracing (observability)"
+    report ~experiment:"O1: span tracing + flight recorder (observability)"
       ~claim:
-        "a disabled span is one flag check (no allocation, no clock read); \
-         enabled tracing writes into a bounded ring so it can stay on"
+        "a disabled span or record is one flag check (no allocation, no \
+         clock read); enabled tracing and recording write into bounded \
+         rings so they can stay on"
       (run_tests
          [
            Test.make ~name:"observability/span-disabled"
@@ -1130,22 +1135,36 @@ let bench_observability () =
              (Staged.stage (fun () -> Tracing.span on_tracer "bench" (fun () -> ())));
            Test.make ~name:"observability/instant-enabled"
              (Staged.stage (fun () -> Tracing.instant on_tracer "tick"));
+           Test.make ~name:"observability/record-disabled"
+             (Staged.stage (fun () ->
+                  Swm_xlib.Recorder.record off_recorder ~kind:"event" "bench"));
+           Test.make ~name:"observability/record-enabled"
+             (Staged.stage (fun () ->
+                  Swm_xlib.Recorder.record on_recorder ~kind:"event" "bench"));
            Test.make ~name:"observability/pan_storm-traced-off"
-             (Staged.stage (mk_pan_storm ~traced:false ()));
+             (Staged.stage (mk_pan_storm ()));
            Test.make ~name:"observability/pan_storm-traced-on"
              (Staged.stage (mk_pan_storm ~traced:true ()));
+           (* The CI-gated number: the same storm with the flight recorder
+              armed (ring writes + periodic snapshots), against the
+              recorder-off fixture above. *)
+           Test.make ~name:"observability/recorder-overhead"
+             (Staged.stage (mk_pan_storm ~recorder:true ()));
            (* By now the enabled ring has wrapped: exports pay full price. *)
            Test.make ~name:"observability/chrome-export-full-ring"
              (Staged.stage (fun () -> ignore (Tracing.to_chrome_json on_tracer)));
          ])
   in
   let off = find "observability/pan_storm-traced-off" results
-  and on = find "observability/pan_storm-traced-on" results in
+  and on = find "observability/pan_storm-traced-on" results
+  and recorded = find "observability/recorder-overhead" results in
   verdict
-    "pan storm traced-on/traced-off = %.2fx; disabled span costs %s (ring \
-     holds %d events, %d dropped)"
-    (on /. off)
+    "pan storm traced-on/traced-off = %.2fx, recorder-armed/off = %.2fx; \
+     disabled span costs %s, disabled record %s (ring holds %d events, %d \
+     dropped)"
+    (on /. off) (recorded /. off)
     (Format.asprintf "%a" pp_ns (find "observability/span-disabled" results))
+    (Format.asprintf "%a" pp_ns (find "observability/record-disabled" results))
     (List.length (Tracing.events on_tracer))
     (Tracing.dropped on_tracer);
   results
@@ -1166,10 +1185,24 @@ let write_observability_json ~path results ~pipeline_pan_ns =
     (Printf.sprintf
        "  \"overhead\": {\"span_disabled_ns\": %s, \"span_enabled_ns\": %s, \
         \"pan_storm_traced_off_ns\": %s, \"pan_storm_traced_on_ns\": %s, \
-        \"traced_on_ratio\": %s, \"disabled_vs_pipeline_ratio\": %s}\n"
+        \"traced_on_ratio\": %s, \"disabled_vs_pipeline_ratio\": %s},\n"
        (num span_disabled) (num span_enabled) (num off) (num on)
        (num (on /. off))
        (num (off /. pipeline_pan_ns)));
+  (* The recorder budget the CI observability job gates on: a disabled
+     record must stay a flag check (budget generous against CI-runner
+     noise), and arming the recorder must not multiply the storm's cost. *)
+  let record_disabled = find "observability/record-disabled" results
+  and record_enabled = find "observability/record-enabled" results
+  and recorder_on = find "observability/recorder-overhead" results in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"recorder\": {\"record_disabled_ns\": %s, \
+        \"record_enabled_ns\": %s, \"pan_storm_recorder_off_ns\": %s, \
+        \"pan_storm_recorder_on_ns\": %s, \"armed_ratio\": %s, \
+        \"record_disabled_budget_ns\": 50.0, \"armed_ratio_budget\": 2.0}\n"
+       (num record_disabled) (num record_enabled) (num off) (num recorder_on)
+       (num (recorder_on /. off)));
   Buffer.add_string b "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);

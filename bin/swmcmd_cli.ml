@@ -11,7 +11,14 @@
    goes in over SWM_COMMAND and the reply comes back on SWM_RESULT:
 
      swmcmd_cli --metrics            print the WM's metrics registry (JSON)
+     swmcmd_cli --metrics --table    the same, as a human-readable table
+     swmcmd_cli --metrics --prometheus   Prometheus text exposition
      swmcmd_cli --slowlog            print the slow-op log (JSON)
+     swmcmd_cli --health             one-line liveness summary (f.health)
+     swmcmd_cli --top [FRAMES]       refreshing terminal table of counter
+                                     rates from f.stats while a scripted
+                                     workload runs (default 6 frames)
+     swmcmd_cli --flightdump FILE    write a flight-recorder report to FILE
      swmcmd_cli --trace FILE         trace a scripted session (pan storm +
                                      iconify burst) and write Chrome
                                      trace-event JSON to FILE
@@ -25,6 +32,8 @@ module Prop = Swm_xlib.Prop
 module Wire = Swm_xlib.Wire
 module Wire_conn = Swm_xlib.Wire_conn
 module Tracing = Swm_xlib.Tracing
+module Json = Swm_xlib.Json
+module Recorder = Swm_xlib.Recorder
 module Wm = Swm_core.Wm
 module Ctx = Swm_core.Ctx
 module Swmcmd = Swm_core.Swmcmd
@@ -33,22 +42,37 @@ module Stock = Swm_clients.Stock
 
 type mode =
   | Command of string
-  | Metrics
+  | Metrics of string option  (* None = JSON; Some "table"/"prometheus" *)
   | Slowlog
+  | Health
+  | Top of int  (* frames to render *)
+  | Flightdump of string
   | Trace of string
   | Chaos of int
 
 let usage () =
   prerr_endline
-    "usage: swmcmd_cli [COMMAND... | --metrics | --slowlog | --trace FILE | \
-     --chaos SEED]";
+    "usage: swmcmd_cli [COMMAND... | --metrics [--table | --prometheus] | \
+     --slowlog | --health | --top [FRAMES] | --flightdump FILE | \
+     --trace FILE | --chaos SEED]";
   exit 2
 
 let parse_args () =
   match List.tl (Array.to_list Sys.argv) with
   | [] -> Command "f.iconify(XTerm)"
-  | [ "--metrics" ] -> Metrics
+  | [ "--metrics" ] -> Metrics None
+  | [ "--metrics"; "--table" ] | [ "--table"; "--metrics" ] ->
+      Metrics (Some "table")
+  | [ "--metrics"; "--prometheus" ] | [ "--prometheus"; "--metrics" ] ->
+      Metrics (Some "prometheus")
   | [ "--slowlog" ] -> Slowlog
+  | [ "--health" ] -> Health
+  | [ "--top" ] -> Top 6
+  | [ "--top"; frames ] -> (
+      match int_of_string_opt frames with
+      | Some n when n > 0 -> Top n
+      | Some _ | None -> usage ())
+  | [ "--flightdump"; file ] -> Flightdump file
   | [ "--trace"; file ] -> Trace file
   | [ "--chaos"; seed ] -> (
       match int_of_string_opt seed with Some s -> Chaos s | None -> usage ())
@@ -128,6 +152,97 @@ let run_introspection verb =
   print_string (read_reply server);
   print_newline ()
 
+(* --top: a refreshing terminal table of counter totals and rates, driven by
+   f.stats round-trips while a scripted workload keeps the WM busy.  The
+   reply is parsed (not regex-scraped) — the renderer doubles as a living
+   check that f.stats emits well-formed JSON. *)
+let render_top ~frame ~frames reply =
+  match Json.parse reply with
+  | Error msg ->
+      Printf.eprintf "swmcmd_cli: unparseable f.stats reply: %s\n" msg;
+      exit 1
+  | Ok stats ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "\027[2J\027[H";
+      let sampler = Json.member "sampler" stats in
+      let samples =
+        match Option.bind sampler (Json.member "samples") with
+        | Some v -> Option.value (Json.to_int v) ~default:0
+        | None -> 0
+      in
+      let window_s =
+        match Option.bind sampler (Json.member "window_ns") with
+        | Some v -> Option.value (Json.to_float v) ~default:0. /. 1e9
+        | None -> 0.
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "swm top — frame %d/%d   samples %d   window %.2fs\n\n"
+           frame frames samples window_s);
+      Buffer.add_string buf
+        (Printf.sprintf "%-26s %14s %14s\n" "series" "total" "rate/s");
+      (match Option.bind sampler (Json.member "series") with
+      | Some (Json.Obj fields) ->
+          List.iter
+            (fun (name, v) ->
+              let value =
+                match Json.member "value" v with
+                | Some n -> Option.value (Json.to_int n) ~default:0
+                | None -> 0
+              in
+              let rate =
+                match Json.member "rate_per_sec" v with
+                | Some n -> Option.value (Json.to_float n) ~default:0.
+                | None -> 0.
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%-26s %14d %14.1f\n" name value rate))
+            fields
+      | Some _ | None -> ());
+      (match Json.member "derived" stats with
+      | Some (Json.Obj fields) ->
+          Buffer.add_char buf '\n';
+          List.iter
+            (fun (name, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%-26s %14.3f\n" name
+                   (Option.value (Json.to_float v) ~default:0.)))
+            fields
+      | Some _ | None -> ());
+      print_string (Buffer.contents buf);
+      flush stdout
+
+let run_top frames =
+  let server, wm = setup () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  for frame = 1 to frames do
+    (* Scripted activity between frames so the rates have something to
+       show: a pan sweep plus an iconify bounce. *)
+    for i = 1 to 6 do
+      roundtrip server wm sender
+        (Printf.sprintf "f.panTo(%d,%d)"
+           (((frame * 90) + (i * 40)) mod 900)
+           (((frame * 60) + (i * 25)) mod 500))
+    done;
+    roundtrip server wm sender "f.iconify(XTerm)";
+    roundtrip server wm sender "f.deiconify(XTerm)";
+    roundtrip server wm sender "f.stats";
+    render_top ~frame ~frames (read_reply server);
+    if frame < frames then Unix.sleepf 0.25
+  done;
+  print_newline ()
+
+let run_flightdump file =
+  let server, wm = setup () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  (* Arm the recorder and give it a tail to dump. *)
+  Recorder.start (Server.recorder server);
+  for i = 1 to 8 do
+    roundtrip server wm sender (Printf.sprintf "f.panTo(%d,%d)" (i * 100) (i * 60))
+  done;
+  roundtrip server wm sender (Printf.sprintf "f.flightdump(%s)" file);
+  print_string (read_reply server);
+  print_newline ()
+
 let run_trace file =
   let server, wm = setup () in
   let sender = Server.connect server ~name:"swmcmd" in
@@ -193,7 +308,11 @@ let run_chaos seed =
 let () =
   match parse_args () with
   | Command command -> run_command command
-  | Metrics -> run_introspection "f.metrics"
+  | Metrics None -> run_introspection "f.metrics"
+  | Metrics (Some fmt) -> run_introspection (Printf.sprintf "f.metrics(%s)" fmt)
   | Slowlog -> run_introspection "f.slowlog"
+  | Health -> run_introspection "f.health"
+  | Top frames -> run_top frames
+  | Flightdump file -> run_flightdump file
   | Trace file -> run_trace file
   | Chaos seed -> run_chaos seed

@@ -93,6 +93,10 @@ type t = {
   mutable autosave_path : string option;
   mutable autosave_interval : int; (* dispatched events between autosaves *)
   mutable autosave_pending : int; (* events dispatched since the last one *)
+  sampler : Swm_xlib.Metrics.sampler;
+  mutable stats_interval : int; (* dispatched events between samples *)
+  mutable stats_pending : int; (* events since the last sample *)
+  mutable watchdog_threshold_ns : int; (* dispatch wall time above = stall *)
   host : string;
   display : string;
 }

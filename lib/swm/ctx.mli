@@ -119,6 +119,16 @@ type t = {
       (** dispatched events between autosaves ([autosaveInterval], default
           64) — a WM crash loses at most one interval of session state *)
   mutable autosave_pending : int;  (** events since the last autosave *)
+  sampler : Swm_xlib.Metrics.sampler;
+      (** time-series snapshots of the key counters, fed every
+          [statsInterval] dispatched events — the data behind [f.stats] *)
+  mutable stats_interval : int;
+      (** dispatched events between sampler snapshots ([statsInterval],
+          default 32) *)
+  mutable stats_pending : int;  (** events since the last sample *)
+  mutable watchdog_threshold_ns : int;
+      (** wall-time dispatch latency above which the watchdog counts a
+          stall ([watchdogThresholdMs], default 50ms) *)
   host : string;
   display : string;
 }

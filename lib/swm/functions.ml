@@ -7,6 +7,7 @@ module Menu = Swm_oi.Menu
 module Panel_spec = Swm_oi.Panel_spec
 module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
+module Recorder = Swm_xlib.Recorder
 
 type invocation = {
   inv_obj : Wobj.t option;
@@ -17,12 +18,16 @@ type invocation = {
 let invocation ?obj ?client ~screen () =
   { inv_obj = obj; inv_client = client; inv_screen = screen }
 
-(* Functions whose argument is data, not a window-selection mode. *)
+(* Functions whose argument is data, not a window-selection mode.
+   f.metrics lives here (not with the nullaries) so it can take an optional
+   format argument; a bare "f.metrics" still works, the data path just sees
+   no argument. *)
 let data_arg_functions =
   [
     "f.warpvertical"; "f.warphorizontal"; "f.pan"; "f.panto"; "f.desktop";
     "f.menu"; "f.exec"; "f.places"; "f.autosave"; "f.resizedesktop"; "f.setlabel";
     "f.setbindings"; "f.warpto"; "f.scrollholder"; "f.function"; "f.trace";
+    "f.metrics"; "f.flightdump";
   ]
 
 let window_functions =
@@ -34,7 +39,7 @@ let window_functions =
 
 let nullary_functions =
   [ "f.quit"; "f.restart"; "f.refresh"; "f.unpostmenu"; "f.circulateup";
-    "f.circulatedown"; "f.metrics"; "f.slowlog" ]
+    "f.circulatedown"; "f.slowlog"; "f.health"; "f.stats" ]
 
 let function_names = window_functions @ data_arg_functions @ nullary_functions
 
@@ -404,6 +409,44 @@ let trace_control (ctx : Ctx.t) ~screen arg =
   | Some _ | None ->
       set_result ctx ~screen "{\"error\":\"f.trace takes start, stop or dump\"}"
 
+(* One-glance liveness summary: overall status plus the counters an operator
+   would reach for first.  "degraded" as soon as the watchdog has seen a
+   stall — the WM is alive but has been unresponsive at least once. *)
+let health_json (ctx : Ctx.t) =
+  let metrics = Server.metrics ctx.server in
+  let recorder = Server.recorder ctx.server in
+  let c name = Metrics.counter_value metrics name in
+  let stalls = c "watchdog.stalls" in
+  Printf.sprintf
+    "{\"status\":%s,\"events_dispatched\":%d,\"xerrors\":%d,\
+     \"watchdog_stalls\":%d,\"faults_injected\":%d,\"swmcmd_errors\":%d,\
+     \"clients\":%d,\"recorder\":{\"enabled\":%b,\"recorded\":%d,\
+     \"dropped\":%d,\"crash_dumps\":%d}}"
+    (Metrics.json_string (if stalls > 0 then "degraded" else "ok"))
+    (c "wm.events_dispatched") (c "wm.xerrors") stalls (c "faults.injected")
+    (c "swmcmd.errors")
+    (List.length (Ctx.all_clients ctx))
+    (Recorder.enabled recorder) (Recorder.recorded recorder)
+    (Recorder.dropped recorder) (Recorder.dumps recorder)
+
+(* The time-series payload: the sampler's retained window plus the derived
+   rates.  A sample is taken first so the window always extends to the
+   moment of the query, even when the event loop has been idle. *)
+let stats_json (ctx : Ctx.t) =
+  Metrics.sample ctx.sampler;
+  let rate = Metrics.rate ctx.sampler in
+  let enqueued = rate "events.enqueued" in
+  let coalesced = rate "events.coalesced" in
+  Printf.sprintf
+    "{\"sampler\":%s,\"derived\":{\"events_per_sec\":%.3f,\
+     \"dispatch_per_sec\":%.3f,\"coalesce_ratio\":%.4f,\
+     \"faults_per_sec\":%.3f}}"
+    (Metrics.stats_json ctx.sampler)
+    enqueued
+    (rate "wm.events_dispatched")
+    (if enqueued > 0. then coalesced /. enqueued else 0.)
+    (rate "faults.injected")
+
 let run_nullary (ctx : Ctx.t) inv name =
   match name with
   | "f.quit" -> ctx.running <- false
@@ -414,12 +457,11 @@ let run_nullary (ctx : Ctx.t) inv name =
   | "f.unpostmenu" -> unpost_menu ctx ~screen:inv.inv_screen
   | "f.circulateup" -> circulate ctx ~screen:inv.inv_screen `Up
   | "f.circulatedown" -> circulate ctx ~screen:inv.inv_screen `Down
-  | "f.metrics" ->
-      set_result ctx ~screen:inv.inv_screen
-        (Metrics.to_json (Server.metrics ctx.server))
   | "f.slowlog" ->
       set_result ctx ~screen:inv.inv_screen
         (Tracing.slow_log_json (Server.tracer ctx.server))
+  | "f.health" -> set_result ctx ~screen:inv.inv_screen (health_json ctx)
+  | "f.stats" -> set_result ctx ~screen:inv.inv_screen (stats_json ctx)
   | _ -> ()
 
 let rec run_data ~depth (ctx : Ctx.t) inv name arg =
@@ -518,6 +560,35 @@ let rec run_data ~depth (ctx : Ctx.t) inv name arg =
           | _ -> ())
       | None -> ())
   | "f.trace" -> trace_control ctx ~screen arg
+  | "f.metrics" -> (
+      let metrics = Server.metrics ctx.server in
+      match Option.map (fun a -> String.lowercase_ascii (String.trim a)) arg with
+      | None -> set_result ctx ~screen (Metrics.to_json metrics)
+      | Some "prometheus" -> set_result ctx ~screen (Metrics.to_prometheus metrics)
+      | Some "table" -> set_result ctx ~screen (Metrics.to_table metrics)
+      | Some _ ->
+          set_result ctx ~screen
+            "{\"error\":\"f.metrics takes no argument, prometheus or table\"}")
+  | "f.flightdump" -> (
+      match Option.map String.trim arg with
+      | Some path when path <> "" -> (
+          let report =
+            Recorder.dump_json
+              (Server.recorder ctx.server)
+              ~reason:"f.flightdump"
+              ~metrics:(Server.metrics ctx.server)
+              ~tracer:(Server.tracer ctx.server)
+          in
+          try
+            Session.write_atomic ~path report;
+            set_result ctx ~screen
+              (Printf.sprintf "{\"flightdump\":%s,\"bytes\":%d}"
+                 (Metrics.json_string path) (String.length report))
+          with Sys_error msg ->
+            set_result ctx ~screen
+              (Printf.sprintf "{\"error\":%s}" (Metrics.json_string msg)))
+      | Some _ | None ->
+          set_result ctx ~screen "{\"error\":\"f.flightdump takes a file path\"}")
   | "f.warpto" -> (
       match arg with
       | Some class_arg -> (
@@ -540,6 +611,11 @@ and execute_at ~depth (ctx : Ctx.t) inv (funcs : Bindings.func_call list) =
   | [] -> ()
   | f :: rest -> (
       let name = canon f.fname in
+      Recorder.record
+        (Server.recorder ctx.server)
+        ~kind:"function"
+        ~attrs:(match f.farg with None -> [] | Some a -> [ ("arg", a) ])
+        name;
       let tracer = Server.tracer ctx.server in
       if List.mem name nullary_functions then begin
         (if Tracing.enabled tracer then Tracing.span tracer name

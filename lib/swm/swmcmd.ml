@@ -22,7 +22,12 @@ let handle_property_change (ctx : Ctx.t) ~screen =
       List.iter
         (fun line ->
           let line = String.trim line in
-          if line <> "" then
+          if line <> "" then begin
+            Swm_xlib.Recorder.record
+              (Server.recorder ctx.server)
+              ~kind:"swmcmd"
+              ~attrs:[ ("screen", string_of_int screen) ]
+              line;
             (* Per-line guard: one line hitting a freshly-destroyed window
                must not abort the rest of the batch. *)
             match
@@ -39,6 +44,7 @@ let handle_property_change (ctx : Ctx.t) ~screen =
                 let tracer = Server.tracer ctx.server in
                 if Tracing.enabled tracer then
                   Tracing.instant tracer "swmcmd.error"
-                    ~attrs:[ ("line", line); ("error", msg) ])
+                    ~attrs:[ ("line", line); ("error", msg) ]
+          end)
         (String.split_on_char '\n' text)
   | Some _ | None -> ()

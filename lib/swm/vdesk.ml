@@ -74,6 +74,16 @@ let pan_to (ctx : Ctx.t) ~screen pos =
       let geom = Server.geometry ctx.server vwin in
       Ctx.log ctx "pan screen %d to %d,%d" screen x y;
       Metrics.incr (Metrics.counter (Server.metrics ctx.server) "vdesk.pans");
+      Swm_xlib.Recorder.record
+        (Server.recorder ctx.server)
+        ~kind:"pan"
+        ~attrs:
+          [
+            ("screen", string_of_int screen);
+            ("x", string_of_int x);
+            ("y", string_of_int y);
+          ]
+        (Printf.sprintf "pan screen %d to %d,%d" screen x y);
       Server.move_resize ctx.server ctx.conn vwin { geom with Geom.x = -x; y = -y }
 
 let pan_by ctx ~screen ~dx ~dy =

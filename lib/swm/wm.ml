@@ -1,5 +1,6 @@
 module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
+module Recorder = Swm_xlib.Recorder
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
 module Xid = Swm_xlib.Xid
@@ -114,7 +115,13 @@ let initial_position (ctx : Ctx.t) ~screen ~sticky win hint =
   | Some h -> Geom.point h.geometry.x h.geometry.y
   | None -> (
       match Icccm.read_placement ctx win with
-      | Icccm.Place_absolute p -> if sticky then p else p
+      | Icccm.Place_absolute p ->
+          (* USPosition is absolute in the window's own placement space:
+             desktop coordinates for a normal window, glass (root)
+             coordinates for a sticky one.  Either way the point is used
+             verbatim — only viewport-relative (PPosition) and default
+             placement add the pan offset. *)
+          p
       | Icccm.Place_viewport p -> Geom.point (p.px + o.px) (p.py + o.py)
       | Icccm.Place_default ->
           let slot = cascade_slot ctx ~screen in
@@ -684,6 +691,16 @@ let autosave_tick (ctx : Ctx.t) =
         Xguard.run ctx ~where:"autosave" (fun () ->
             Functions.autosave ctx ~file_arg:None)
 
+(* Every [stats_interval] dispatched events, snapshot the key counters into
+   the time-series sampler so [f.stats] can report rates (events/sec,
+   faults/sec) instead of only all-time totals. *)
+let stats_tick (ctx : Ctx.t) =
+  ctx.stats_pending <- ctx.stats_pending + 1;
+  if ctx.stats_pending >= ctx.stats_interval then begin
+    ctx.stats_pending <- 0;
+    Metrics.sample ctx.sampler
+  end
+
 (* Every event goes through here so dispatch latency lands in the
    [wm.dispatch_ns] histogram (CPU time) alongside the server's queue
    counters, and — when tracing is on — as a [wm.dispatch] span that
@@ -691,22 +708,120 @@ let autosave_tick (ctx : Ctx.t) =
 
    The handler runs under {!Xguard}: a BadWindow/BadAccess raised by a
    racing client is absorbed at this boundary (counted in [wm.xerrors]),
-   after which dead clients are swept instead of crashing the WM. *)
+   after which dead clients are swept instead of crashing the WM.
+
+   Around the guard sit the health layer's probes: the flight recorder
+   logs the event, wall time goes into [wm.dispatch_wall_ns], and a
+   dispatch that overruns [watchdog_threshold_ns] counts a
+   [watchdog.stalls] — the "the WM froze for a moment" signal that CPU
+   time cannot see.  An exception that escapes even Xguard dumps a crash
+   report before propagating: the flight recorder's whole purpose is to
+   still have the story when that happens. *)
 let handle_event_timed (ctx : Ctx.t) event =
+  let metrics = Server.metrics ctx.server in
   let tracer = Server.tracer ctx.server in
+  let recorder = Server.recorder ctx.server in
+  let kind = Event.kind_name event in
+  if Recorder.enabled recorder then Recorder.record recorder ~kind:"event" kind;
   (if Tracing.enabled tracer then
-     Tracing.span tracer "wm.dispatch" ~attrs:[ ("event", Event.kind_name event) ]
+     Tracing.span tracer "wm.dispatch" ~attrs:[ ("event", kind) ]
    else fun f -> f ())
   @@ fun () ->
+  let t0 = Metrics.now_mono_ns () in
   (match
-     Metrics.time_ns (Server.metrics ctx.server) "wm.dispatch_ns" (fun () ->
-         Xguard.protect ctx
-           ~where:("dispatch:" ^ Event.kind_name event)
-           (fun () -> handle_event ctx event))
+     Metrics.time_ns metrics "wm.dispatch_ns" (fun () ->
+         try
+           Xguard.protect ctx ~where:("dispatch:" ^ kind) (fun () ->
+               handle_event ctx event)
+         with e ->
+           Recorder.crash recorder
+             ~reason:
+               (Printf.sprintf "unhandled exception dispatching %s: %s" kind
+                  (Printexc.to_string e))
+             ~metrics ~tracer;
+           raise e)
    with
   | Some () -> ()
   | None -> sweep_dead ctx);
+  let elapsed = Metrics.now_mono_ns () - t0 in
+  Metrics.observe (Metrics.histogram metrics "wm.dispatch_wall_ns") elapsed;
+  if elapsed >= ctx.watchdog_threshold_ns then begin
+    Metrics.incr (Metrics.counter metrics "watchdog.stalls");
+    let attrs =
+      [ ("event", kind); ("dur_ns", string_of_int elapsed) ]
+    in
+    Tracing.note tracer "watchdog.stall" ~attrs;
+    if Recorder.enabled recorder then
+      Recorder.record recorder ~kind:"stall" ~attrs kind
+  end;
+  Metrics.incr (Metrics.counter metrics "wm.events_dispatched");
+  stats_tick ctx;
   autosave_tick ctx
+
+(* The flight recorder's compact state snapshot: the window table, the
+   per-screen viewport, and the iconic/sticky id sets — enough to place
+   the recorded activity tail against what the WM believed its world
+   looked like, small enough to retake every few hundred records.
+   Clients are sorted by window id so snapshots diff cleanly. *)
+let state_snapshot_json (ctx : Ctx.t) =
+  let buf = Buffer.create 512 in
+  let clients =
+    List.sort
+      (fun (a : Ctx.client) b -> Xid.compare a.cwin b.cwin)
+      (Ctx.all_clients ctx)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"managed\":%d,\"clients\":[" (List.length clients));
+  List.iteri
+    (fun i (c : Ctx.client) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"win\":%d,\"instance\":%s,\"class\":%s,\"state\":%s,\"sticky\":%b}"
+           (Xid.to_int c.cwin)
+           (Metrics.json_string c.instance)
+           (Metrics.json_string c.class_)
+           (Metrics.json_string (Prop.wm_state_to_string c.state))
+           c.sticky))
+    clients;
+  let ids pred =
+    String.concat ","
+      (List.filter_map
+         (fun (c : Ctx.client) ->
+           if pred c then Some (string_of_int (Xid.to_int c.cwin)) else None)
+         clients)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "],\"iconic\":[%s],\"sticky\":[%s],\"screens\":["
+       (ids (fun c -> c.state = Prop.Iconic))
+       (ids (fun c -> c.sticky)));
+  Array.iteri
+    (fun i (_ : Ctx.screen_state) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let vp = Vdesk.viewport ctx ~screen:i in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"screen\":%d,\"viewport\":{\"x\":%d,\"y\":%d,\"w\":%d,\"h\":%d}}"
+           i vp.Geom.x vp.Geom.y vp.Geom.w vp.Geom.h))
+    ctx.screens;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* The counters the time-series sampler tracks: enough to derive the
+   health rates (events/sec, coalesce ratio, faults/sec) without walking
+   the whole registry per sample. *)
+let sampled_series =
+  [
+    "events.enqueued";
+    "events.coalesced";
+    "events.delivered";
+    "wm.events_dispatched";
+    "wm.xerrors";
+    "watchdog.stalls";
+    "faults.injected";
+    "swmcmd.errors";
+    "vdesk.pans";
+  ]
 
 (* Batch size per read: big enough that a pan storm drains in a few reads,
    small enough that shutdown is noticed between batches. *)
@@ -815,6 +930,10 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
       autosave_path = None;
       autosave_interval = 64;
       autosave_pending = 0;
+      sampler = Metrics.sampler (Server.metrics server) sampled_series;
+      stats_interval = 32;
+      stats_pending = 0;
+      watchdog_threshold_ns = 50_000_000;
       host;
       display;
     }
@@ -828,6 +947,30 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
       | Some n when n > 0 -> ctx.autosave_interval <- n
       | Some _ | None -> ())
   | None -> ());
+  (match Config.query1 cfg ~screen:0 "statsInterval" with
+  | Some n -> (
+      match int_of_string_opt (String.trim n) with
+      | Some n when n > 0 -> ctx.stats_interval <- n
+      | Some _ | None -> ())
+  | None -> ());
+  (match Config.query1 cfg ~screen:0 "watchdogThresholdMs" with
+  | Some n -> (
+      match int_of_string_opt (String.trim n) with
+      | Some n when n > 0 -> ctx.watchdog_threshold_ns <- n * 1_000_000
+      | Some _ | None -> ())
+  | None -> ());
+  (* The flight recorder's state snapshots come from the WM, not the
+     server: install the provider now that a ctx exists, then honour the
+     arming resources.  [flightRecorder: on] starts recording;
+     [flightRecorderDump: PATH] is where crash reports land. *)
+  let recorder = Server.recorder server in
+  Recorder.set_snapshot_source recorder (fun () -> state_snapshot_json ctx);
+  (match Config.query1 cfg ~screen:0 "flightRecorder" with
+  | Some ("on" | "true" | "1") -> Recorder.start recorder
+  | Some _ | None -> ());
+  (match Config.query1 cfg ~screen:0 "flightRecorderDump" with
+  | Some "" | None -> ()
+  | Some path -> Recorder.arm_dump recorder ~path);
   read_session ctx;
   for screen = 0 to nscreens - 1 do
     setup_screen ctx ~screen;

@@ -53,3 +53,10 @@ val shutdown : t -> unit
 
 val render_screen : t -> screen:int -> string
 (** Character rendering of a screen, for tests and figures. *)
+
+val state_snapshot_json : t -> string
+(** The compact world-state snapshot the flight recorder embeds in crash
+    reports: managed-client table (window / instance / class / state /
+    sticky, sorted by window id), the iconic and sticky id sets, and each
+    screen's viewport.  Exposed so tests can check a dumped snapshot
+    against the live window table. *)

@@ -1,13 +1,23 @@
 module Server = Swm_xlib.Server
 module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
+module Recorder = Swm_xlib.Recorder
 module Xid = Swm_xlib.Xid
 
 let absorbed (ctx : Ctx.t) ~where msg =
   Metrics.incr (Metrics.counter (Server.metrics ctx.server) "wm.xerrors");
   Ctx.log ctx "absorbed X error in %s: %s" where msg;
   Tracing.note (Server.tracer ctx.server) "wm.xerror"
-    ~attrs:[ ("where", where); ("error", msg) ]
+    ~attrs:[ ("where", where); ("error", msg) ];
+  (* An absorbed error is exactly the moment the flight recorder exists
+     for: log it in the ring, then dump a crash report if one is armed
+     ([crash] is a no-op otherwise). *)
+  let recorder = Server.recorder ctx.server in
+  Recorder.record recorder ~kind:"xerror" ~attrs:[ ("where", where) ] msg;
+  Recorder.crash recorder
+    ~reason:(Printf.sprintf "absorbed X error in %s: %s" where msg)
+    ~metrics:(Server.metrics ctx.server)
+    ~tracer:(Server.tracer ctx.server)
 
 let protect (ctx : Ctx.t) ~where f =
   try Some (f ()) with

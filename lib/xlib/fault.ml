@@ -81,9 +81,10 @@ type t = {
   mutable injected : int;
   metrics : Metrics.t option;
   tracer : Tracing.t option;
+  recorder : Recorder.t option;
 }
 
-let arm ?metrics ?tracer plan =
+let arm ?metrics ?tracer ?recorder plan =
   {
     plan;
     rng = Random.State.make [| plan.seed; 0x5f37 |];
@@ -91,6 +92,7 @@ let arm ?metrics ?tracer plan =
     injected = 0;
     metrics;
     tracer;
+    recorder;
   }
 
 let plan t = t.plan
@@ -124,6 +126,9 @@ let fire t ?(attrs = []) action =
   | Some m ->
       Metrics.incr (Metrics.counter m "faults.injected");
       Metrics.incr (Metrics.counter m ("faults." ^ action_name action))
+  | None -> ());
+  (match t.recorder with
+  | Some r -> Recorder.record r ~kind:"fault" ~attrs (action_name action)
   | None -> ());
   match t.tracer with
   | Some tr when Tracing.enabled tr ->

@@ -56,7 +56,8 @@ val pp_plan : Format.formatter -> plan -> unit
 
 type t
 
-val arm : ?metrics:Metrics.t -> ?tracer:Tracing.t -> plan -> t
+val arm :
+  ?metrics:Metrics.t -> ?tracer:Tracing.t -> ?recorder:Recorder.t -> plan -> t
 val plan : t -> plan
 val rng : t -> Random.State.t
 (** The plan's private generator — executors use it to pick victims so

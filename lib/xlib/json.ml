@@ -1,0 +1,150 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+let fail i msg = raise (Fail (i, msg))
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let rec skip_space s i =
+  if i < String.length s && is_space s.[i] then skip_space s (i + 1) else i
+
+let expect s i c =
+  if i < String.length s && s.[i] = c then i + 1
+  else fail i (Printf.sprintf "expected %C" c)
+
+(* A JSON string body, the opening quote already consumed. *)
+let parse_string s i0 =
+  let buf = Buffer.create 16 in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then fail i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> (Buffer.contents buf, i + 1)
+      | '\\' ->
+          if i + 1 >= n then fail i "dangling escape"
+          else begin
+            (match s.[i + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if i + 5 >= n then fail i "short \\u escape"
+                else begin
+                  match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+                  | None -> fail i "bad \\u escape"
+                  | Some code ->
+                      (* The dumps only escape control bytes, so plain byte
+                         output is enough; non-ASCII codepoints degrade to
+                         '?' rather than UTF-8 (none of our writers emit
+                         them). *)
+                      if code < 0x100 then Buffer.add_char buf (Char.chr code)
+                      else Buffer.add_char buf '?'
+                end
+            | c -> fail i (Printf.sprintf "bad escape %C" c));
+            go (i + if s.[i + 1] = 'u' then 6 else 2)
+          end
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go i0
+
+let parse_number s i0 =
+  let n = String.length s in
+  let rec scan i =
+    if
+      i < n
+      && (match s.[i] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    then scan (i + 1)
+    else i
+  in
+  let j = scan i0 in
+  match float_of_string_opt (String.sub s i0 (j - i0)) with
+  | Some f -> (f, j)
+  | None -> fail i0 "bad number"
+
+let literal s i word value =
+  let n = String.length word in
+  if i + n <= String.length s && String.sub s i n = word then (value, i + n)
+  else fail i ("expected " ^ word)
+
+let rec parse_value s i =
+  let i = skip_space s i in
+  if i >= String.length s then fail i "unexpected end of input"
+  else
+    match s.[i] with
+    | '"' ->
+        let str, j = parse_string s (i + 1) in
+        (Str str, j)
+    | '{' -> parse_obj s (i + 1)
+    | '[' -> parse_list s (i + 1)
+    | 't' -> literal s i "true" (Bool true)
+    | 'f' -> literal s i "false" (Bool false)
+    | 'n' -> literal s i "null" Null
+    | '-' | '0' .. '9' ->
+        let f, j = parse_number s i in
+        (Num f, j)
+    | c -> fail i (Printf.sprintf "unexpected %C" c)
+
+and parse_obj s i =
+  let i = skip_space s i in
+  if i < String.length s && s.[i] = '}' then (Obj [], i + 1)
+  else
+    let rec members acc i =
+      let i = skip_space s i in
+      let i = expect s i '"' in
+      let key, i = parse_string s i in
+      let i = skip_space s i in
+      let i = expect s i ':' in
+      let value, i = parse_value s i in
+      let i = skip_space s i in
+      if i < String.length s && s.[i] = ',' then members ((key, value) :: acc) (i + 1)
+      else
+        let i = expect s i '}' in
+        (Obj (List.rev ((key, value) :: acc)), i)
+    in
+    members [] i
+
+and parse_list s i =
+  let i = skip_space s i in
+  if i < String.length s && s.[i] = ']' then (List [], i + 1)
+  else
+    let rec elements acc i =
+      let value, i = parse_value s i in
+      let i = skip_space s i in
+      if i < String.length s && s.[i] = ',' then elements (value :: acc) (i + 1)
+      else
+        let i = expect s i ']' in
+        (List (List.rev (value :: acc)), i)
+    in
+    elements [] i
+
+let parse s =
+  match parse_value s 0 with
+  | value, i ->
+      let i = skip_space s i in
+      if i = String.length s then Ok value
+      else Error (Printf.sprintf "trailing garbage at byte %d" i)
+  | exception Fail (i, msg) -> Error (Printf.sprintf "%s at byte %d" msg i)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Num _ | Str _ | List _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_int = function Num f -> Some (int_of_float f) | _ -> None

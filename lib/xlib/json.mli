@@ -1,0 +1,35 @@
+(** A minimal JSON reader.
+
+    The exporters in this repo ({!Metrics.to_json}, {!Tracing.to_chrome_json},
+    {!Recorder.dump_json}) hand-build their JSON for speed; this is the other
+    half — enough of a parser for the consumers that need to read those dumps
+    back (the [swmcmd_cli --top] table renderer, the crash-report and
+    Prometheus round-trip tests).  Numbers are kept as floats, which is all
+    the dumps contain.  No serialiser is provided on purpose: writers build
+    their own strings and this module proves them well-formed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed).  Errors carry the
+    byte offset where parsing failed. *)
+
+(** {1 Accessors}
+
+    All partial accessors return [None] on a type mismatch rather than
+    raising, so validation code reads as a chain of matches. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on anything else. *)
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Num] truncated toward zero. *)

@@ -81,11 +81,13 @@ let time_ns t name f =
   observe h (int_of_float ((t1 -. t0) *. 1e9));
   r
 
+let now_mono_ns () = Int64.to_int (Monotonic_clock.now ())
+
 let time_mono_ns t name f =
   let h = histogram t name in
-  let t0 = Int64.to_int (Monotonic_clock.now ()) in
+  let t0 = now_mono_ns () in
   let r = f () in
-  let t1 = Int64.to_int (Monotonic_clock.now ()) in
+  let t1 = now_mono_ns () in
   observe h (t1 - t0);
   r
 
@@ -194,3 +196,171 @@ let pp ppf t =
     (fun (name, h) ->
       Format.fprintf ppf "%s: count=%d sum=%d max=%d@." name h.hcount h.hsum h.hmax)
     (sorted_bindings t.histograms)
+
+(* Prometheus text exposition (version 0.0.4).  Series names here use dots;
+   Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*, so everything else
+   maps to '_' and the whole family gets an "swm_" prefix. *)
+let prometheus_name name =
+  let buf = Buffer.create (String.length name + 4) in
+  Buffer.add_string buf "swm_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, c) ->
+      let pname = prometheus_name name ^ "_total" in
+      line "# TYPE %s counter" pname;
+      line "%s %d" pname c.c)
+    (sorted_bindings t.counters);
+  List.iter
+    (fun (name, g) ->
+      let pname = prometheus_name name in
+      line "# TYPE %s gauge" pname;
+      line "%s %d" pname g.g)
+    (sorted_bindings t.gauges);
+  List.iter
+    (fun (name, h) ->
+      let pname = prometheus_name name in
+      line "# TYPE %s histogram" pname;
+      (* Cumulative buckets; only boundaries where the count advances are
+         written (plus the mandatory +Inf), which keeps a 32-bucket log2
+         histogram to a handful of lines. *)
+      let cum = ref 0 in
+      for i = 0 to buckets - 1 do
+        if h.counts.(i) > 0 then begin
+          cum := !cum + h.counts.(i);
+          line "%s_bucket{le=\"%d\"} %d" pname (bucket_upper i) !cum
+        end
+      done;
+      line "%s_bucket{le=\"+Inf\"} %d" pname h.hcount;
+      line "%s_sum %d" pname h.hsum;
+      line "%s_count %d" pname h.hcount)
+    (sorted_bindings t.histograms);
+  Buffer.contents buf
+
+let to_table t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  if Hashtbl.length t.counters > 0 then begin
+    line "counters:";
+    List.iter
+      (fun (name, c) -> line "  %-36s %12d" name c.c)
+      (sorted_bindings t.counters)
+  end;
+  if Hashtbl.length t.gauges > 0 then begin
+    line "gauges (recorded maxima):";
+    List.iter
+      (fun (name, g) -> line "  %-36s %12d" name g.g)
+      (sorted_bindings t.gauges)
+  end;
+  if Hashtbl.length t.histograms > 0 then begin
+    line "histograms:";
+    List.iter
+      (fun (name, h) ->
+        line "  %-36s count=%-8d p50=%-10.0f p99=%-10.0f max=%d" name h.hcount
+          (hist_quantile h 0.5) (hist_quantile h 0.99) h.hmax)
+      (sorted_bindings t.histograms)
+  end;
+  Buffer.contents buf
+
+(* -------- time-series sampler -------- *)
+
+type sample = { s_ts : int; s_vals : int array }
+
+type sampler = {
+  sp_registry : t;
+  sp_names : string array;
+  sp_ring : sample option array; (* fixed ring, like the flight recorder *)
+  mutable sp_head : int;
+  mutable sp_total : int;
+}
+
+let sampler t ?(capacity = 64) names =
+  {
+    sp_registry = t;
+    sp_names = Array.of_list names;
+    sp_ring = Array.make (max 2 capacity) None;
+    sp_head = 0;
+    sp_total = 0;
+  }
+
+let sampler_names sp = Array.to_list sp.sp_names
+
+let sample sp =
+  let vals =
+    Array.map (fun name -> counter_value sp.sp_registry name) sp.sp_names
+  in
+  let s = { s_ts = now_mono_ns (); s_vals = vals } in
+  sp.sp_ring.(sp.sp_head) <- Some s;
+  sp.sp_head <- (sp.sp_head + 1) mod Array.length sp.sp_ring;
+  sp.sp_total <- sp.sp_total + 1
+
+let samples sp =
+  let n = Array.length sp.sp_ring in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match sp.sp_ring.((sp.sp_head + i) mod n) with
+    | Some s -> acc := s :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let sample_count sp = sp.sp_total
+let retained sp = List.length (samples sp)
+
+(* Rates over the retained window: (newest - oldest) / elapsed.  Counters
+   are monotonic, so the delta is the number of increments the window saw;
+   fewer than two samples (or a zero-width window) rate as 0. *)
+let window sp =
+  match samples sp with
+  | [] | [ _ ] -> None
+  | oldest :: rest ->
+      let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> oldest in
+      Some (oldest, last rest)
+
+let series_index sp name =
+  let rec go i =
+    if i >= Array.length sp.sp_names then None
+    else if String.equal sp.sp_names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let rate sp name =
+  match window sp with
+  | None -> 0.
+  | Some (oldest, newest) -> (
+      let dt_ns = newest.s_ts - oldest.s_ts in
+      if dt_ns <= 0 then 0.
+      else
+        match series_index sp name with
+        | None -> 0.
+        | Some i ->
+            float_of_int (newest.s_vals.(i) - oldest.s_vals.(i))
+            /. (float_of_int dt_ns /. 1e9))
+
+let stats_json sp =
+  let window_ns =
+    match window sp with
+    | None -> 0
+    | Some (oldest, newest) -> newest.s_ts - oldest.s_ts
+  in
+  let series =
+    List.map
+      (fun name ->
+        Printf.sprintf "%s:{\"value\":%d,\"rate_per_sec\":%.3f}"
+          (json_string name)
+          (counter_value sp.sp_registry name)
+          (rate sp name))
+      (Array.to_list sp.sp_names)
+  in
+  Printf.sprintf "{\"samples\":%d,\"window_ns\":%d,\"series\":{%s}}" sp.sp_total
+    window_ns (String.concat "," series)

@@ -80,6 +80,11 @@ val time_mono_ns : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk and record its wall (monotonic) time in nanoseconds into
     the named histogram. *)
 
+val now_mono_ns : unit -> int
+(** One reading of the shared monotonic clock, in nanoseconds — for callers
+    (the {!Wm} watchdog) that need the elapsed value itself, not just a
+    histogram sample. *)
+
 (** {1 Export} *)
 
 val reset : t -> unit
@@ -101,3 +106,46 @@ val to_json : t -> string
     dump is always valid JSON. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_prometheus : t -> string
+(** The registry in Prometheus text exposition format (0.0.4): counters as
+    [swm_<name>_total], gauges as [swm_<name>], histograms as cumulative
+    [_bucket{le="..."}] lines (log2 upper bounds, ending in [+Inf]) plus
+    [_sum]/[_count].  Dots and other non-identifier characters in series
+    names become underscores.  Series are name-sorted, like {!to_json}. *)
+
+val to_table : t -> string
+(** A human-readable table: name-sorted counters and gauges with their
+    values, histograms with count/p50/p99/max — what [swmcmd_cli --metrics
+    --table] prints. *)
+
+(** {1 Time-series sampler}
+
+    A {!sampler} snapshots a fixed list of counters into a bounded ring
+    ({!sample}, driven from the WM's dispatch tick) so rates can be derived
+    over the retained window — events/sec, faults/sec — rather than only
+    all-time totals.  Like the flight recorder's ring, the sampler never
+    grows: sampling cost is constant no matter the uptime. *)
+
+type sampler
+
+val sampler : t -> ?capacity:int -> string list -> sampler
+(** Track the named counters ([capacity] retained samples, default 64). *)
+
+val sampler_names : sampler -> string list
+val sample : sampler -> unit
+(** Record one timestamped snapshot of every tracked counter. *)
+
+val sample_count : sampler -> int
+(** Samples taken since creation (>= {!retained}). *)
+
+val retained : sampler -> int
+(** Samples currently held in the ring (at most the capacity). *)
+
+val rate : sampler -> string -> float
+(** Increments per second over the retained window ([newest - oldest] /
+    elapsed); 0 with fewer than two samples or for an untracked name. *)
+
+val stats_json : sampler -> string
+(** [{"samples":n,"window_ns":w,"series":{name:{"value":v,
+    "rate_per_sec":r},..}}] — the payload behind [f.stats]. *)

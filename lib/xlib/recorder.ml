@@ -1,0 +1,170 @@
+type entry = {
+  ts_ns : int;
+  kind : string;
+  what : string;
+  attrs : (string * string) list;
+}
+
+type t = {
+  mutable on : bool;
+  ring : entry option array; (* fixed size: armed cost is constant *)
+  mutable head : int; (* next write slot *)
+  mutable total : int;
+  mutable epoch : int;
+  mutable snapshot_source : (unit -> string) option;
+  mutable snapshot_interval : int;
+  mutable since_snapshot : int;
+  mutable last_snapshot : (int * string) option;
+  mutable snapping : bool; (* reentrancy guard around the source *)
+  mutable dump_path : string option;
+  mutable dumps : int;
+  mutable dump_errors : int;
+}
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let create ?(capacity = 512) () =
+  {
+    on = false;
+    ring = Array.make (max 1 capacity) None;
+    head = 0;
+    total = 0;
+    epoch = now_ns ();
+    snapshot_source = None;
+    snapshot_interval = 256;
+    since_snapshot = 0;
+    last_snapshot = None;
+    snapping = false;
+    dump_path = None;
+    dumps = 0;
+    dump_errors = 0;
+  }
+
+let capacity t = Array.length t.ring
+let enabled t = t.on
+
+let start t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.total <- 0;
+  t.since_snapshot <- 0;
+  t.last_snapshot <- None;
+  t.epoch <- now_ns ();
+  t.on <- true
+
+let stop t = t.on <- false
+
+let set_snapshot_source t f = t.snapshot_source <- Some f
+let set_snapshot_interval t n = t.snapshot_interval <- max 1 n
+
+let take_snapshot t =
+  match t.snapshot_source with
+  | None -> ()
+  | Some source ->
+      if not t.snapping then begin
+        t.snapping <- true;
+        Fun.protect
+          ~finally:(fun () -> t.snapping <- false)
+          (fun () -> t.last_snapshot <- Some (now_ns () - t.epoch, source ()));
+        t.since_snapshot <- 0
+      end
+
+let snapshot_now t = if t.on then take_snapshot t
+
+let record t ~kind ?(attrs = []) what =
+  if t.on && not t.snapping then begin
+    t.ring.(t.head) <- Some { ts_ns = now_ns () - t.epoch; kind; what; attrs };
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    t.total <- t.total + 1;
+    t.since_snapshot <- t.since_snapshot + 1;
+    if t.since_snapshot >= t.snapshot_interval then take_snapshot t
+  end
+
+let entries t =
+  let n = Array.length t.ring in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match t.ring.((t.head + i) mod n) with
+    | Some e -> acc := e :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let recorded t = t.total
+let dropped t = max 0 (t.total - Array.length t.ring)
+
+let last_snapshot t = t.last_snapshot
+
+let arm_dump t ~path = t.dump_path <- Some path
+let dump_path t = t.dump_path
+let dumps t = t.dumps
+
+(* -------- the crash report -------- *)
+
+let attrs_json attrs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Metrics.json_string k ^ ":" ^ Metrics.json_string v)
+         attrs)
+  ^ "}"
+
+let entry_json e =
+  Printf.sprintf "{\"ts_ns\":%d,\"kind\":%s,\"what\":%s,\"attrs\":%s}" e.ts_ns
+    (Metrics.json_string e.kind)
+    (Metrics.json_string e.what)
+    (attrs_json e.attrs)
+
+let dump_json t ~reason ~metrics ~tracer =
+  (* The snapshot in a report should be as fresh as the failure: re-take it
+     when a source is installed (the ring already holds the history). *)
+  if t.on then take_snapshot t;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf ("\"reason\":" ^ Metrics.json_string reason ^ ",\n");
+  Buffer.add_string buf
+    (Printf.sprintf "\"dumped_at_ns\":%d,\n" (now_ns () - t.epoch));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"recorder\":{\"capacity\":%d,\"recorded\":%d,\"dropped\":%d,\"entries\":[\n"
+       (capacity t) t.total (dropped t));
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf (entry_json e))
+    (entries t);
+  Buffer.add_string buf "\n]},\n";
+  (match t.last_snapshot with
+  | Some (ts, json) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"snapshot_ts_ns\":%d,\n\"snapshot\":%s,\n" ts json)
+  | None -> Buffer.add_string buf "\"snapshot\":null,\n");
+  Buffer.add_string buf ("\"metrics\":" ^ Metrics.to_json metrics ^ ",\n");
+  Buffer.add_string buf ("\"slowlog\":" ^ Tracing.slow_log_json tracer ^ "\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Session.write_atomic's discipline, restated here because the recorder
+   sits below the swm layer: a crash mid-dump must never leave a
+   half-written report where a whole one used to be. *)
+let write_atomic ~path content =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc content);
+  Sys.rename tmp path
+
+let crash t ~reason ~metrics ~tracer =
+  if t.on then begin
+    Metrics.incr (Metrics.counter metrics "recorder.crashes");
+    match t.dump_path with
+    | None -> ()
+    | Some path -> (
+        match write_atomic ~path (dump_json t ~reason ~metrics ~tracer) with
+        | () ->
+            t.dumps <- t.dumps + 1;
+            Metrics.incr (Metrics.counter metrics "recorder.crash_dumps")
+        | exception _ ->
+            t.dump_errors <- t.dump_errors + 1;
+            Metrics.incr (Metrics.counter metrics "recorder.dump_errors"))
+  end

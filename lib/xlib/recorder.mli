@@ -1,0 +1,103 @@
+(** A black-box flight recorder.
+
+    One recorder lives inside each {!Server}, next to the {!Metrics}
+    registry and the {!Tracing} ring, and answers the question neither of
+    those can: {e what was the WM doing when it went wrong?}  Metrics are
+    point samples and traces need to have been switched on around the
+    interesting window; the recorder instead keeps a bounded ring of the
+    most recent {e structured activity} — dispatched events, [f.*]
+    invocations, injected faults, absorbed X errors, pans, swmcmd lines,
+    watchdog stalls — cheaply enough to stay armed in production.
+
+    Two extra pieces make a dump self-contained:
+
+    - a {e state snapshot} source (installed by the WM) is invoked every
+      {!set_snapshot_interval} records, so the dump carries a recent
+      compact picture of the window table and viewport, not just the
+      activity tail;
+    - {!crash} renders the ring, the snapshot, the full metrics registry
+      and the tracing slow-log into one JSON report and writes it with
+      tmp+rename atomicity — called from the WM's X-error boundary and
+      its event-loop exception handler.
+
+    Like {!Tracing}, everything is a no-op until {!start}: a disabled
+    {!record} is one flag check. *)
+
+type t
+
+type entry = {
+  ts_ns : int;  (** nanoseconds since the recorder's epoch ({!start}) *)
+  kind : string;  (** "event", "function", "fault", "xerror", "pan", ... *)
+  what : string;
+  attrs : (string * string) list;
+}
+
+val create : ?capacity:int -> unit -> t
+(** A recorder with a fixed ring of [capacity] entries (default 512).
+    Unlike the growable {!Ring}, the recorder's ring never reallocates:
+    the cost of armed recording must not depend on how long the WM has
+    been up. *)
+
+val capacity : t -> int
+val enabled : t -> bool
+
+val start : t -> unit
+(** Clear the ring and start recording (resets the epoch). *)
+
+val stop : t -> unit
+
+val record : t -> kind:string -> ?attrs:(string * string) list -> string -> unit
+(** Append an entry, overwriting the oldest once the ring is full.  A
+    single flag check when disabled. *)
+
+val entries : t -> entry list
+(** Oldest first; at most [capacity] of them. *)
+
+val recorded : t -> int
+(** Entries recorded since {!start}. *)
+
+val dropped : t -> int
+(** How many of those the ring has already overwritten. *)
+
+(** {1 State snapshots} *)
+
+val set_snapshot_source : t -> (unit -> string) -> unit
+(** Install the provider of compact state snapshots.  It must return a
+    self-contained JSON value (the WM summarises its window table,
+    viewport and iconic/sticky sets).  Called synchronously from
+    {!record} every snapshot-interval records and from {!crash}; a
+    provider that itself records is ignored while the snapshot is being
+    taken (no reentrancy). *)
+
+val set_snapshot_interval : t -> int -> unit
+(** Records between periodic snapshots (default 256, minimum 1). *)
+
+val snapshot_now : t -> unit
+(** Take a snapshot immediately (no-op without a source or when
+    disabled). *)
+
+val last_snapshot : t -> (int * string) option
+(** [(ts_ns, json)] of the most recent snapshot, if any. *)
+
+(** {1 Crash reports} *)
+
+val arm_dump : t -> path:string -> unit
+(** Crash reports go to [path] (written atomically: [path.tmp] then
+    rename).  Until armed, {!crash} only counts. *)
+
+val dump_path : t -> string option
+val dumps : t -> int
+(** Crash reports written so far. *)
+
+val dump_json :
+  t -> reason:string -> metrics:Metrics.t -> tracer:Tracing.t -> string
+(** The self-contained report: reason, ring entries, last snapshot (a
+    fresh one is taken first when a source is installed),
+    [Metrics.to_json] and the tracing slow-log. *)
+
+val crash :
+  t -> reason:string -> metrics:Metrics.t -> tracer:Tracing.t -> unit
+(** Write {!dump_json} to the armed path.  Never raises: a failing dump
+    (unwritable path, full disk) is counted in [recorder.dump_errors]
+    and otherwise ignored — the flight recorder must not take the plane
+    down.  No-op when disabled or unarmed. *)

@@ -67,6 +67,7 @@ type t = {
   mutable requests : int;
   metrics : Metrics.t;
   s_tracer : Tracing.t;
+  s_recorder : Recorder.t;
   mutable fault : Fault.t option;
   mutable fault_protected : int list; (* cids faults may never victimise *)
   mutable injecting : bool; (* reentrancy guard: fault execution bumps too *)
@@ -135,6 +136,7 @@ let create ?(screens = [ default_screen ]) () =
     requests = 0;
     metrics = Metrics.create ();
     s_tracer = Tracing.create ();
+    s_recorder = Recorder.create ();
     fault = None;
     fault_protected = [];
     injecting = false;
@@ -142,6 +144,7 @@ let create ?(screens = [ default_screen ]) () =
 
 let metrics server = server.metrics
 let tracer server = server.s_tracer
+let recorder server = server.s_recorder
 
 let connect server ~name =
   let cid = server.next_cid in
@@ -973,7 +976,10 @@ let maybe_inject server =
 let () = inject_hook := maybe_inject
 
 let arm_faults server ?(protect = []) plan =
-  let f = Fault.arm ~metrics:server.metrics ~tracer:server.s_tracer plan in
+  let f =
+    Fault.arm ~metrics:server.metrics ~tracer:server.s_tracer
+      ~recorder:server.s_recorder plan
+  in
   server.fault <- Some f;
   server.fault_protected <- List.map (fun conn -> conn.cid) protect;
   f

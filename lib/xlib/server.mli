@@ -67,6 +67,12 @@ val tracer : t -> Tracing.t
     batch; every other pipeline layer (wire decode, WM dispatch, [f.*]
     functions, redraws, pans) nests its spans into the same tracer. *)
 
+val recorder : t -> Recorder.t
+(** The server's flight recorder (disabled until {!Recorder.start}).  The
+    WM layer feeds it — dispatched events, [f.*] invocations, pans, swmcmd
+    lines, absorbed X errors, watchdog stalls — and armed fault plans
+    record every injection into it. *)
+
 val screen_count : t -> int
 val screen_size : t -> screen:int -> int * int
 val screen_monochrome : t -> screen:int -> bool

@@ -57,6 +57,18 @@ let adoptable server =
 let run_chaos ~seed ~clients ~rounds plan =
   let server = Server.create () in
   let wm = Wm.start ~resources server in
+  (* With SWM_FLIGHT_DIR set (the CI chaos job), every storm runs with the
+     flight recorder armed: each absorbed X error dumps a per-seed crash
+     report there, which the job uploads as artifacts.  Unset (the default
+     developer run), the recorder stays off — chaos results must not depend
+     on it either way. *)
+  (match Sys.getenv_opt "SWM_FLIGHT_DIR" with
+  | Some dir when dir <> "" ->
+      let recorder = Server.recorder server in
+      Swm_xlib.Recorder.start recorder;
+      Swm_xlib.Recorder.arm_dump recorder
+        ~path:(Filename.concat dir (Printf.sprintf "crash-seed-%d.json" seed))
+  | Some _ | None -> ());
   let ctx = Wm.ctx wm in
   let apps = Workload.launch_n server clients in
   wm_step ~seed wm;

@@ -28,5 +28,6 @@ let () =
       ("golden", Test_golden.suite);
       ("robustness", Test_robustness.suite);
       ("fuzz", Test_fuzz.suite);
+      ("observability", Test_observability.suite);
       ("chaos", Test_chaos.suite);
     ]
