@@ -36,6 +36,8 @@ module Tracing = Swm_xlib.Tracing
 module Wire = Swm_xlib.Wire
 module Wire_conn = Swm_xlib.Wire_conn
 module Fault = Swm_xlib.Fault
+module Recorder = Swm_xlib.Recorder
+module Replay = Swm_xlib.Replay
 
 (* -------- runner -------- *)
 
@@ -1237,7 +1239,155 @@ let write_sample_trace ~path =
   Format.printf "   -> wrote %s (%d events)@." path
     (List.length (Tracing.events (Server.tracer server)))
 
+(* -------- R2: replay — crash reports as executable repros -------- *)
+
+(* Record one small session the way the replay suite and corpus generator
+   do — storms plus swmcmd iconify churn against a recorder-armed server —
+   and parse the dump back into a replayable report. *)
+let record_replay_report ~clients ~rounds ~seed =
+  let server = Server.create () in
+  let wm = Wm.start ~resources:quiet_resources server in
+  let recorder = Server.recorder server in
+  Recorder.start recorder;
+  let ctx = Wm.ctx wm in
+  let apps = Workload.launch_n server clients in
+  ignore (Wm.step wm);
+  let sender = Server.connect server ~name:"cmd" in
+  for round = 0 to rounds - 1 do
+    let sub = (seed * 31) + round in
+    client_absorb (fun () -> Workload.motion_storm server ~seed:sub ~steps:10 ());
+    ignore (Wm.step wm);
+    client_absorb (fun () ->
+        Workload.configure_churn server ~seed:sub ~rounds:1 apps);
+    ignore (Wm.step wm);
+    List.iteri
+      (fun i (c : Ctx.client) ->
+        let verb = if (i + round) mod 3 = 0 then "f.iconify" else "f.deiconify" in
+        client_absorb (fun () ->
+            Swm_core.Swmcmd.send server sender ~screen:0
+              (Printf.sprintf "%s(#%d)" verb (Xid.to_int c.Ctx.cwin))))
+      (Ctx.all_clients ctx);
+    ignore (Wm.step wm)
+  done;
+  let text =
+    Recorder.dump_json recorder ~reason:"bench recording"
+      ~metrics:(Server.metrics server) ~tracer:(Server.tracer server)
+  in
+  match Replay.parse_report text with
+  | Ok report -> report
+  | Error msg -> failwith ("bench: cannot parse own recording: " ^ msg)
+
+let bench_replay rep =
+  let repro_text = Replay.repro_json rep in
+  report
+    ~experiment:"R2: replay — crash reports as executable repros"
+    ~claim:
+      "a recorded journal re-executes against a fresh Server+WM pair and \
+       converges on the recorded snapshot; failing streams ddmin to \
+       minimal repros"
+    (run_tests
+       [
+         Test.make ~name:"replay/parse-report"
+           (Staged.stage (fun () -> ignore (Replay.parse_report repro_text)));
+         Test.make ~name:"replay/converge-small"
+           (Staged.stage (fun () -> ignore (Wm.replay rep)));
+       ])
+
+(* Deterministic evidence for the JSON artifact: replays/sec of the small
+   recorded session, and the minimizer's work on a poisoned copy (oracle
+   calls, final length). *)
+let measure_replay rep =
+  let ops_count = List.length rep.Replay.ops in
+  let m = Metrics.create () in
+  let replays = if !smoke then 5 else 50 in
+  let converged = ref 0 in
+  Metrics.time_mono_ns m "bench.replay_ns" (fun () ->
+      for _ = 1 to replays do
+        match Wm.replay rep with
+        | Replay.Converged _ -> incr converged
+        | _ -> ()
+      done);
+  let wall_ns = Metrics.hist_sum (Metrics.histogram m "bench.replay_ns") in
+  let replays_per_sec =
+    float_of_int replays /. (float_of_int (max 1 wall_ns) /. 1e9)
+  in
+  (* Poison the stream with an op no replay absorbs (destroying a root
+     raises Invalid_argument) and let ddmin isolate it, oracle matched on
+     the failure signature as the chaos auto-minimizer does. *)
+  let root = Xid.to_int (Server.root (Server.create ()) ~screen:0) in
+  let poison = Printf.sprintf "destroy %d" root in
+  let rec inject i = function
+    | [] -> [ poison ]
+    | op :: rest ->
+        if i = 0 then poison :: op :: rest else op :: inject (i - 1) rest
+  in
+  let poisoned = inject (ops_count / 2) rep.Replay.ops in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let fails ops =
+    let probe = { rep with Replay.ops; snap = None; expect = Replay.No_crash } in
+    match Wm.replay probe with
+    | Replay.Crashed { error; _ } -> contains error "root window"
+    | _ -> false
+  in
+  let minimized, oracle_calls =
+    Metrics.time_mono_ns m "bench.minimize_ns" (fun () ->
+        Replay.minimize ~ops:poisoned ~fails)
+  in
+  let minimize_ns =
+    Metrics.hist_sum (Metrics.histogram m "bench.minimize_ns")
+  in
+  verdict "%d-op session replays at %.1f/sec (%d/%d converged)" ops_count
+    replays_per_sec !converged replays;
+  verdict "ddmin: %d poisoned ops -> %d in %d oracle calls (%.2f ms)"
+    (List.length poisoned) (List.length minimized) oracle_calls
+    (float_of_int minimize_ns /. 1e6);
+  ( ops_count, replays, !converged, wall_ns, replays_per_sec,
+    List.length poisoned, List.length minimized, oracle_calls, minimize_ns )
+
+let write_replay_json ~path results
+    (ops_count, replays, converged, wall_ns, replays_per_sec, poisoned_ops,
+     minimized_ops, oracle_calls, minimize_ns) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  add_results_json b results;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"replay\": {\"ops\": %d, \"replays\": %d, \"converged\": %d, \
+        \"wall_ns\": %d, \"replays_per_sec\": %.1f},\n"
+       ops_count replays converged wall_ns replays_per_sec);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"minimize\": {\"poisoned_ops\": %d, \"minimized_ops\": %d, \
+        \"oracle_calls\": %d, \"wall_ns\": %d}\n"
+       poisoned_ops minimized_ops oracle_calls minimize_ns);
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "   -> wrote %s@." path
+
+(* BENCH_*.json artifacts land at the repo root (the directory holding
+   dune-project) no matter what cwd `dune exec` leaves us in, so CI can
+   upload them from a fixed path.  BENCH_OUT_DIR overrides the anchor. *)
+let out_path name =
+  match Sys.getenv_opt "BENCH_OUT_DIR" with
+  | Some dir when dir <> "" -> Filename.concat dir name
+  | Some _ | None ->
+      let rec anchor dir =
+        if Sys.file_exists (Filename.concat dir "dune-project") then
+          Filename.concat dir name
+        else
+          let parent = Filename.dirname dir in
+          if parent = dir then name else anchor parent
+      in
+      anchor (Sys.getcwd ())
+
 let robustness_only = ref false
+let replay_only = ref false
 
 let () =
   Arg.parse
@@ -1246,25 +1396,38 @@ let () =
       ( "--robustness",
         Arg.Set robustness_only,
         " run only the robustness family (writes BENCH_robustness.json)" );
+      ( "--replay",
+        Arg.Set replay_only,
+        " run only the replay family (writes BENCH_replay.json)" );
     ]
     (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
-    "bench [--smoke] [--robustness]";
+    "bench [--smoke] [--robustness] [--replay]";
   Format.printf "swm benchmark harness — one experiment per DESIGN.md index entry%s@."
     (if !smoke then " (smoke run)" else "");
   if !robustness_only then begin
-    write_robustness_json ~path:"BENCH_robustness.json" (bench_robustness ())
-      (measure_robustness ());
+    write_robustness_json ~path:(out_path "BENCH_robustness.json")
+      (bench_robustness ()) (measure_robustness ());
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if !replay_only then begin
+    let rep = record_replay_report ~clients:3 ~rounds:2 ~seed:7 in
+    write_replay_json ~path:(out_path "BENCH_replay.json") (bench_replay rep)
+      (measure_replay rep);
     Format.printf "@.done.@.";
     exit 0
   end;
   let ((pipeline_results, _, _, _, _, _) as pipeline) = bench_pipeline () in
-  write_pipeline_json ~path:"BENCH_pipeline.json" pipeline;
-  write_observability_json ~path:"BENCH_observability.json"
+  write_pipeline_json ~path:(out_path "BENCH_pipeline.json") pipeline;
+  write_observability_json ~path:(out_path "BENCH_observability.json")
     (bench_observability ())
     ~pipeline_pan_ns:(find "pipeline/pan_storm" pipeline_results);
-  write_sample_trace ~path:"BENCH_observability.trace.json";
-  write_robustness_json ~path:"BENCH_robustness.json" (bench_robustness ())
-    (measure_robustness ());
+  write_sample_trace ~path:(out_path "BENCH_observability.trace.json");
+  write_robustness_json ~path:(out_path "BENCH_robustness.json")
+    (bench_robustness ()) (measure_robustness ());
+  (let rep = record_replay_report ~clients:3 ~rounds:2 ~seed:7 in
+   write_replay_json ~path:(out_path "BENCH_replay.json") (bench_replay rep)
+     (measure_replay rep));
   bench_figures ();
   bench_panner ();
   bench_manage_comparison ();

@@ -16,6 +16,30 @@ module Icons = Swm_core.Icons
 module Stock = Swm_clients.Stock
 module Client_app = Swm_clients.Client_app
 
+(* swm --replay FILE: re-execute a crash report or repro file against a
+   fresh Server+WM pair and report convergence.  Exit 0 when the replay
+   converges (or ran clean with nothing to compare), 1 on divergence or a
+   replay crash, 2 on an unreadable/unparsable file. *)
+let run_replay file =
+  let text =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "swm --replay: %s\n" msg;
+      exit 2
+  in
+  match Swm_xlib.Replay.parse_report text with
+  | Error msg ->
+      Printf.eprintf "swm --replay: %s: %s\n" file msg;
+      exit 2
+  | Ok report ->
+      let outcome = Wm.replay report in
+      Printf.printf "%s: %s\n" file (Swm_xlib.Replay.outcome_to_string outcome);
+      (match outcome with
+      | Swm_xlib.Replay.Diverged d ->
+          List.iter (fun op -> Printf.printf "  context: %s\n" op) d.d_context
+      | _ -> ());
+      exit (if Swm_xlib.Replay.ok outcome then 0 else 1)
+
 let template_of_name = function
   | "openlook" -> Templates.open_look
   | "motif" -> Templates.motif
@@ -26,6 +50,12 @@ let template_of_name = function
 
 let () =
   let args = Array.to_list Sys.argv in
+  (match args with
+  | _ :: "--replay" :: file :: _ -> run_replay file
+  | _ :: "--replay" :: [] ->
+      Printf.eprintf "usage: swm --replay FILE\n";
+      exit 2
+  | _ -> ());
   if List.mem "-v" args then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Ctx.log_src (Some Logs.Debug)

@@ -19,6 +19,9 @@
                                      rates from f.stats while a scripted
                                      workload runs (default 6 frames)
      swmcmd_cli --flightdump FILE    write a flight-recorder report to FILE
+     swmcmd_cli --replay FILE        f.replay(FILE): re-execute a crash
+                                     report or repro file and print the
+                                     convergence outcome (JSON)
      swmcmd_cli --trace FILE         trace a scripted session (pan storm +
                                      iconify burst) and write Chrome
                                      trace-event JSON to FILE
@@ -47,6 +50,7 @@ type mode =
   | Health
   | Top of int  (* frames to render *)
   | Flightdump of string
+  | Replay of string
   | Trace of string
   | Chaos of int
 
@@ -54,7 +58,7 @@ let usage () =
   prerr_endline
     "usage: swmcmd_cli [COMMAND... | --metrics [--table | --prometheus] | \
      --slowlog | --health | --top [FRAMES] | --flightdump FILE | \
-     --trace FILE | --chaos SEED]";
+     --replay FILE | --trace FILE | --chaos SEED]";
   exit 2
 
 let parse_args () =
@@ -73,6 +77,7 @@ let parse_args () =
       | Some n when n > 0 -> Top n
       | Some _ | None -> usage ())
   | [ "--flightdump"; file ] -> Flightdump file
+  | [ "--replay"; file ] -> Replay file
   | [ "--trace"; file ] -> Trace file
   | [ "--chaos"; seed ] -> (
       match int_of_string_opt seed with Some s -> Chaos s | None -> usage ())
@@ -314,5 +319,6 @@ let () =
   | Health -> run_introspection "f.health"
   | Top frames -> run_top frames
   | Flightdump file -> run_flightdump file
+  | Replay file -> run_introspection (Printf.sprintf "f.replay(%s)" file)
   | Trace file -> run_trace file
   | Chaos seed -> run_chaos seed

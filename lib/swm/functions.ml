@@ -8,6 +8,7 @@ module Panel_spec = Swm_oi.Panel_spec
 module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
 module Recorder = Swm_xlib.Recorder
+module Replay = Swm_xlib.Replay
 
 type invocation = {
   inv_obj : Wobj.t option;
@@ -27,8 +28,17 @@ let data_arg_functions =
     "f.warpvertical"; "f.warphorizontal"; "f.pan"; "f.panto"; "f.desktop";
     "f.menu"; "f.exec"; "f.places"; "f.autosave"; "f.resizedesktop"; "f.setlabel";
     "f.setbindings"; "f.warpto"; "f.scrollholder"; "f.function"; "f.trace";
-    "f.metrics"; "f.flightdump";
+    "f.metrics"; "f.flightdump"; "f.replay";
   ]
+
+(* f.replay must start a fresh WM, which lives above this module in the
+   dependency order; Wm installs the real runner at link time. *)
+let replay_runner : (Replay.report -> Replay.outcome) ref =
+  ref (fun _ ->
+      Replay.Crashed
+        { op_index = 0; op = "(none)"; error = "no replay runner installed" })
+
+let set_replay_runner f = replay_runner := f
 
 let window_functions =
   [
@@ -589,6 +599,28 @@ let rec run_data ~depth (ctx : Ctx.t) inv name arg =
               (Printf.sprintf "{\"error\":%s}" (Metrics.json_string msg)))
       | Some _ | None ->
           set_result ctx ~screen "{\"error\":\"f.flightdump takes a file path\"}")
+  | "f.replay" -> (
+      (* f.replay(FILE) — re-execute a crash report or repro file against a
+         fresh Server+WM pair and report the convergence outcome, so the
+         repro workflow works over swmcmd without restarting swm. *)
+      match Option.map String.trim arg with
+      | Some path when path <> "" -> (
+          match
+            try Ok (In_channel.with_open_text path In_channel.input_all)
+            with Sys_error msg -> Error msg
+          with
+          | Error msg ->
+              set_result ctx ~screen
+                (Printf.sprintf "{\"error\":%s}" (Metrics.json_string msg))
+          | Ok text -> (
+              match Replay.parse_report text with
+              | Error msg ->
+                  set_result ctx ~screen
+                    (Printf.sprintf "{\"error\":%s}" (Metrics.json_string msg))
+              | Ok report ->
+                  set_result ctx ~screen (Replay.outcome_json (!replay_runner report))))
+      | Some _ | None ->
+          set_result ctx ~screen "{\"error\":\"f.replay takes a file path\"}")
   | "f.warpto" -> (
       match arg with
       | Some class_arg -> (

@@ -46,6 +46,13 @@ val execute_string : Ctx.t -> invocation -> string -> (unit, string) result
 val resume_with_target : Ctx.t -> Ctx.client -> unit
 (** Complete a pending prompting-mode invocation on the selected client. *)
 
+val set_replay_runner :
+  (Swm_xlib.Replay.report -> Swm_xlib.Replay.outcome) -> unit
+(** Install the engine behind [f.replay].  Starting a fresh WM lives above
+    this module in the dependency order, so {!Wm} installs its
+    [Wm.replay] here at link time; [f.replay] reports an error if invoked
+    before any runner is installed. *)
+
 val client_under_pointer : Ctx.t -> Ctx.client option
 
 val places_hints : Ctx.t -> Session.hint list

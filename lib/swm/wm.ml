@@ -1,6 +1,8 @@
 module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
 module Recorder = Swm_xlib.Recorder
+module Replay = Swm_xlib.Replay
+module Json = Swm_xlib.Json
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
 module Xid = Swm_xlib.Xid
@@ -732,7 +734,12 @@ let handle_event_timed (ctx : Ctx.t) event =
      Metrics.time_ns metrics "wm.dispatch_ns" (fun () ->
          try
            Xguard.protect ctx ~where:("dispatch:" ^ kind) (fun () ->
-               handle_event ctx event)
+               (* WM activity during dispatch is derived state, not session
+                  input: a replayed WM recomputes it, so it stays out of
+                  the journal (the WM's own conn is exempt; this covers
+                  conn-less calls like outline warps too). *)
+               Server.with_journal_suspended ctx.server (fun () ->
+                   handle_event ctx event))
          with e ->
            Recorder.crash recorder
              ~reason:
@@ -828,6 +835,12 @@ let sampled_series =
 let batch_size = 64
 
 let step (ctx : Ctx.t) =
+  (* Journal markers: [step] says "the WM drained its queue here" (replay
+     re-enacts the drain at the same point in the op stream), [snap] pins
+     the convergence snapshot to this safe point — end of step, no handler
+     mid-flight — which is what {!Replay.run} compares against. *)
+  let recorder = Server.recorder ctx.server in
+  Recorder.record_op recorder "step";
   let count = ref 0 in
   let rec drain () =
     if ctx.running || Server.pending ctx.conn > 0 then
@@ -842,9 +855,13 @@ let step (ctx : Ctx.t) =
           drain ()
   in
   drain ();
+  if Recorder.enabled recorder then
+    Recorder.journal_snapshot recorder (state_snapshot_json ctx);
   !count
 
 let run (ctx : Ctx.t) ~max_events =
+  let recorder = Server.recorder ctx.server in
+  Recorder.record_op recorder "step";
   let count = ref 0 in
   let continue = ref true in
   while !continue && ctx.running && !count < max_events do
@@ -859,12 +876,19 @@ let run (ctx : Ctx.t) ~max_events =
             handle_event_timed ctx event)
           events
   done;
+  if Recorder.enabled recorder then
+    Recorder.journal_snapshot recorder (state_snapshot_json ctx);
   !count
 
 (* -------- start / shutdown -------- *)
 
 let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
   let conn = Server.connect server ~name:"swm" in
+  (* The WM's requests never enter the replay journal: a replay starts a
+     fresh WM which re-derives all of them.  Startup is suspended wholesale
+     so WM-owned pseudo-clients (root panels, the panner) stay out too. *)
+  Server.set_journal_exempt conn true;
+  Server.with_journal_suspended server @@ fun () ->
   let db = Xrdb.create () in
   let resources = if resources = [] then [ Templates.default ] else resources in
   (* xrdb-style preprocessing: COLOR/WIDTH/HEIGHT defined from the display,
@@ -965,6 +989,24 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
      [flightRecorderDump: PATH] is where crash reports land. *)
   let recorder = Server.recorder server in
   Recorder.set_snapshot_source recorder (fun () -> state_snapshot_json ctx);
+  (* Session setup for the replay journal: what a fresh WM needs to be
+     started the same way (dump_json emits it as the report's [meta]). *)
+  Recorder.set_meta recorder
+    (let buf = Buffer.create 256 in
+     Buffer.add_string buf "{\"resources\":[";
+     List.iteri
+       (fun i text ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_string buf (Json.escape text))
+       resources;
+     Buffer.add_string buf "],\"screens\":[";
+     for s = 0 to nscreens - 1 do
+       if s > 0 then Buffer.add_char buf ',';
+       let w, h = Server.screen_size server ~screen:s in
+       Buffer.add_string buf (Printf.sprintf "[%d,%d]" w h)
+     done;
+     Buffer.add_string buf "]}";
+     Buffer.contents buf);
   (match Config.query1 cfg ~screen:0 "flightRecorder" with
   | Some ("on" | "true" | "1") -> Recorder.start recorder
   | Some _ | None -> ());
@@ -1009,3 +1051,21 @@ let shutdown (ctx : Ctx.t) =
 
 let render_screen (ctx : Ctx.t) ~screen =
   Render.to_string (Render.render ctx.server ~screen ())
+
+(* -------- replay -------- *)
+
+(* The {!Replay} harness: a fresh WM on the replay server, configured from
+   the report's recorded resources, stepped wherever the journal says the
+   recorded WM drained its queue. *)
+let replay_harness (report : Replay.report) server =
+  let wm = start ~resources:report.Replay.resources server in
+  {
+    Replay.h_step = (fun () -> ignore (step wm));
+    Replay.h_snapshot = (fun () -> state_snapshot_json wm);
+  }
+
+let replay report = Replay.run report ~make:(replay_harness report)
+
+(* Give f.replay its engine (Functions sits below this module and cannot
+   start a WM itself). *)
+let () = Functions.set_replay_runner replay

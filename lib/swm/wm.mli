@@ -60,3 +60,14 @@ val state_snapshot_json : t -> string
     sticky, sorted by window id), the iconic and sticky id sets, and each
     screen's viewport.  Exposed so tests can check a dumped snapshot
     against the live window table. *)
+
+val replay_harness :
+  Swm_xlib.Replay.report -> Swm_xlib.Server.t -> Swm_xlib.Replay.harness
+(** The {!Swm_xlib.Replay} harness for this WM: [start] a fresh instance
+    with the report's recorded resources, step it at the journal's [step]
+    markers, snapshot it with {!state_snapshot_json}. *)
+
+val replay : Swm_xlib.Replay.report -> Swm_xlib.Replay.outcome
+(** Re-execute a parsed crash report or repro file against a fresh
+    [Server]+WM pair and check convergence: [Replay.run] with
+    {!replay_harness}. *)

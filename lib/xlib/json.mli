@@ -5,8 +5,9 @@
     half — enough of a parser for the consumers that need to read those dumps
     back (the [swmcmd_cli --top] table renderer, the crash-report and
     Prometheus round-trip tests).  Numbers are kept as floats, which is all
-    the dumps contain.  No serialiser is provided on purpose: writers build
-    their own strings and this module proves them well-formed. *)
+    the dumps contain.  Writers still build their own strings for speed;
+    {!render} exists for the consumers that must re-emit a parsed fragment
+    (the replay snapshot embedded in a repro file). *)
 
 type t =
   | Null
@@ -33,3 +34,11 @@ val to_string : t -> string option
 val to_float : t -> float option
 val to_int : t -> int option
 (** [Num] truncated toward zero. *)
+
+val escape : string -> string
+(** A JSON string literal (quotes included) for [s]. *)
+
+val render : t -> string
+(** Serialise back to compact JSON text.  [parse (render v)] returns an
+    equal value for everything our writers emit (integral numbers render
+    without a fraction part). *)

@@ -81,3 +81,12 @@ val swm_result : string
 (** Root-window property where swm writes the reply to an introspection
     command ([f.metrics], [f.trace(dump)], [f.slowlog]) so the sending
     client can read it back — the swmcmd round-trip run in reverse. *)
+
+(** {1 Journal codec} *)
+
+val value_to_text : value -> string
+(** A reversible one-line text form of any value, for the replay journal
+    (the wire codec only carries string properties). *)
+
+val value_of_text : string -> value option
+(** Inverse of {!value_to_text}; [None] on malformed input. *)

@@ -19,11 +19,22 @@ type t = {
   mutable dump_path : string option;
   mutable dumps : int;
   mutable dump_errors : int;
+  (* The replay journal: a second ring holding the session's *inputs*
+     (encoded wire frames, device synthesis, fault effects, step markers)
+     rather than its activity.  Ops are opaque strings here; {!Replay}
+     owns the grammar.  Kept separate from the entry ring because entries
+     are diagnostics (droppable) while a journal with any drop can no
+     longer replay from a fresh server. *)
+  j_ring : string option array;
+  mutable j_head : int;
+  mutable j_total : int;
+  mutable j_meta : string option; (* session setup, JSON text *)
+  mutable j_snap : string option; (* snapshot at the last [snap] op *)
 }
 
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
-let create ?(capacity = 512) () =
+let create ?(capacity = 512) ?(journal_capacity = 8192) () =
   {
     on = false;
     ring = Array.make (max 1 capacity) None;
@@ -38,6 +49,11 @@ let create ?(capacity = 512) () =
     dump_path = None;
     dumps = 0;
     dump_errors = 0;
+    j_ring = Array.make (max 1 journal_capacity) None;
+    j_head = 0;
+    j_total = 0;
+    j_meta = None;
+    j_snap = None;
   }
 
 let capacity t = Array.length t.ring
@@ -49,6 +65,10 @@ let start t =
   t.total <- 0;
   t.since_snapshot <- 0;
   t.last_snapshot <- None;
+  Array.fill t.j_ring 0 (Array.length t.j_ring) None;
+  t.j_head <- 0;
+  t.j_total <- 0;
+  t.j_snap <- None;
   t.epoch <- now_ns ();
   t.on <- true
 
@@ -92,6 +112,39 @@ let entries t =
 
 let recorded t = t.total
 let dropped t = max 0 (t.total - Array.length t.ring)
+
+(* -------- the replay journal -------- *)
+
+let record_op t op =
+  if t.on then begin
+    t.j_ring.(t.j_head) <- Some op;
+    t.j_head <- (t.j_head + 1) mod Array.length t.j_ring;
+    t.j_total <- t.j_total + 1
+  end
+
+let journal_ops t =
+  let n = Array.length t.j_ring in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match t.j_ring.((t.j_head + i) mod n) with
+    | Some op -> acc := op :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let journal_capacity t = Array.length t.j_ring
+let journal_recorded t = t.j_total
+let journal_dropped t = max 0 (t.j_total - Array.length t.j_ring)
+let set_meta t json = t.j_meta <- Some json
+let meta t = t.j_meta
+
+let journal_snapshot t json =
+  if t.on then begin
+    record_op t "snap";
+    t.j_snap <- Some json
+  end
+
+let journal_snap t = t.j_snap
 
 let last_snapshot t = t.last_snapshot
 
@@ -142,6 +195,22 @@ let dump_json t ~reason ~metrics ~tracer =
         (Printf.sprintf "\"snapshot_ts_ns\":%d,\n\"snapshot\":%s,\n" ts json)
   | None -> Buffer.add_string buf "\"snapshot\":null,\n");
   Buffer.add_string buf ("\"metrics\":" ^ Metrics.to_json metrics ^ ",\n");
+  (match t.j_meta with
+  | Some json -> Buffer.add_string buf ("\"meta\":" ^ json ^ ",\n")
+  | None -> Buffer.add_string buf "\"meta\":null,\n");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"journal\":{\"capacity\":%d,\"recorded\":%d,\"dropped\":%d,\"snap\":%s,\"ops\":[\n"
+       (journal_capacity t) t.j_total (journal_dropped t)
+       (match t.j_snap with Some json -> json | None -> "null"));
+  let first_op = ref true in
+  List.iter
+    (fun op ->
+      if not !first_op then Buffer.add_string buf ",\n";
+      first_op := false;
+      Buffer.add_string buf (Metrics.json_string op))
+    (journal_ops t);
+  Buffer.add_string buf "\n]},\n";
   Buffer.add_string buf ("\"slowlog\":" ^ Tracing.slow_log_json tracer ^ "\n");
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -32,9 +32,10 @@ type entry = {
   attrs : (string * string) list;
 }
 
-val create : ?capacity:int -> unit -> t
-(** A recorder with a fixed ring of [capacity] entries (default 512).
-    Unlike the growable {!Ring}, the recorder's ring never reallocates:
+val create : ?capacity:int -> ?journal_capacity:int -> unit -> t
+(** A recorder with a fixed ring of [capacity] entries (default 512) and
+    a fixed replay journal of [journal_capacity] ops (default 8192).
+    Unlike the growable {!Ring}, the recorder's rings never reallocate:
     the cost of armed recording must not depend on how long the WM has
     been up. *)
 
@@ -58,6 +59,41 @@ val recorded : t -> int
 
 val dropped : t -> int
 (** How many of those the ring has already overwritten. *)
+
+(** {1 The replay journal}
+
+    A second ring holding the session's {e inputs} — encoded wire frames,
+    device synthesis, fault effects, WM step markers — as opaque op
+    strings ({!Replay} owns the grammar).  Entries are diagnostics and may
+    drop; a journal that dropped anything can no longer be replayed from a
+    fresh server, which is why it gets its own (larger) ring and its own
+    drop accounting. *)
+
+val record_op : t -> string -> unit
+(** Append an op (a single flag check when disabled). *)
+
+val journal_ops : t -> string list
+(** Oldest first; at most [journal_capacity] of them. *)
+
+val journal_capacity : t -> int
+val journal_recorded : t -> int
+val journal_dropped : t -> int
+
+val set_meta : t -> string -> unit
+(** Session setup as JSON text — the resources and screen layout a replay
+    needs to start an equivalent WM.  Survives {!start}; emitted as the
+    report's ["meta"] member. *)
+
+val meta : t -> string option
+
+val journal_snapshot : t -> string -> unit
+(** Record a ["snap"] marker op and remember [json] as the state at that
+    point.  The WM calls this at the end of every {!step} — a safe point:
+    the queue is drained, no handler is mid-flight — so convergence is
+    asserted against a state a replay can actually reach.  The report
+    carries it as ["journal"."snap"]. *)
+
+val journal_snap : t -> string option
 
 (** {1 State snapshots} *)
 

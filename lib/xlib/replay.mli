@@ -1,0 +1,106 @@
+(** Deterministic re-execution of recorded sessions.
+
+    A crash report written by the {!Recorder} carries a replay journal:
+    every session {e input} — client wire frames, device synthesis,
+    property writes, fault effects, WM step markers — as op strings, plus
+    a state snapshot taken at the last step boundary.  {!run} parses such
+    a report (or a compact repro file), starts a fresh {!Server} and a
+    fresh WM on top of it (supplied by the caller as a {!harness}, since
+    this layer cannot depend on the WM), re-injects every op in order, and
+    asserts that the replayed state converges to the recorded snapshot.
+
+    Op grammar (produced by the {!Server} journal taps and the WM):
+
+    - [frame <name>#<cid> <hex>] — one wire-codec request frame from that
+      connection, re-injected through {!Wire_conn.submit_bytes} (ids are
+      translated through the connection's table; creates register their
+      recorded id as they execute)
+    - [prop <name>#<cid> <wid> <hexname> <hexvalue>] — a structured
+      property write the wire codec cannot carry ({!Prop.value_to_text})
+    - [send <name>#<cid> <dest> <hexevent>] — a SendEvent
+    - [warp <screen> <x> <y>], [press <btn> <mods>], [release <btn>
+      <mods>], [key <hexsym> <mods>] — device synthesis
+    - [destroy <wid>], [damage <wid> <x> <y> <w> <h>], [shapeclear <wid>]
+      — connection-less requests
+    - [kill <name>#<cid>], [stall <name>#<cid> <0|1>] — fault effects
+    - [step] — the WM drained its queue here
+    - [snap] — the WM took the convergence snapshot here (end of a step)
+
+    Convergence compares the snapshot JSON field by field, window ids
+    mapped through the create-time translation table, client lists
+    sorted; the first differing path is reported together with the tail
+    of ops leading up to it. *)
+
+type expect =
+  | Converge  (** replay must reach the recorded snapshot *)
+  | No_crash  (** replay must merely survive (regression repro files) *)
+
+type report = {
+  reason : string;
+  resources : string list;  (** X resource texts the recorded WM ran with *)
+  screens : (int * int) list;  (** screen sizes; [[]] = server default *)
+  ops : string list;
+  dropped : int;  (** journal ops the ring had already overwritten *)
+  snap : string option;  (** snapshot JSON at the last [snap] marker *)
+  expect : expect;
+}
+
+val make_report :
+  ?reason:string ->
+  ?resources:string list ->
+  ?screens:(int * int) list ->
+  ?snap:string ->
+  ?expect:expect ->
+  string list ->
+  report
+(** An in-memory report (tests, benches).  [expect] defaults to
+    [Converge] when [snap] is given, [No_crash] otherwise. *)
+
+val parse_report : string -> (report, string) result
+(** Accepts both full crash reports (the {!Recorder.dump_json} shape:
+    [journal]/[meta] members) and compact repro files ({!repro_json}). *)
+
+val repro_json : report -> string
+(** The compact repro-file form of a report — what the chaos suite
+    commits under [test/repros/] after minimisation. *)
+
+type harness = {
+  h_step : unit -> unit;  (** drain the WM's queue once *)
+  h_snapshot : unit -> string;  (** current state snapshot JSON *)
+}
+
+type divergence = {
+  d_path : string;  (** first differing JSON path, e.g. [clients[2].state] *)
+  d_expected : string;
+  d_got : string;
+  d_context : string list;  (** the ops leading up to the comparison *)
+}
+
+type outcome =
+  | Converged of { ops : int; steps : int }
+  | No_snapshot of { ops : int; steps : int }
+      (** ran clean, but the report had no snapshot to compare against *)
+  | Diverged of divergence
+  | Crashed of { op_index : int; op : string; error : string }
+  | Truncated of { dropped : int }
+      (** the journal wrapped: a fresh server cannot reach the recorded
+          state, so convergence is unassertable *)
+
+val run : report -> make:(Server.t -> harness) -> outcome
+(** Start a fresh server, let [make] start a fresh WM on it (it must NOT
+    start the recorder), then re-inject every op.  Client-op failures that
+    a real client would absorb ({!Server.Bad_window}, {!Server.Bad_access})
+    are absorbed here too; anything escaping the WM's step is a crash. *)
+
+val ok : outcome -> bool
+(** [Converged] or [No_snapshot]. *)
+
+val outcome_to_string : outcome -> string
+val outcome_json : outcome -> string
+
+val minimize :
+  ops:string list -> fails:(string list -> bool) -> string list * int
+(** Delta debugging (ddmin): shrink [ops] to a 1-minimal sublist that
+    still satisfies [fails].  Returns the shrunk list and how many oracle
+    invocations it took.  If [fails ops] is already false, returns [ops]
+    unchanged with one test counted. *)

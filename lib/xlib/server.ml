@@ -20,6 +20,9 @@ type conn = {
   mutable stalled : bool;
       (* a stalled connection accumulates events but delivers none — the
          fault harness's model of a client that stopped reading *)
+  mutable jexempt : bool;
+      (* the WM marks its own connection journal-exempt: a replay restarts
+         a fresh WM, which re-derives every WM-issued request itself *)
   m_enqueued : Metrics.counter;
   m_coalesced : Metrics.counter;
   m_delivered : Metrics.counter;
@@ -71,6 +74,13 @@ type t = {
   mutable fault : Fault.t option;
   mutable fault_protected : int list; (* cids faults may never victimise *)
   mutable injecting : bool; (* reentrancy guard: fault execution bumps too *)
+  mutable journal_suspended : bool;
+      (* the WM wraps its event dispatch in {!with_journal_suspended}: only
+         session *inputs* belong in the replay journal, never requests a
+         fresh WM would re-issue on its own *)
+  mutable journal_busy : bool;
+      (* compound requests (disconnect's save-set rescue) journal once at
+         the top, not once per nested request *)
 }
 
 (* Fault execution needs [destroy_window]/[disconnect], defined below
@@ -140,6 +150,8 @@ let create ?(screens = [ default_screen ]) () =
     fault = None;
     fault_protected = [];
     injecting = false;
+    journal_suspended = false;
+    journal_busy = false;
   }
 
 let metrics server = server.metrics
@@ -158,6 +170,7 @@ let connect server ~name =
       coalesce = true;
       alive = true;
       stalled = false;
+      jexempt = false;
       m_enqueued = Metrics.counter server.metrics "events.enqueued";
       m_coalesced = Metrics.counter server.metrics "events.coalesced";
       m_delivered = Metrics.counter server.metrics "events.delivered";
@@ -172,6 +185,56 @@ let connect server ~name =
 let set_coalesce conn flag = conn.coalesce <- flag
 
 let conn_name conn = conn.cname
+
+(* -------- replay journal taps --------
+
+   Every state-changing request a *client* issues is recorded into the
+   flight recorder's journal as an op string ({!Replay} owns the grammar):
+   wire-codec frames for protocol requests, compact text ops for device
+   synthesis and the few requests the wire codec cannot carry.  The WM's
+   own traffic is excluded twice over — its connection is journal-exempt
+   and its dispatch runs under {!with_journal_suspended} — because a
+   replay restarts a fresh WM that re-derives all of it.  Fault effects
+   bypass both exclusions: they are inputs too, just hostile ones. *)
+
+let journaling server =
+  Recorder.enabled server.s_recorder
+  && (not server.journal_suspended)
+  && (not server.injecting)
+  && not server.journal_busy
+
+let conn_key conn = Printf.sprintf "%s#%d" conn.cname conn.cid
+
+let journal_frame server conn req =
+  if journaling server && not conn.jexempt then
+    Recorder.record_op server.s_recorder
+      ("frame " ^ conn_key conn ^ " "
+      ^ Wire_codec.to_hex (Wire_codec.encode_request req))
+
+let journal_op server op =
+  if journaling server then Recorder.record_op server.s_recorder op
+
+let journal_conn_op server conn op =
+  if journaling server && not conn.jexempt then
+    Recorder.record_op server.s_recorder op
+
+(* Fault effects must reach the journal even when they fire inside WM
+   dispatch (suspended) or under the [injecting] guard. *)
+let journal_fault server op =
+  if Recorder.enabled server.s_recorder && not server.journal_busy then
+    Recorder.record_op server.s_recorder op
+
+let set_journal_exempt conn flag = conn.jexempt <- flag
+
+let with_journal_suspended server f =
+  let was = server.journal_suspended in
+  server.journal_suspended <- true;
+  Fun.protect ~finally:(fun () -> server.journal_suspended <- was) f
+
+let mods_bits (m : Keysym.modifiers) =
+  (if m.shift then 1 else 0)
+  lor (if m.control then 2 else 0)
+  lor if m.meta then 4 else 0
 let screen_count server = Array.length server.screens
 
 let screen_size server ~screen =
@@ -289,6 +352,11 @@ let create_window server conn ~parent ~geom ?(border = 0) ?(override_redirect = 
   in
   Xid.Tbl.replace server.windows id window;
   parent_win.children <- parent_win.children @ [ id ];
+  (* Journalled after allocation so the frame carries the id the session
+     actually used — the replay side remaps it if its own allocator
+     disagrees (it only can on a minimised subset). *)
+  journal_frame server conn
+    (Wire_codec.Create_window { wid = id; parent; geom; border; override_redirect });
   id
 
 let window_exists server id = Xid.Tbl.mem server.windows id
@@ -315,7 +383,10 @@ let destroy_window server id =
   bump server;
   let window = lookup server id in
   if Xid.is_none window.parent then invalid_arg "Server.destroy_window: root window"
-  else destroy_window server id
+  else begin
+    journal_op server (Printf.sprintf "destroy %d" (Xid.to_int id));
+    destroy_window server id
+  end
 
 (* -------- simple accessors -------- *)
 
@@ -415,6 +486,7 @@ let window_at_pointer server =
 
 let map_window server conn id =
   bump server;
+  journal_frame server conn (Wire_codec.Map_window id);
   let window = lookup server id in
   if Xid.is_none window.parent then ()
   else begin
@@ -431,8 +503,9 @@ let map_window server conn id =
         end
   end
 
-let unmap_window server _conn id =
+let unmap_window server conn id =
   bump server;
+  journal_frame server conn (Wire_codec.Unmap_window id);
   let window = lookup server id in
   if window.mapped then begin
     window.mapped <- false;
@@ -480,6 +553,7 @@ let do_configure server window (changes : Event.config_changes) =
 
 let configure_window server conn id changes =
   bump server;
+  journal_frame server conn (Wire_codec.Configure_window (id, changes));
   let window = lookup server id in
   if Xid.is_none window.parent then ()
   else begin
@@ -503,8 +577,9 @@ let lower_window server conn id =
 
 (* -------- reparenting and save-set -------- *)
 
-let reparent_window server _conn id ~new_parent ~pos =
+let reparent_window server conn id ~new_parent ~pos =
   bump server;
+  journal_frame server conn (Wire_codec.Reparent_window { window = id; parent = new_parent; pos });
   let window = lookup server id in
   let target = lookup server new_parent in
   if Xid.is_none window.parent then invalid_arg "Server.reparent_window: root window";
@@ -546,12 +621,14 @@ let reparent_window server _conn id ~new_parent ~pos =
 
 let add_to_save_set server conn id =
   bump server;
+  journal_frame server conn (Wire_codec.Add_to_save_set id);
   ignore (lookup server id);
   if not (List.mem (conn.cid, id) server.save_sets) then
     server.save_sets <- (conn.cid, id) :: server.save_sets
 
 let remove_from_save_set server conn id =
   bump server;
+  journal_frame server conn (Wire_codec.Remove_from_save_set id);
   server.save_sets <-
     List.filter (fun (cid, w) -> not (cid = conn.cid && Xid.equal w id)) server.save_sets
 
@@ -566,6 +643,10 @@ let rec has_ancestor_owned_by server id cid =
 
 let disconnect server conn =
   bump server;
+  journal_conn_op server conn ("kill " ^ conn_key conn);
+  let was_busy = server.journal_busy in
+  server.journal_busy <- true;
+  Fun.protect ~finally:(fun () -> server.journal_busy <- was_busy) @@ fun () ->
   conn.alive <- false;
   (* Save-set rescue: windows this client reparented away from the root are
      put back, preserving root-relative position. *)
@@ -630,6 +711,14 @@ let change_property server conn id ~name value =
         Prop.String (Fault.garble f s)
     | _ -> value
   in
+  (match value with
+  | Prop.String s ->
+      journal_frame server conn (Wire_codec.Change_property { window = id; name; value = s })
+  | v ->
+      journal_conn_op server conn
+        (Printf.sprintf "prop %s %d %s %s" (conn_key conn) (Xid.to_int id)
+           (Wire_codec.to_hex name)
+           (Wire_codec.to_hex (Prop.value_to_text v))));
   Hashtbl.replace window.props name value;
   notify server window Event.Property_change
     (Event.Property_notify { window = id; name; deleted = false })
@@ -644,8 +733,9 @@ let append_string_property server conn id ~name line =
   in
   change_property server conn id ~name (Prop.String existing)
 
-let delete_property server _conn id ~name =
+let delete_property server conn id ~name =
   bump server;
+  journal_frame server conn (Wire_codec.Delete_property { window = id; name });
   let window = lookup server id in
   if Hashtbl.mem window.props name then begin
     Hashtbl.remove window.props name;
@@ -660,6 +750,7 @@ let property_names server id =
 
 let select_input server conn id masks =
   bump server;
+  journal_frame server conn (Wire_codec.Select_input { window = id; masks });
   let window = lookup server id in
   if List.mem Event.Substructure_redirect masks then begin
     match redirect_holder server window with
@@ -750,12 +841,18 @@ let drain_events conn = flush_batch conn
    selectors; overlapping damage coalesces in their queues. *)
 let damage_window server id rect =
   bump server;
+  journal_op server
+    (Printf.sprintf "damage %d %d %d %d %d" (Xid.to_int id) rect.Geom.x rect.Geom.y
+       rect.Geom.w rect.Geom.h);
   let window = lookup server id in
   notify server window Event.Exposure_mask
     (Event.Expose { window = id; damage = Some rect })
 
-let send_event server _conn ~dest event =
+let send_event server conn ~dest event =
   bump server;
+  journal_conn_op server conn
+    (Printf.sprintf "send %s %d %s" (conn_key conn) (Xid.to_int dest)
+       (Wire_codec.to_hex (Wire_codec.encode_event event)));
   let window = lookup server dest in
   deliver server window.owner event;
   List.iter
@@ -810,6 +907,8 @@ let rec ancestor_chain server id acc =
 
 let warp_pointer server ~screen point =
   bump server;
+  journal_op server
+    (Printf.sprintf "warp %d %d %d" screen point.Geom.px point.Geom.py);
   let before = window_at_pointer server in
   server.pointer_screen <- screen;
   server.pointer <- point;
@@ -845,21 +944,26 @@ let warp_pointer server ~screen point =
 
 let press_button server ?(mods = Keysym.no_mods) button =
   bump server;
+  journal_op server (Printf.sprintf "press %d %d" button (mods_bits mods));
   deliver_device server Event.Button_press_mask (fun window pos root_pos ->
       Event.Button_press { window; button; mods; pos; root_pos })
 
 let release_button server ?(mods = Keysym.no_mods) button =
   bump server;
+  journal_op server (Printf.sprintf "release %d %d" button (mods_bits mods));
   deliver_device server Event.Button_release_mask (fun window pos root_pos ->
       Event.Button_release { window; button; mods; pos; root_pos })
 
 let press_key server ?(mods = Keysym.no_mods) keysym =
   bump server;
+  journal_op server
+    (Printf.sprintf "key %s %d" (Wire_codec.to_hex keysym) (mods_bits mods));
   deliver_device server Event.Key_press_mask (fun window pos root_pos ->
       Event.Key_press { window; keysym; mods; pos; root_pos })
 
 let grab_pointer server conn id =
   bump server;
+  journal_frame server conn (Wire_codec.Grab_pointer id);
   ignore (lookup server id);
   match server.grab with
   | Some g when g.gcid <> conn.cid -> raise (Bad_access "pointer already grabbed")
@@ -867,14 +971,16 @@ let grab_pointer server conn id =
 
 let ungrab_pointer server conn =
   bump server;
+  journal_frame server conn Wire_codec.Ungrab_pointer;
   match server.grab with
   | Some g when g.gcid = conn.cid -> server.grab <- None
   | Some _ | None -> ()
 
 let pointer_grabbed server = server.grab <> None
 
-let set_input_focus server _conn id =
+let set_input_focus server conn id =
   bump server;
+  journal_frame server conn (Wire_codec.Set_input_focus id);
   ignore (lookup server id);
   let old = server.focus in
   if not (Xid.equal old id) then begin
@@ -891,12 +997,16 @@ let input_focus server = server.focus
 
 (* -------- SHAPE -------- *)
 
-let shape_set server _conn id region =
+let shape_set server conn id region =
   bump server;
+  journal_frame server conn
+    (Wire_codec.Shape_rectangles { window = id; rects = Region.rects region });
   (lookup server id).shape <- Some region
 
-let shape_clear server _conn id =
+let shape_clear server conn id =
   bump server;
+  journal_conn_op server conn
+    (Printf.sprintf "shapeclear %d" (Xid.to_int id));
   (lookup server id).shape <- None
 
 let shape_get server id = (lookup server id).shape
@@ -938,6 +1048,7 @@ let run_fault server f (action : Fault.action) =
       | None -> ()
       | Some victim ->
           Fault.fire f action ~attrs:[ ("window", Format.asprintf "%a" Xid.pp victim) ];
+          journal_fault server (Printf.sprintf "destroy %d" (Xid.to_int victim));
           destroy_window server victim)
   | Fault.Kill_connection | Fault.Stall_connection -> (
       let candidates =
@@ -952,8 +1063,16 @@ let run_fault server f (action : Fault.action) =
       | None -> ()
       | Some victim ->
           Fault.fire f action ~attrs:[ ("conn", victim.cname) ];
-          if action = Fault.Kill_connection then disconnect server victim
-          else victim.stalled <- not victim.stalled)
+          if action = Fault.Kill_connection then begin
+            journal_fault server ("kill " ^ conn_key victim);
+            disconnect server victim
+          end
+          else begin
+            journal_fault server
+              (Printf.sprintf "stall %s %d" (conn_key victim)
+                 (if victim.stalled then 0 else 1));
+            victim.stalled <- not victim.stalled
+          end)
   | Fault.Truncate_frame | Fault.Corrupt_frame | Fault.Garble_property ->
       (* Frame faults are applied by Wire_conn, property faults inline in
          change_property; neither reaches the request site. *)

@@ -270,3 +270,23 @@ val stalled : conn -> bool
 val set_stalled : conn -> bool -> unit
 (** Manual stall control for tests: a stalled connection enqueues
     events but {!next_event}/{!read_events} deliver nothing. *)
+
+(** {1 Replay journal}
+
+    When the flight recorder is enabled, every state-changing request a
+    client issues is appended to its replay journal ({!Recorder.record_op})
+    as an op string — encoded wire frames for protocol requests, compact
+    text ops for device synthesis, fault effects and the few requests the
+    wire codec cannot carry.  {!Replay} owns the op grammar and re-executes
+    a journal against a fresh server. *)
+
+val set_journal_exempt : conn -> bool -> unit
+(** Exclude this connection's requests from the journal.  The WM exempts
+    its own connection: a replay starts a fresh WM which re-derives every
+    WM-issued request itself, so journalling them would double-apply. *)
+
+val with_journal_suspended : t -> (unit -> 'a) -> 'a
+(** Run [f] with journalling off — the WM wraps its event dispatch (and
+    startup/shutdown) in this so connection-less WM activity (outline
+    windows, [f.warpto] warps) stays out of the journal too.  Fault
+    effects still journal: they are session inputs, just hostile ones. *)

@@ -1,684 +1,9 @@
-type request =
-  | Create_window of {
-      wid : Xid.t;  (** the id the window received when recorded, so traces
-                        can refer to it later (X clients allocate ids) *)
-      parent : Xid.t;
-      geom : Geom.rect;
-      border : int;
-      override_redirect : bool;
-    }
-  | Destroy_window of Xid.t
-  | Map_window of Xid.t
-  | Unmap_window of Xid.t
-  | Configure_window of Xid.t * Event.config_changes
-  | Reparent_window of { window : Xid.t; parent : Xid.t; pos : Geom.point }
-  | Change_property of { window : Xid.t; name : string; value : string }
-  | Delete_property of { window : Xid.t; name : string }
-  | Select_input of { window : Xid.t; masks : Event.mask list }
-  | Grab_pointer of Xid.t
-  | Ungrab_pointer
-  | Warp_pointer of Geom.point
-  | Set_input_focus of Xid.t
-  | Shape_rectangles of { window : Xid.t; rects : Geom.rect list }
-  | Add_to_save_set of Xid.t
-  | Remove_from_save_set of Xid.t
+(* The Server-free half of the wire protocol lives in {!Wire_codec} so
+   that the server itself can encode frames (the replay journal records
+   requests as canonical wire bytes).  [Wire] re-exports the codec and
+   adds the Server-dependent trace replay on top. *)
 
-let pp_request ppf = function
-  | Create_window { wid; parent; geom; _ } ->
-      Format.fprintf ppf "CreateWindow(%a parent=%a %a)" Xid.pp wid Xid.pp parent
-        Geom.pp_rect geom
-  | Destroy_window w -> Format.fprintf ppf "DestroyWindow(%a)" Xid.pp w
-  | Map_window w -> Format.fprintf ppf "MapWindow(%a)" Xid.pp w
-  | Unmap_window w -> Format.fprintf ppf "UnmapWindow(%a)" Xid.pp w
-  | Configure_window (w, _) -> Format.fprintf ppf "ConfigureWindow(%a)" Xid.pp w
-  | Reparent_window { window; parent; _ } ->
-      Format.fprintf ppf "ReparentWindow(%a -> %a)" Xid.pp window Xid.pp parent
-  | Change_property { window; name; _ } ->
-      Format.fprintf ppf "ChangeProperty(%a %s)" Xid.pp window name
-  | Delete_property { window; name } ->
-      Format.fprintf ppf "DeleteProperty(%a %s)" Xid.pp window name
-  | Select_input { window; _ } -> Format.fprintf ppf "SelectInput(%a)" Xid.pp window
-  | Grab_pointer w -> Format.fprintf ppf "GrabPointer(%a)" Xid.pp w
-  | Ungrab_pointer -> Format.fprintf ppf "UngrabPointer"
-  | Warp_pointer p -> Format.fprintf ppf "WarpPointer%a" Geom.pp_point p
-  | Set_input_focus w -> Format.fprintf ppf "SetInputFocus(%a)" Xid.pp w
-  | Shape_rectangles { window; rects } ->
-      Format.fprintf ppf "ShapeRectangles(%a %d rects)" Xid.pp window
-        (List.length rects)
-  | Add_to_save_set w -> Format.fprintf ppf "AddToSaveSet(%a)" Xid.pp w
-  | Remove_from_save_set w -> Format.fprintf ppf "RemoveFromSaveSet(%a)" Xid.pp w
-
-(* -------- byte-level writer / reader (little endian) -------- *)
-
-module W = struct
-  let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
-
-  let u16 buf v =
-    u8 buf (v land 0xff);
-    u8 buf ((v lsr 8) land 0xff)
-
-  let u32 buf v =
-    u16 buf (v land 0xffff);
-    u16 buf ((v lsr 16) land 0xffff)
-
-  (* Signed 32-bit two's complement. *)
-  let i32 buf v = u32 buf (v land 0xffffffff)
-
-  let string16 buf s =
-    u16 buf (String.length s);
-    Buffer.add_string buf s
-
-  let pad4 buf =
-    while Buffer.length buf mod 4 <> 0 do
-      u8 buf 0
-    done
-end
-
-module R = struct
-  exception Short
-
-  let u8 s pos =
-    if !pos >= String.length s then raise Short
-    else begin
-      let v = Char.code s.[!pos] in
-      incr pos;
-      v
-    end
-
-  let u16 s pos =
-    let lo = u8 s pos in
-    let hi = u8 s pos in
-    lo lor (hi lsl 8)
-
-  let u32 s pos =
-    let lo = u16 s pos in
-    let hi = u16 s pos in
-    lo lor (hi lsl 16)
-
-  let i32 s pos =
-    let v = u32 s pos in
-    if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
-
-  let string16 s pos =
-    let n = u16 s pos in
-    if !pos + n > String.length s then raise Short
-    else begin
-      let v = String.sub s !pos n in
-      pos := !pos + n;
-      v
-    end
-end
-
-(* -------- request framing -------- *)
-
-let opcode = function
-  | Create_window _ -> 1
-  | Destroy_window _ -> 2
-  | Map_window _ -> 3
-  | Unmap_window _ -> 4
-  | Configure_window _ -> 5
-  | Reparent_window _ -> 6
-  | Change_property _ -> 7
-  | Delete_property _ -> 8
-  | Select_input _ -> 9
-  | Grab_pointer _ -> 10
-  | Ungrab_pointer -> 11
-  | Warp_pointer _ -> 12
-  | Set_input_focus _ -> 13
-  | Shape_rectangles _ -> 14
-  | Add_to_save_set _ -> 15
-  | Remove_from_save_set _ -> 16
-
-let mask_bit = function
-  | Event.Substructure_redirect -> 0x001
-  | Event.Substructure_notify -> 0x002
-  | Event.Structure_notify -> 0x004
-  | Event.Property_change -> 0x008
-  | Event.Button_press_mask -> 0x010
-  | Event.Button_release_mask -> 0x020
-  | Event.Key_press_mask -> 0x040
-  | Event.Pointer_motion_mask -> 0x080
-  | Event.Enter_leave_mask -> 0x100
-  | Event.Exposure_mask -> 0x200
-  | Event.Focus_change_mask -> 0x400
-
-let all_masks =
-  [
-    Event.Substructure_redirect; Event.Substructure_notify; Event.Structure_notify;
-    Event.Property_change; Event.Button_press_mask; Event.Button_release_mask;
-    Event.Key_press_mask; Event.Pointer_motion_mask; Event.Enter_leave_mask;
-    Event.Exposure_mask; Event.Focus_change_mask;
-  ]
-
-let encode_masks masks = List.fold_left (fun acc m -> acc lor mask_bit m) 0 masks
-let decode_masks bits = List.filter (fun m -> bits land mask_bit m <> 0) all_masks
-
-let write_rect buf (r : Geom.rect) =
-  W.i32 buf r.x;
-  W.i32 buf r.y;
-  W.u32 buf r.w;
-  W.u32 buf r.h
-
-let read_rect s pos =
-  let x = R.i32 s pos in
-  let y = R.i32 s pos in
-  let w = R.u32 s pos in
-  let h = R.u32 s pos in
-  Geom.rect x y w h
-
-let write_payload buf = function
-  | Create_window { wid; parent; geom; border; override_redirect } ->
-      W.u32 buf (Xid.to_int wid);
-      W.u32 buf (Xid.to_int parent);
-      write_rect buf geom;
-      W.u16 buf border;
-      W.u8 buf (if override_redirect then 1 else 0)
-  | Destroy_window w | Map_window w | Unmap_window w | Grab_pointer w
-  | Set_input_focus w | Add_to_save_set w | Remove_from_save_set w ->
-      W.u32 buf (Xid.to_int w)
-  | Ungrab_pointer -> ()
-  | Configure_window (w, changes) ->
-      W.u32 buf (Xid.to_int w);
-      let bit i = function Some _ -> 1 lsl i | None -> 0 in
-      let present =
-        bit 0 changes.cx lor bit 1 changes.cy lor bit 2 changes.cw
-        lor bit 3 changes.ch lor bit 4 changes.cborder lor bit 5 changes.cstack
-        lor bit 6 changes.csibling
-      in
-      W.u16 buf present;
-      List.iter
-        (function Some v -> W.i32 buf v | None -> ())
-        [ changes.cx; changes.cy; changes.cw; changes.ch; changes.cborder ];
-      (match changes.cstack with
-      | Some Event.Above -> W.u8 buf 0
-      | Some Event.Below -> W.u8 buf 1
-      | None -> ());
-      (match changes.csibling with
-      | Some s -> W.u32 buf (Xid.to_int s)
-      | None -> ())
-  | Reparent_window { window; parent; pos } ->
-      W.u32 buf (Xid.to_int window);
-      W.u32 buf (Xid.to_int parent);
-      W.i32 buf pos.Geom.px;
-      W.i32 buf pos.Geom.py
-  | Change_property { window; name; value } ->
-      W.u32 buf (Xid.to_int window);
-      W.string16 buf name;
-      W.string16 buf value
-  | Delete_property { window; name } ->
-      W.u32 buf (Xid.to_int window);
-      W.string16 buf name
-  | Select_input { window; masks } ->
-      W.u32 buf (Xid.to_int window);
-      W.u16 buf (encode_masks masks)
-  | Warp_pointer p ->
-      W.i32 buf p.Geom.px;
-      W.i32 buf p.Geom.py
-  | Shape_rectangles { window; rects } ->
-      W.u32 buf (Xid.to_int window);
-      W.u16 buf (List.length rects);
-      List.iter (write_rect buf) rects
-
-let encode_request req =
-  let payload = Buffer.create 32 in
-  write_payload payload req;
-  let frame = Buffer.create (Buffer.length payload + 4) in
-  W.u8 frame (opcode req);
-  W.u8 frame 0;
-  let total = 4 + Buffer.length payload in
-  let padded = (total + 3) / 4 in
-  W.u16 frame padded;
-  Buffer.add_buffer frame payload;
-  W.pad4 frame;
-  Buffer.contents frame
-
-let read_payload s pos code =
-  let xid () = Xid.of_int (R.u32 s pos) in
-  match code with
-  | 1 ->
-      let wid = xid () in
-      let parent = xid () in
-      let geom = read_rect s pos in
-      let border = R.u16 s pos in
-      let override_redirect = R.u8 s pos = 1 in
-      Create_window { wid; parent; geom; border; override_redirect }
-  | 2 -> Destroy_window (xid ())
-  | 3 -> Map_window (xid ())
-  | 4 -> Unmap_window (xid ())
-  | 5 ->
-      let w = xid () in
-      let present = R.u16 s pos in
-      let field i = if present land (1 lsl i) <> 0 then Some (R.i32 s pos) else None in
-      let cx = field 0 in
-      let cy = field 1 in
-      let cw = field 2 in
-      let ch = field 3 in
-      let cborder = field 4 in
-      let cstack =
-        if present land (1 lsl 5) <> 0 then
-          Some (if R.u8 s pos = 0 then Event.Above else Event.Below)
-        else None
-      in
-      let csibling =
-        if present land (1 lsl 6) <> 0 then Some (Xid.of_int (R.u32 s pos)) else None
-      in
-      Configure_window (w, { Event.cx; cy; cw; ch; cborder; cstack; csibling })
-  | 6 ->
-      let window = xid () in
-      let parent = xid () in
-      let px = R.i32 s pos in
-      let py = R.i32 s pos in
-      Reparent_window { window; parent; pos = Geom.point px py }
-  | 7 ->
-      let window = xid () in
-      let name = R.string16 s pos in
-      let value = R.string16 s pos in
-      Change_property { window; name; value }
-  | 8 ->
-      let window = xid () in
-      let name = R.string16 s pos in
-      Delete_property { window; name }
-  | 9 ->
-      let window = xid () in
-      let masks = decode_masks (R.u16 s pos) in
-      Select_input { window; masks }
-  | 10 -> Grab_pointer (xid ())
-  | 11 -> Ungrab_pointer
-  | 12 ->
-      let px = R.i32 s pos in
-      let py = R.i32 s pos in
-      Warp_pointer (Geom.point px py)
-  | 13 -> Set_input_focus (xid ())
-  | 14 ->
-      let window = xid () in
-      let n = R.u16 s pos in
-      let rects = List.init n (fun _ -> read_rect s pos) in
-      Shape_rectangles { window; rects }
-  | 15 -> Add_to_save_set (xid ())
-  | 16 -> Remove_from_save_set (xid ())
-  | other -> failwith (Printf.sprintf "unknown opcode %d" other)
-
-let decode_request s ~pos =
-  try
-    let cursor = ref pos in
-    let code = R.u8 s cursor in
-    let _pad = R.u8 s cursor in
-    let units = R.u16 s cursor in
-    if units = 0 then Error "zero-length frame"
-    else begin
-      let frame_end = pos + (units * 4) in
-      if frame_end > String.length s then Error "truncated frame"
-      else begin
-        let req = read_payload s cursor code in
-        Ok (req, frame_end)
-      end
-    end
-  with
-  | R.Short -> Error "short read"
-  | Failure msg -> Error msg
-
-let decode_requests s =
-  let rec loop acc pos =
-    if pos >= String.length s then Ok (List.rev acc)
-    else
-      match decode_request s ~pos with
-      | Ok (req, next) -> loop (req :: acc) next
-      | Error _ as e -> e
-  in
-  loop [] 0
-
-(* -------- events: fixed 32-byte frames -------- *)
-
-let event_frame code fill =
-  let buf = Buffer.create 32 in
-  W.u8 buf code;
-  fill buf;
-  let s = Buffer.contents buf in
-  if String.length s > 32 then String.sub s 0 32
-  else s ^ String.make (32 - String.length s) '\000'
-
-(* Strings inside events are truncated to a fixed field, as in real X
-   (events carry atoms, not strings; the simulator carries short names). *)
-let fixed_string buf n s =
-  let s = if String.length s > n - 1 then String.sub s 0 (n - 1) else s in
-  Buffer.add_string buf s;
-  for _ = String.length s to n - 1 do
-    W.u8 buf 0
-  done
-
-let read_fixed_string s pos n =
-  let raw = String.sub s !pos n in
-  pos := !pos + n;
-  match String.index_opt raw '\000' with
-  | Some i -> String.sub raw 0 i
-  | None -> raw
-
-let encode_event (event : Event.t) =
-  let xid buf id = W.u32 buf (Xid.to_int id) in
-  let point buf (p : Geom.point) =
-    W.i32 buf p.px;
-    W.i32 buf p.py
-  in
-  let mods buf (m : Keysym.modifiers) =
-    W.u8 buf
-      ((if m.shift then 1 else 0)
-      lor (if m.control then 2 else 0)
-      lor if m.meta then 4 else 0)
-  in
-  match event with
-  | Event.Map_request { window; parent } ->
-      event_frame 1 (fun b ->
-          xid b window;
-          xid b parent)
-  | Event.Configure_request { window; parent; changes } ->
-      (* Re-use the request encoding for the changes, truncated if huge. *)
-      event_frame 2 (fun b ->
-          xid b window;
-          xid b parent;
-          write_payload b (Configure_window (window, changes)))
-  | Event.Map_notify { window } -> event_frame 3 (fun b -> xid b window)
-  | Event.Unmap_notify { window } -> event_frame 4 (fun b -> xid b window)
-  | Event.Destroy_notify { window } -> event_frame 5 (fun b -> xid b window)
-  | Event.Reparent_notify { window; parent; pos } ->
-      event_frame 6 (fun b ->
-          xid b window;
-          xid b parent;
-          point b pos)
-  | Event.Configure_notify { window; geom; border; synthetic } ->
-      event_frame 7 (fun b ->
-          xid b window;
-          write_rect b geom;
-          W.u16 b border;
-          W.u8 b (if synthetic then 1 else 0))
-  | Event.Property_notify { window; name; deleted } ->
-      event_frame 8 (fun b ->
-          xid b window;
-          W.u8 b (if deleted then 1 else 0);
-          fixed_string b 23 name)
-  | Event.Button_press { window; button; mods = m; pos; root_pos } ->
-      event_frame 9 (fun b ->
-          xid b window;
-          W.u8 b button;
-          mods b m;
-          point b pos;
-          point b root_pos)
-  | Event.Button_release { window; button; mods = m; pos; root_pos } ->
-      event_frame 10 (fun b ->
-          xid b window;
-          W.u8 b button;
-          mods b m;
-          point b pos;
-          point b root_pos)
-  | Event.Key_press { window; keysym; mods = m; pos; root_pos } ->
-      event_frame 11 (fun b ->
-          xid b window;
-          mods b m;
-          point b pos;
-          point b root_pos;
-          fixed_string b 6 keysym)
-  | Event.Motion_notify { window; pos; root_pos } ->
-      event_frame 12 (fun b ->
-          xid b window;
-          point b pos;
-          point b root_pos)
-  | Event.Enter_notify { window } -> event_frame 13 (fun b -> xid b window)
-  | Event.Leave_notify { window } -> event_frame 14 (fun b -> xid b window)
-  | Event.Focus_in { window } -> event_frame 17 (fun b -> xid b window)
-  | Event.Focus_out { window } -> event_frame 18 (fun b -> xid b window)
-  | Event.Expose { window; damage } ->
-      event_frame 15 (fun b ->
-          xid b window;
-          match damage with
-          | None -> W.u8 b 0
-          | Some r ->
-              W.u8 b 1;
-              write_rect b r)
-  | Event.Client_message { window; name; data } ->
-      event_frame 16 (fun b ->
-          xid b window;
-          fixed_string b 13 name;
-          fixed_string b 14 data)
-
-let decode_event s ~pos =
-  try
-    if pos + 32 > String.length s then Error "short event frame"
-    else begin
-      let cursor = ref pos in
-      let code = R.u8 s cursor in
-      let xid () = Xid.of_int (R.u32 s cursor) in
-      let point () =
-        let x = R.i32 s cursor in
-        let y = R.i32 s cursor in
-        Geom.point x y
-      in
-      let mods () =
-        let bits = R.u8 s cursor in
-        Keysym.mods ~shift:(bits land 1 <> 0) ~control:(bits land 2 <> 0)
-          ~meta:(bits land 4 <> 0) ()
-      in
-      let event =
-        match code with
-        | 1 ->
-            let window = xid () in
-            let parent = xid () in
-            Event.Map_request { window; parent }
-        | 2 ->
-            let window = xid () in
-            let parent = xid () in
-            let _w = R.u32 s cursor in
-            let present = R.u16 s cursor in
-            let field i =
-              if present land (1 lsl i) <> 0 then Some (R.i32 s cursor) else None
-            in
-            let cx = field 0 in
-            let cy = field 1 in
-            let cw = field 2 in
-            let ch = field 3 in
-            let cborder = field 4 in
-            let cstack =
-              if present land (1 lsl 5) <> 0 then
-                Some (if R.u8 s cursor = 0 then Event.Above else Event.Below)
-              else None
-            in
-            let csibling =
-              if present land (1 lsl 6) <> 0 then Some (Xid.of_int (R.u32 s cursor))
-              else None
-            in
-            Event.Configure_request
-              { window; parent;
-                changes = { Event.cx; cy; cw; ch; cborder; cstack; csibling } }
-        | 3 -> Event.Map_notify { window = xid () }
-        | 4 -> Event.Unmap_notify { window = xid () }
-        | 5 -> Event.Destroy_notify { window = xid () }
-        | 6 ->
-            let window = xid () in
-            let parent = xid () in
-            let pos = point () in
-            Event.Reparent_notify { window; parent; pos }
-        | 7 ->
-            let window = xid () in
-            let geom = read_rect s cursor in
-            let border = R.u16 s cursor in
-            let synthetic = R.u8 s cursor = 1 in
-            Event.Configure_notify { window; geom; border; synthetic }
-        | 8 ->
-            let window = xid () in
-            let deleted = R.u8 s cursor = 1 in
-            let name = read_fixed_string s cursor 23 in
-            Event.Property_notify { window; name; deleted }
-        | 9 ->
-            let window = xid () in
-            let button = R.u8 s cursor in
-            let m = mods () in
-            let pos = point () in
-            let root_pos = point () in
-            Event.Button_press { window; button; mods = m; pos; root_pos }
-        | 10 ->
-            let window = xid () in
-            let button = R.u8 s cursor in
-            let m = mods () in
-            let pos = point () in
-            let root_pos = point () in
-            Event.Button_release { window; button; mods = m; pos; root_pos }
-        | 11 ->
-            let window = xid () in
-            let m = mods () in
-            let pos = point () in
-            let root_pos = point () in
-            let keysym = read_fixed_string s cursor 6 in
-            Event.Key_press { window; keysym; mods = m; pos; root_pos }
-        | 12 ->
-            let window = xid () in
-            let pos = point () in
-            let root_pos = point () in
-            Event.Motion_notify { window; pos; root_pos }
-        | 13 -> Event.Enter_notify { window = xid () }
-        | 14 -> Event.Leave_notify { window = xid () }
-        | 17 -> Event.Focus_in { window = xid () }
-        | 18 -> Event.Focus_out { window = xid () }
-        | 15 ->
-            let window = xid () in
-            let damage =
-              if R.u8 s cursor = 1 then Some (read_rect s cursor) else None
-            in
-            Event.Expose { window; damage }
-        | 16 ->
-            let window = xid () in
-            let name = read_fixed_string s cursor 13 in
-            let data = read_fixed_string s cursor 14 in
-            Event.Client_message { window; name; data }
-        | other -> failwith (Printf.sprintf "unknown event code %d" other)
-      in
-      Ok (event, pos + 32)
-    end
-  with
-  | R.Short -> Error "short read"
-  | Failure msg -> Error msg
-  | Invalid_argument _ -> Error "short event frame"
-
-(* -------- batched event frames -------- *)
-
-(* A batch is a length-prefixed frame holding N fixed-size event frames:
-     u8 0xEB | u8 0 | u16 count | u32 payload bytes | count * 32-byte events
-   The prefix lets a reader skip a whole batch without decoding it, and the
-   canonical event encoding makes decode_batch/encode_batch inverse down to
-   the byte level, so recorded batches stay byte-replayable. *)
-
-let batch_code = 0xeb
-
-let encode_batch events =
-  let payload = Buffer.create (32 * List.length events) in
-  List.iter (fun event -> Buffer.add_string payload (encode_event event)) events;
-  let frame = Buffer.create (Buffer.length payload + 8) in
-  W.u8 frame batch_code;
-  W.u8 frame 0;
-  W.u16 frame (List.length events);
-  W.u32 frame (Buffer.length payload);
-  Buffer.add_buffer frame payload;
-  Buffer.contents frame
-
-let decode_batch s ~pos =
-  try
-    let cursor = ref pos in
-    let code = R.u8 s cursor in
-    if code <> batch_code then
-      Error (Printf.sprintf "not a batch frame (code %d)" code)
-    else begin
-      let _pad = R.u8 s cursor in
-      let count = R.u16 s cursor in
-      let bytes = R.u32 s cursor in
-      if bytes <> count * 32 then Error "batch length mismatch"
-      else if !cursor + bytes > String.length s then Error "truncated batch"
-      else begin
-        let rec read acc n p =
-          if n = 0 then Ok (List.rev acc)
-          else
-            match decode_event s ~pos:p with
-            | Ok (event, next) -> read (event :: acc) (n - 1) next
-            | Error _ as e -> e
-        in
-        match read [] count !cursor with
-        | Ok events -> Ok (events, !cursor + bytes)
-        | Error _ as e -> e
-      end
-    end
-  with R.Short -> Error "short read"
-
-(* -------- event and request compression -------- *)
-
-(* The same compression the server queues apply at enqueue time, as a pure
-   function over an event list (for compressing a batch before it goes on
-   the wire).  Only the newest kept event is a merge candidate, so ordering
-   across event types is preserved. *)
-let compress_events events =
-  let merge kept event =
-    match (event, kept) with
-    | ( Event.Motion_notify { window; _ },
-        Event.Motion_notify { window = prev; _ } )
-      when Xid.equal window prev -> Some event
-    | ( Event.Configure_notify { window; synthetic; _ },
-        Event.Configure_notify { window = prev; synthetic = sprev; _ } )
-      when Xid.equal window prev && synthetic = sprev -> Some event
-    | ( Event.Expose { window; damage },
-        Event.Expose { window = prev; damage = dprev } )
-      when Xid.equal window prev -> (
-        match (dprev, damage) with
-        | None, _ | _, None -> Some (Event.Expose { window; damage = None })
-        | Some a, Some b ->
-            let union = Region.union (Region.of_rect a) (Region.of_rect b) in
-            (* Keep the single-rect representation when the union stays a
-               rectangle; otherwise fall back to separate events. *)
-            (match Region.rects union with
-            | [ r ] -> Some (Event.Expose { window; damage = Some r })
-            | _ -> None))
-    | _ -> None
-  in
-  let rec fold acc = function
-    | [] -> List.rev acc
-    | event :: rest -> (
-        match acc with
-        | kept :: acc_rest -> (
-            match merge kept event with
-            | Some merged -> fold (merged :: acc_rest) rest
-            | None -> fold (event :: acc) rest)
-        | [] -> fold [ event ] rest)
-  in
-  fold [] events
-
-(* Request-side folding for traces: a pan storm is hundreds of consecutive
-   ConfigureWindow requests on the desktop window; only the final geometry
-   matters for replay. *)
-let merge_changes (a : Event.config_changes) (b : Event.config_changes) =
-  let pick bo ao = match bo with Some _ -> bo | None -> ao in
-  let cstack, csibling =
-    match b.cstack with
-    | Some _ -> (b.cstack, b.csibling)
-    | None -> (a.cstack, a.csibling)
-  in
-  {
-    Event.cx = pick b.cx a.cx;
-    cy = pick b.cy a.cy;
-    cw = pick b.cw a.cw;
-    ch = pick b.ch a.ch;
-    cborder = pick b.cborder a.cborder;
-    cstack;
-    csibling;
-  }
-
-let compress_requests requests =
-  let rec fold acc = function
-    | [] -> List.rev acc
-    | req :: rest -> (
-        match (req, acc) with
-        | ( Configure_window (w, changes),
-            Configure_window (prev, changes_prev) :: acc_rest )
-          when Xid.equal w prev ->
-            fold (Configure_window (w, merge_changes changes_prev changes) :: acc_rest)
-              rest
-        | Warp_pointer _, Warp_pointer _ :: acc_rest -> fold (req :: acc_rest) rest
-        | _ -> fold (req :: acc) rest)
-  in
-  fold [] requests
+include Wire_codec
 
 (* -------- traces -------- *)
 

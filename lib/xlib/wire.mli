@@ -114,3 +114,11 @@ module Trace : sig
       [remap] (ids are server-allocated and differ across instances).
       Returns the number of requests applied; stops at the first error. *)
 end
+
+(** {1 Hex framing} *)
+
+val to_hex : string -> string
+(** Lowercase hex of a byte string — how the replay journal carries wire
+    frames through JSON. *)
+
+val of_hex : string -> (string, string) result

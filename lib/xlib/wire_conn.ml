@@ -40,6 +40,11 @@ let create server ~name =
   t
 
 let conn t = t.sconn
+
+let alias t ~client ~server =
+  Xid.Tbl.replace t.to_server client server;
+  Xid.Tbl.replace t.to_client server client
+
 let fresh_id t = Xid.Alloc.next t.alloc
 let root_id _t ~screen = root_client_id screen
 let bytes_sent t = t.sent

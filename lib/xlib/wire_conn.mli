@@ -20,6 +20,12 @@ val conn : t -> Server.conn
 val fresh_id : t -> Xid.t
 (** Allocate a client-side id for a CreateWindow request. *)
 
+val alias : t -> client:Xid.t -> server:Xid.t -> unit
+(** Pre-register an id translation.  {!Replay} re-injects journalled
+    frames whose ids come from the *recorded* session: creates register
+    their own mapping as they execute, but ids that predate the journal
+    (the screen roots) must be seeded by hand. *)
+
 val root_id : t -> screen:int -> Xid.t
 (** The client-visible id of a screen's root (pre-mapped, like the root ids
     an X connection learns from the setup handshake). *)

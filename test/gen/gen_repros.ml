@@ -1,0 +1,116 @@
+(* Regenerate the committed replay corpus under test/repros/.
+
+   Each corpus file is the compact repro form of a recorded session —
+   {!Swm_xlib.Replay.repro_json} — and the replay suite re-executes all of
+   them as regression tests.  Usage:
+
+     dune exec test/gen/gen_repros.exe -- test/repros
+
+   Every file is verified to replay clean before it is written; the
+   generator fails loudly otherwise, so a corpus refresh cannot commit a
+   broken repro. *)
+
+module Server = Swm_xlib.Server
+module Recorder = Swm_xlib.Recorder
+module Replay = Swm_xlib.Replay
+module Fault = Swm_xlib.Fault
+module Xid = Swm_xlib.Xid
+module Wm = Swm_core.Wm
+module Ctx = Swm_core.Ctx
+module Templates = Swm_core.Templates
+module Swmcmd = Swm_core.Swmcmd
+module Workload = Swm_clients.Workload
+
+let resources =
+  [ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ]
+
+let client_side f =
+  try f () with Server.Bad_window _ | Server.Bad_access _ -> ()
+
+(* Same recording shape as the replay test suite: WM + recorder + storms,
+   optionally under a fault plan. *)
+let record_session ~clients ~rounds ~seed ?plan () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources server in
+  let recorder = Server.recorder server in
+  Recorder.start recorder;
+  let ctx = Wm.ctx wm in
+  let apps = Workload.launch_n server clients in
+  ignore (Wm.step wm);
+  (match plan with
+  | Some p -> ignore (Server.arm_faults server ~protect:[ ctx.Ctx.conn ] p)
+  | None -> ());
+  let sender = Server.connect server ~name:"cmd" in
+  for round = 0 to rounds - 1 do
+    let sub = (seed * 31) + round in
+    client_side (fun () -> Workload.motion_storm server ~seed:sub ~steps:15 ());
+    ignore (Wm.step wm);
+    client_side (fun () ->
+        Workload.configure_churn server ~seed:sub ~rounds:1 apps);
+    ignore (Wm.step wm);
+    client_side (fun () -> Workload.expose_storm server ~seed:sub ~rounds:1 apps);
+    ignore (Wm.step wm);
+    List.iteri
+      (fun i (c : Ctx.client) ->
+        let verb = if (i + round) mod 3 = 0 then "f.iconify" else "f.deiconify" in
+        client_side (fun () ->
+            Swmcmd.send server sender ~screen:0
+              (Printf.sprintf "%s(#%d)" verb (Xid.to_int c.Ctx.cwin))))
+      (Ctx.all_clients ctx);
+    ignore (Wm.step wm)
+  done;
+  Recorder.dump_json recorder ~reason:"corpus recording"
+    ~metrics:(Server.metrics server) ~tracer:(Server.tracer server)
+
+let report_of ~reason text =
+  match Replay.parse_report text with
+  | Ok r -> { r with Replay.reason }
+  | Error msg ->
+      Printf.eprintf "gen_repros: cannot parse recording: %s\n" msg;
+      exit 1
+
+let write_verified dir name report =
+  (match Wm.replay report with
+  | outcome when Replay.ok outcome -> ()
+  | outcome ->
+      Printf.eprintf "gen_repros: %s does not replay clean: %s\n" name
+        (Replay.outcome_to_string outcome);
+      exit 1);
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc (Replay.repro_json report);
+  close_out oc;
+  Printf.printf "wrote %s (%d ops, %s)\n" path
+    (List.length report.Replay.ops)
+    (match report.Replay.expect with
+    | Replay.Converge -> "converge"
+    | Replay.No_crash -> "no_crash")
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/repros" in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "gen_repros: %s is not a directory\n" dir;
+    exit 1
+  end;
+  write_verified dir "converge-basic.json"
+    (report_of ~reason:"quiet session: storms, swmcmd iconify churn"
+       (record_session ~clients:3 ~rounds:2 ~seed:7 ()));
+  write_verified dir "converge-fault-storm.json"
+    (report_of ~reason:"fault storm: destroys, kills, stalls, garbling"
+       (record_session ~clients:4 ~rounds:2 ~seed:23
+          ~plan:(Fault.storm ~seed:23 ()) ()));
+  (* A survival-only repro: heavy kill pressure, no snapshot assertion —
+     the shape auto-minimized chaos failures are committed in. *)
+  let survive =
+    report_of ~reason:"kill-heavy plan: the WM must simply survive"
+      (record_session ~clients:5 ~rounds:2 ~seed:67
+         ~plan:
+           {
+             (Fault.storm ~seed:67 ()) with
+             Fault.p_kill_connection = 0.05;
+             p_destroy_window = 0.1;
+           }
+         ())
+  in
+  write_verified dir "survive-kill-storm.json"
+    { survive with Replay.snap = None; expect = Replay.No_crash }

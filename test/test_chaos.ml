@@ -14,10 +14,11 @@
 module Server = Swm_xlib.Server
 module Fault = Swm_xlib.Fault
 module Metrics = Swm_xlib.Metrics
+module Replay = Swm_xlib.Replay
 module Xid = Swm_xlib.Xid
 module Wm = Swm_core.Wm
 module Ctx = Swm_core.Ctx
-module Icons = Swm_core.Icons
+module Swmcmd = Swm_core.Swmcmd
 module Templates = Swm_core.Templates
 module Workload = Swm_clients.Workload
 
@@ -33,9 +34,48 @@ let resources =
 let client_side f =
   try f () with Server.Bad_window _ | Server.Bad_access _ -> ()
 
+(* A crashed seed should arrive pre-minimized: the recorder dumped a crash
+   report on the way out, so shrink its journal with ddmin to the shortest
+   op stream whose replay still crashes, and leave the compact repro next
+   to the dump (the CI chaos job uploads both; a green repro is a
+   candidate for test/repros/ once the bug is fixed). *)
+let minimize_dump ~seed =
+  match Sys.getenv_opt "SWM_FLIGHT_DIR" with
+  | Some dir when dir <> "" -> (
+      let dump =
+        Filename.concat dir (Printf.sprintf "crash-seed-%d.json" seed)
+      in
+      match
+        if Sys.file_exists dump then
+          Replay.parse_report (In_channel.with_open_text dump In_channel.input_all)
+        else Error "no dump"
+      with
+      | Error _ -> ()
+      | Ok report ->
+          let fails ops =
+            let probe =
+              { report with Replay.ops; snap = None; expect = Replay.No_crash }
+            in
+            match Wm.replay probe with Replay.Crashed _ -> true | _ -> false
+          in
+          if fails report.Replay.ops then begin
+            let ops, _ = Replay.minimize ~ops:report.Replay.ops ~fails in
+            let repro =
+              { report with Replay.ops; snap = None; expect = Replay.No_crash }
+            in
+            let path =
+              Filename.concat dir (Printf.sprintf "repro-seed-%d.json" seed)
+            in
+            let oc = open_out path in
+            output_string oc (Replay.repro_json repro);
+            close_out oc
+          end)
+  | Some _ | None -> ()
+
 let wm_step ~seed wm =
   try ignore (Wm.step wm)
   with e ->
+    minimize_dump ~seed;
     Alcotest.failf "seed %d: WM crashed: %s" seed (Printexc.to_string e)
 
 (* The clients a fresh WM is expected to adopt: mapped, not
@@ -72,7 +112,12 @@ let run_chaos ~seed ~clients ~rounds plan =
   let ctx = Wm.ctx wm in
   let apps = Workload.launch_n server clients in
   wm_step ~seed wm;
-  let fault = Server.arm_faults server ~protect:[ ctx.Ctx.conn ] plan in
+  (* The iconify churn below travels through swmcmd, so it is session
+     input (a journalled root-property write the replay re-injects), not
+     direct WM surgery a replayed WM would never repeat.  The command
+     channel is protected: chaos targets the WM, not the test driver. *)
+  let sender = Server.connect server ~name:"chaos-cmd" in
+  let fault = Server.arm_faults server ~protect:[ ctx.Ctx.conn; sender ] plan in
   for round = 0 to rounds - 1 do
     let sub = (seed * 31) + round in
     client_side (fun () -> Workload.motion_storm server ~seed:sub ~steps:25 ());
@@ -83,9 +128,11 @@ let run_chaos ~seed ~clients ~rounds plan =
     wm_step ~seed wm;
     (* Iconify a rotating third of the population, deiconify the rest. *)
     List.iteri
-      (fun i c ->
-        if (i + round) mod 3 = 0 then Icons.iconify ctx c
-        else Icons.deiconify ctx c)
+      (fun i (c : Ctx.client) ->
+        let verb = if (i + round) mod 3 = 0 then "f.iconify" else "f.deiconify" in
+        client_side (fun () ->
+            Swmcmd.send server sender ~screen:0
+              (Printf.sprintf "%s(#%d)" verb (Xid.to_int c.Ctx.cwin))))
       (Ctx.all_clients ctx);
     wm_step ~seed wm
   done;
@@ -96,6 +143,12 @@ let run_chaos ~seed ~clients ~rounds plan =
         Alcotest.failf "seed %d: managed client %d has no window" seed
           (Xid.to_int c.Ctx.cwin))
     (Ctx.all_clients ctx);
+  (* Recording stops here: a journal spanning a WM teardown + restart is
+     not replayable by the single fresh WM the replay harness starts, so
+     dumps (and the repro corpus built from them) stay storm-scoped. *)
+  (match Sys.getenv_opt "SWM_FLIGHT_DIR" with
+  | Some dir when dir <> "" -> Swm_xlib.Recorder.stop (Server.recorder server)
+  | Some _ | None -> ());
   (* Restart: tear the WM down (frames die, save-set clients return to the
      root) and verify a fresh instance re-adopts every survivor.  A hot
      plan can wipe the whole herd, which would make the adoption check

@@ -30,4 +30,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("observability", Test_observability.suite);
       ("chaos", Test_chaos.suite);
+      ("replay", Test_replay.suite);
     ]
