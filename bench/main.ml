@@ -38,6 +38,7 @@ module Wire_conn = Swm_xlib.Wire_conn
 module Fault = Swm_xlib.Fault
 module Recorder = Swm_xlib.Recorder
 module Replay = Swm_xlib.Replay
+module Profile = Swm_xlib.Profile
 
 (* -------- runner -------- *)
 
@@ -1370,6 +1371,201 @@ let write_replay_json ~path results
   close_out oc;
   Format.printf "   -> wrote %s@." path
 
+(* -------- P2: continuous profiling — GC telemetry and span-tree cost -------- *)
+
+let bench_profile () =
+  (* The pipeline pan-storm fixture with the profiler disarmed (the
+     shipping default: what the probes cost everyone) and armed (sink
+     aggregation + quick_stat deltas + tree folding per event). *)
+  let mk_pan_storm ?(armed = false) () =
+    let server = Server.create () in
+    let wm =
+      Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server
+    in
+    let ctx = Wm.ctx wm in
+    let _apps =
+      Workload.launch server
+        { Workload.default_params with count = 30; area = (3000, 2400) }
+    in
+    ignore (Wm.step wm);
+    if armed then Profile.start (Server.profiler server);
+    let flip = ref false in
+    fun () ->
+      flip := not !flip;
+      for i = 1 to 10 do
+        Vdesk.pan_to ctx ~screen:0
+          (if !flip then Geom.point (i * 100) (i * 80) else Geom.point 0 0)
+      done;
+      ignore (Wm.step wm)
+  in
+  (* Micro fixtures: a disarmed probe must stay a flag check. *)
+  let off_profile =
+    Profile.create ~metrics:(Metrics.create ()) ~tracer:(Tracing.create ()) ()
+  in
+  let off_sec = Profile.section off_profile "bench" in
+  let on_profile =
+    Profile.create ~metrics:(Metrics.create ()) ~tracer:(Tracing.create ()) ()
+  in
+  Profile.start on_profile;
+  let on_sec = Profile.section on_profile "bench" in
+  let results =
+    report ~experiment:"P2: continuous profiling (GC telemetry + span tree)"
+      ~claim:
+        "a disarmed probe is one flag check; arming the profiler folds \
+         every span into the call tree and samples the GC per event, and \
+         must not multiply the storm's cost"
+      (run_tests
+         [
+           Test.make ~name:"profile/event_section-disabled"
+             (Staged.stage (fun () ->
+                  Profile.event_section off_profile (fun () -> ())));
+           Test.make ~name:"profile/event_section-armed"
+             (Staged.stage (fun () ->
+                  Profile.event_section on_profile (fun () -> ())));
+           Test.make ~name:"profile/alloc_section-disabled"
+             (Staged.stage (fun () ->
+                  Profile.alloc_section off_profile off_sec (fun () -> ())));
+           Test.make ~name:"profile/alloc_section-armed"
+             (Staged.stage (fun () ->
+                  Profile.alloc_section on_profile on_sec (fun () -> ())));
+           Test.make ~name:"profile/pan_storm-disabled"
+             (Staged.stage (mk_pan_storm ()));
+           Test.make ~name:"profile/pan_storm-armed"
+             (Staged.stage (mk_pan_storm ~armed:true ()));
+         ])
+  in
+  let off = find "profile/pan_storm-disabled" results
+  and on = find "profile/pan_storm-armed" results in
+  verdict
+    "pan storm armed/disarmed = %.2fx; disarmed event probe costs %s, \
+     disarmed alloc probe %s"
+    (on /. off)
+    (Format.asprintf "%a" pp_ns (find "profile/event_section-disabled" results))
+    (Format.asprintf "%a" pp_ns (find "profile/alloc_section-disabled" results));
+  results
+
+(* Deterministic evidence for the JSON artifact: minor words per event on
+   the batch-encode hot path (straight off the allocator) and per dispatched
+   event under client churn (off the armed profiler's own series), plus the
+   acceptance flamegraph's coverage of the measured dispatch wall time. *)
+let measure_profile () =
+  let batch_events =
+    List.init 64 (fun i ->
+        Event.Motion_notify
+          {
+            window = Xid.of_int 1;
+            pos = Geom.point i i;
+            root_pos = Geom.point i i;
+          })
+  in
+  let rounds = if !smoke then 20 else 200 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    ignore (Wire.encode_batch batch_events)
+  done;
+  let encode_words_per_event =
+    (Gc.minor_words () -. w0) /. float_of_int (rounds * 64)
+  in
+  (* Churn: 100 clients jiggling while the armed WM drains; the profiler's
+     gc.minor_words_per_event histogram is the measurement. *)
+  let server = Server.create () in
+  let wm = Wm.start ~resources:quiet_resources server in
+  let apps = Workload.launch_n server 100 in
+  ignore (Wm.step wm);
+  Profile.start (Server.profiler server);
+  let churn_rounds = if !smoke then 3 else 20 in
+  for round = 1 to churn_rounds do
+    Workload.configure_churn server ~seed:round ~rounds:1 apps;
+    Workload.expose_storm server ~seed:round ~rounds:1 apps;
+    List.iter (fun app -> ignore (Client_app.process_events app)) apps;
+    ignore (Wm.step wm)
+  done;
+  Profile.stop (Server.profiler server);
+  let h = Metrics.histogram (Server.metrics server) "gc.minor_words_per_event" in
+  let churn_words_per_event =
+    float_of_int (Metrics.hist_sum h)
+    /. float_of_int (max 1 (Metrics.hist_count h))
+  in
+  (* Coverage: profile the swmcmd scripted session (the acceptance
+     workload) and compare the tree's root total against the dispatch wall
+     the probe measured around each event. *)
+  let server2 = Server.create () in
+  let wm2 = Wm.start ~resources:[ Templates.open_look ] server2 in
+  let _xterm = Stock.xterm server2 ~at:(Geom.point 60 80) () in
+  let _xclock = Stock.xclock server2 ~at:(Geom.point 600 60) () in
+  ignore (Wm.step wm2);
+  let p = Server.profiler server2 in
+  Profile.start p;
+  let sender = Server.connect server2 ~name:"bench-swmcmd" in
+  let send line =
+    Swm_core.Swmcmd.send server2 sender ~screen:0 line;
+    ignore (Wm.step wm2)
+  in
+  for i = 1 to 10 do
+    send (Printf.sprintf "f.panTo(%d,%d)" (i * 120) (i * 80))
+  done;
+  for _ = 1 to 3 do
+    send "f.iconify(XTerm)";
+    send "f.deiconify(XTerm)"
+  done;
+  Profile.stop p;
+  let collapsed = Profile.to_collapsed p in
+  let stacks =
+    String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 collapsed
+  in
+  verdict "minor words/event: batch-encode %.1f, churn dispatch %.1f"
+    encode_words_per_event churn_words_per_event;
+  verdict
+    "flamegraph: %d collapsed stacks cover %.1f%% of %.2f ms dispatch wall \
+     (%d events)"
+    stacks
+    (Profile.coverage p *. 100.)
+    (float_of_int (Profile.dispatch_wall_ns p) /. 1e6)
+    (Profile.events p);
+  ( encode_words_per_event, churn_words_per_event, Profile.events p,
+    Profile.dispatch_wall_ns p, Profile.root_total_ns p, Profile.coverage p,
+    stacks )
+
+(* The budgets CI gates on live inside the artifact next to the numbers.
+   The ns budgets are generous against runner noise; the minor-words
+   budgets carry ~2x headroom over the measured allocation, which is a
+   property of the code path, not the machine. *)
+let write_profile_json ~path results
+    (encode_words, churn_words, events, dispatch_wall_ns, root_total_ns,
+     coverage, stacks) =
+  let disabled = find "profile/event_section-disabled" results
+  and off = find "profile/pan_storm-disabled" results
+  and on = find "profile/pan_storm-armed" results in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.2f" v in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  add_results_json b results;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"profiler\": {\"event_section_disabled_ns\": %s, \
+        \"pan_storm_disabled_ns\": %s, \"pan_storm_armed_ns\": %s, \
+        \"armed_ratio\": %s, \"disabled_budget_ns\": 50.0, \
+        \"armed_ratio_budget\": 2.0},\n"
+       (num disabled) (num off) (num on)
+       (num (on /. off)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"allocation\": {\"batch_encode_words_per_event\": %.1f, \
+        \"batch_encode_budget_words\": 100.0, \"churn_words_per_event\": \
+        %.1f, \"churn_budget_words\": 3000.0},\n"
+       encode_words churn_words);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"flame\": {\"events\": %d, \"dispatch_wall_ns\": %d, \
+        \"root_total_ns\": %d, \"coverage\": %.3f, \"collapsed_stacks\": %d, \
+        \"coverage_budget\": 0.95}\n"
+       events dispatch_wall_ns root_total_ns coverage stacks);
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "   -> wrote %s@." path
+
 (* BENCH_*.json artifacts land at the repo root (the directory holding
    dune-project) no matter what cwd `dune exec` leaves us in, so CI can
    upload them from a fixed path.  BENCH_OUT_DIR overrides the anchor. *)
@@ -1388,6 +1584,23 @@ let out_path name =
 
 let robustness_only = ref false
 let replay_only = ref false
+let profile_only = ref false
+let run_all = ref false
+
+(* One runner per family, so --FAMILY flags, --all, and the default full
+   run share the exact same code paths (and artifact contents). *)
+let run_robustness_family () =
+  write_robustness_json ~path:(out_path "BENCH_robustness.json")
+    (bench_robustness ()) (measure_robustness ())
+
+let run_replay_family () =
+  let rep = record_replay_report ~clients:3 ~rounds:2 ~seed:7 in
+  write_replay_json ~path:(out_path "BENCH_replay.json") (bench_replay rep)
+    (measure_replay rep)
+
+let run_profile_family () =
+  write_profile_json ~path:(out_path "BENCH_profile.json") (bench_profile ())
+    (measure_profile ())
 
 let () =
   Arg.parse
@@ -1399,21 +1612,29 @@ let () =
       ( "--replay",
         Arg.Set replay_only,
         " run only the replay family (writes BENCH_replay.json)" );
+      ( "--profile",
+        Arg.Set profile_only,
+        " run only the profiling family (writes BENCH_profile.json)" );
+      ( "--all",
+        Arg.Set run_all,
+        " run every family and experiment (overrides the --FAMILY flags)" );
     ]
     (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
-    "bench [--smoke] [--robustness] [--replay]";
+    "bench [--smoke] [--robustness] [--replay] [--profile] [--all]";
   Format.printf "swm benchmark harness — one experiment per DESIGN.md index entry%s@."
     (if !smoke then " (smoke run)" else "");
-  if !robustness_only then begin
-    write_robustness_json ~path:(out_path "BENCH_robustness.json")
-      (bench_robustness ()) (measure_robustness ());
+  if (not !run_all) && !robustness_only then begin
+    run_robustness_family ();
     Format.printf "@.done.@.";
     exit 0
   end;
-  if !replay_only then begin
-    let rep = record_replay_report ~clients:3 ~rounds:2 ~seed:7 in
-    write_replay_json ~path:(out_path "BENCH_replay.json") (bench_replay rep)
-      (measure_replay rep);
+  if (not !run_all) && !replay_only then begin
+    run_replay_family ();
+    Format.printf "@.done.@.";
+    exit 0
+  end;
+  if (not !run_all) && !profile_only then begin
+    run_profile_family ();
     Format.printf "@.done.@.";
     exit 0
   end;
@@ -1423,11 +1644,9 @@ let () =
     (bench_observability ())
     ~pipeline_pan_ns:(find "pipeline/pan_storm" pipeline_results);
   write_sample_trace ~path:(out_path "BENCH_observability.trace.json");
-  write_robustness_json ~path:(out_path "BENCH_robustness.json")
-    (bench_robustness ()) (measure_robustness ());
-  (let rep = record_replay_report ~clients:3 ~rounds:2 ~seed:7 in
-   write_replay_json ~path:(out_path "BENCH_replay.json") (bench_replay rep)
-     (measure_replay rep));
+  run_robustness_family ();
+  run_replay_family ();
+  run_profile_family ();
   bench_figures ();
   bench_panner ();
   bench_manage_comparison ();

@@ -25,6 +25,12 @@
      swmcmd_cli --trace FILE         trace a scripted session (pan storm +
                                      iconify burst) and write Chrome
                                      trace-event JSON to FILE
+     swmcmd_cli --profile            profile the scripted session and print
+                                     the span-tree profile (f.profile JSON:
+                                     self/total time + allocation per frame)
+     swmcmd_cli --flame FILE         profile the scripted session and write
+                                     a collapsed-stack flamegraph to FILE
+                                     (feed to flamegraph.pl / speedscope)
      swmcmd_cli --chaos SEED         run a workload storm under the seeded
                                      fault plan and report what the WM
                                      absorbed (replayable per seed) *)
@@ -52,13 +58,16 @@ type mode =
   | Flightdump of string
   | Replay of string
   | Trace of string
+  | Profile
+  | Flame of string
   | Chaos of int
 
 let usage () =
   prerr_endline
     "usage: swmcmd_cli [COMMAND... | --metrics [--table | --prometheus] | \
      --slowlog | --health | --top [FRAMES] | --flightdump FILE | \
-     --replay FILE | --trace FILE | --chaos SEED]";
+     --replay FILE | --trace FILE | --profile | --flame FILE | \
+     --chaos SEED]";
   exit 2
 
 let parse_args () =
@@ -79,6 +88,8 @@ let parse_args () =
   | [ "--flightdump"; file ] -> Flightdump file
   | [ "--replay"; file ] -> Replay file
   | [ "--trace"; file ] -> Trace file
+  | [ "--profile" ] -> Profile
+  | [ "--flame"; file ] -> Flame file
   | [ "--chaos"; seed ] -> (
       match int_of_string_opt seed with Some s -> Chaos s | None -> usage ())
   | first :: _ as rest ->
@@ -263,6 +274,54 @@ let run_trace file =
     (Tracing.dropped tracer)
     (List.length (Tracing.slow_log tracer))
 
+(* --profile / --flame: arm the profiler around the same scripted session the
+   tracer uses, so the flamegraph covers wire decode → dispatch → pan →
+   redraw, then read the aggregate back over SWM_RESULT. *)
+let profiled_session server wm =
+  let sender = Server.connect server ~name:"swmcmd" in
+  roundtrip server wm sender "f.profile(start)";
+  scripted_session server wm;
+  roundtrip server wm sender "f.profile(stop)";
+  sender
+
+let run_profile () =
+  let server, wm = setup () in
+  let sender = profiled_session server wm in
+  roundtrip server wm sender "f.profile(dump)";
+  print_string (read_reply server);
+  print_newline ()
+
+let run_flame file =
+  let server, wm = setup () in
+  let sender = profiled_session server wm in
+  roundtrip server wm sender (Printf.sprintf "f.flame(%s)" file);
+  let reply = read_reply server in
+  (match Json.parse reply with
+  | Error msg ->
+      Printf.eprintf "swmcmd_cli: unparseable f.flame reply: %s\n" msg;
+      exit 1
+  | Ok json -> (
+      match Json.member "error" json with
+      | Some (Json.Str msg) ->
+          Printf.eprintf "swmcmd_cli: f.flame failed: %s\n" msg;
+          exit 1
+      | _ ->
+          let int_field name =
+            match Option.bind (Json.member name json) Json.to_int with
+            | Some n -> n
+            | None -> 0
+          in
+          let coverage =
+            match Option.bind (Json.member "coverage" json) Json.to_float with
+            | Some c -> c
+            | None -> 0.
+          in
+          Printf.printf
+            "wrote %s: %d collapsed stacks, %d bytes (coverage %.1f%% of %d ns \
+             dispatch wall)\n"
+            file (int_field "frames") (int_field "bytes") (coverage *. 100.)
+            (int_field "dispatch_wall_ns")))
+
 (* A replayable chaos demo: the test suite's storm at CLI scale, printing
    the injected fault schedule and what the WM absorbed. *)
 let run_chaos seed =
@@ -321,4 +380,6 @@ let () =
   | Flightdump file -> run_flightdump file
   | Replay file -> run_introspection (Printf.sprintf "f.replay(%s)" file)
   | Trace file -> run_trace file
+  | Profile -> run_profile ()
+  | Flame file -> run_flame file
   | Chaos seed -> run_chaos seed

@@ -97,6 +97,8 @@ type t = {
   mutable stats_interval : int; (* dispatched events between samples *)
   mutable stats_pending : int; (* events since the last sample *)
   mutable watchdog_threshold_ns : int; (* dispatch wall time above = stall *)
+  events_by_kind : Swm_xlib.Metrics.counter_family;
+      (* wm.dispatch.events{event} — always-on per-event-kind attribution *)
   host : string;
   display : string;
 }

@@ -129,6 +129,10 @@ type t = {
   mutable watchdog_threshold_ns : int;
       (** wall-time dispatch latency above which the watchdog counts a
           stall ([watchdogThresholdMs], default 50ms) *)
+  events_by_kind : Swm_xlib.Metrics.counter_family;
+      (** the [wm.dispatch.events{event}] labeled family — always-on
+          per-event-kind dispatch attribution, one cached-family increment
+          per event *)
   host : string;
   display : string;
 }

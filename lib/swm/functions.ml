@@ -9,6 +9,7 @@ module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
 module Recorder = Swm_xlib.Recorder
 module Replay = Swm_xlib.Replay
+module Profile = Swm_xlib.Profile
 
 type invocation = {
   inv_obj : Wobj.t option;
@@ -28,7 +29,7 @@ let data_arg_functions =
     "f.warpvertical"; "f.warphorizontal"; "f.pan"; "f.panto"; "f.desktop";
     "f.menu"; "f.exec"; "f.places"; "f.autosave"; "f.resizedesktop"; "f.setlabel";
     "f.setbindings"; "f.warpto"; "f.scrollholder"; "f.function"; "f.trace";
-    "f.metrics"; "f.flightdump"; "f.replay";
+    "f.metrics"; "f.flightdump"; "f.replay"; "f.profile"; "f.flame";
   ]
 
 (* f.replay must start a fresh WM, which lives above this module in the
@@ -419,6 +420,23 @@ let trace_control (ctx : Ctx.t) ~screen arg =
   | Some _ | None ->
       set_result ctx ~screen "{\"error\":\"f.trace takes start, stop or dump\"}"
 
+(* f.profile(start|stop|dump) — the continuous profiler.  start arms the
+   GC probes and the span-aggregating sink (enabling the tracer if it was
+   off); stop disarms but keeps the aggregated tree; dump replies with the
+   call-tree JSON. *)
+let profile_control (ctx : Ctx.t) ~screen arg =
+  let profiler = Server.profiler ctx.server in
+  match Option.map (fun a -> String.lowercase_ascii (String.trim a)) arg with
+  | Some "start" ->
+      Profile.start profiler;
+      set_result ctx ~screen "{\"profiling\":\"started\"}"
+  | Some "stop" ->
+      Profile.stop profiler;
+      set_result ctx ~screen "{\"profiling\":\"stopped\"}"
+  | Some "dump" -> set_result ctx ~screen (Profile.to_json profiler)
+  | Some _ | None ->
+      set_result ctx ~screen "{\"error\":\"f.profile takes start, stop or dump\"}"
+
 (* One-glance liveness summary: overall status plus the counters an operator
    would reach for first.  "degraded" as soon as the watchdog has seen a
    stall — the WM is alive but has been unresponsive at least once. *)
@@ -450,12 +468,13 @@ let stats_json (ctx : Ctx.t) =
   Printf.sprintf
     "{\"sampler\":%s,\"derived\":{\"events_per_sec\":%.3f,\
      \"dispatch_per_sec\":%.3f,\"coalesce_ratio\":%.4f,\
-     \"faults_per_sec\":%.3f}}"
+     \"faults_per_sec\":%.3f},\"top\":%s}"
     (Metrics.stats_json ctx.sampler)
     enqueued
     (rate "wm.events_dispatched")
     (if enqueued > 0. then coalesced /. enqueued else 0.)
     (rate "faults.injected")
+    (Metrics.top_json (Server.metrics ctx.server) ())
 
 let run_nullary (ctx : Ctx.t) inv name =
   match name with
@@ -570,6 +589,36 @@ let rec run_data ~depth (ctx : Ctx.t) inv name arg =
           | _ -> ())
       | None -> ())
   | "f.trace" -> trace_control ctx ~screen arg
+  | "f.profile" -> profile_control ctx ~screen arg
+  | "f.flame" -> (
+      (* f.flame(FILE) — write the aggregated call tree as collapsed-stack
+         text (flamegraph.pl / speedscope input) and reply with what was
+         written plus the coverage numbers the CI gate checks. *)
+      match Option.map String.trim arg with
+      | Some path when path <> "" -> (
+          let profiler = Server.profiler ctx.server in
+          let collapsed = Profile.to_collapsed profiler in
+          let frames =
+            String.fold_left
+              (fun n c -> if c = '\n' then n + 1 else n)
+              0 collapsed
+          in
+          try
+            Session.write_atomic ~path collapsed;
+            set_result ctx ~screen
+              (Printf.sprintf
+                 "{\"flame\":%s,\"frames\":%d,\"bytes\":%d,\
+                  \"root_total_ns\":%d,\"dispatch_wall_ns\":%d,\
+                  \"coverage\":%.3f}"
+                 (Metrics.json_string path) frames (String.length collapsed)
+                 (Profile.root_total_ns profiler)
+                 (Profile.dispatch_wall_ns profiler)
+                 (Profile.coverage profiler))
+          with Sys_error msg ->
+            set_result ctx ~screen
+              (Printf.sprintf "{\"error\":%s}" (Metrics.json_string msg)))
+      | Some _ | None ->
+          set_result ctx ~screen "{\"error\":\"f.flame takes a file path\"}")
   | "f.metrics" -> (
       let metrics = Server.metrics ctx.server in
       match Option.map (fun a -> String.lowercase_ascii (String.trim a)) arg with
@@ -648,6 +697,19 @@ and execute_at ~depth (ctx : Ctx.t) inv (funcs : Bindings.func_call list) =
         ~kind:"function"
         ~attrs:(match f.farg with None -> [] | Some a -> [ ("arg", a) ])
         name;
+      (* Per-function attribution, always on: which f.* verbs a session
+         actually exercises (and how often) — the other half of the
+         top-talkers view next to per-connection delivery.  Unknown names
+         stay out so a typo storm cannot burn label slots. *)
+      (* max_series must clear the full f.* vocabulary (~44 names) so no
+         legitimate verb lands in "other". *)
+      if known name then
+        Metrics.incr
+          (Metrics.labeled_counter
+             (Metrics.counter_family
+                (Server.metrics ctx.server)
+                ~max_series:64 ~key:"fn" "functions.calls")
+             name);
       let tracer = Server.tracer ctx.server in
       if List.mem name nullary_functions then begin
         (if Tracing.enabled tracer then Tracing.span tracer name

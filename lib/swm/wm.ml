@@ -2,6 +2,7 @@ module Metrics = Swm_xlib.Metrics
 module Tracing = Swm_xlib.Tracing
 module Recorder = Swm_xlib.Recorder
 module Replay = Swm_xlib.Replay
+module Profile = Swm_xlib.Profile
 module Json = Swm_xlib.Json
 module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
@@ -725,9 +726,15 @@ let handle_event_timed (ctx : Ctx.t) event =
   let recorder = Server.recorder ctx.server in
   let kind = Event.kind_name event in
   if Recorder.enabled recorder then Recorder.record recorder ~kind:"event" kind;
+  Metrics.incr (Metrics.labeled_counter ctx.events_by_kind kind);
   (if Tracing.enabled tracer then
      Tracing.span tracer "wm.dispatch" ~attrs:[ ("event", kind) ]
    else fun f -> f ())
+  @@ fun () ->
+  (* The profiler's GC probe sits inside the wm.dispatch span: the span's
+     duration bounds the probe's wall time from above, which is what makes
+     the flamegraph's root frames cover the measured dispatch wall time. *)
+  Profile.event_section (Server.profiler ctx.server)
   @@ fun () ->
   let t0 = Metrics.now_mono_ns () in
   (match
@@ -958,6 +965,9 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
       stats_interval = 32;
       stats_pending = 0;
       watchdog_threshold_ns = 50_000_000;
+      events_by_kind =
+        Metrics.counter_family (Server.metrics server) ~key:"event"
+          "wm.dispatch.events";
       host;
       display;
     }

@@ -5,7 +5,15 @@ module Recorder = Swm_xlib.Recorder
 module Xid = Swm_xlib.Xid
 
 let absorbed (ctx : Ctx.t) ~where msg =
-  Metrics.incr (Metrics.counter (Server.metrics ctx.server) "wm.xerrors");
+  let metrics = Server.metrics ctx.server in
+  Metrics.incr (Metrics.counter metrics "wm.xerrors");
+  (* Absorption-site attribution: "which boundary keeps eating errors" is
+     the question fault storms raise, and the totals above cannot answer
+     it.  Cold path, so the family lookup per absorption is fine. *)
+  Metrics.incr
+    (Metrics.labeled_counter
+       (Metrics.counter_family metrics ~key:"where" "wm.xerrors.by_where")
+       where);
   Ctx.log ctx "absorbed X error in %s: %s" where msg;
   Tracing.note (Server.tracer ctx.server) "wm.xerror"
     ~attrs:[ ("where", where); ("error", msg) ];

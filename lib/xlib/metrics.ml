@@ -12,10 +12,32 @@ type histogram = {
   mutable hmax : int;
 }
 
+(* A labeled family is one logical series ("functions.calls") fanned out by a
+   single label key ("fn").  Cardinality is bounded: the first [max] distinct
+   label values get their own series, every later value collapses into the
+   "other" series and bumps the registry-wide [metrics.label_overflow]
+   counter — a hostile client-id explosion cannot grow the registry without
+   bound. *)
+type counter_family = {
+  cf_key : string;
+  cf_max : int;
+  cf_series : (string, counter) Hashtbl.t;
+  cf_overflow : counter;
+}
+
+type histogram_family = {
+  hf_key : string;
+  hf_max : int;
+  hf_series : (string, histogram) Hashtbl.t;
+  hf_overflow : counter;
+}
+
 type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  c_families : (string, counter_family) Hashtbl.t;
+  h_families : (string, histogram_family) Hashtbl.t;
 }
 
 let create () =
@@ -23,6 +45,8 @@ let create () =
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 8;
     histograms = Hashtbl.create 8;
+    c_families = Hashtbl.create 8;
+    h_families = Hashtbl.create 4;
   }
 
 let find_or_create tbl name mk =
@@ -67,6 +91,70 @@ let observe h v =
 let hist_count h = h.hcount
 let hist_sum h = h.hsum
 let hist_max h = h.hmax
+
+(* -------- labeled families -------- *)
+
+let overflow_label = "other"
+let overflow_counter_name = "metrics.label_overflow"
+
+let counter_family t ?(max_series = 32) ~key name =
+  find_or_create t.c_families name (fun () ->
+      {
+        cf_key = key;
+        cf_max = max 1 max_series;
+        cf_series = Hashtbl.create 8;
+        cf_overflow = counter t overflow_counter_name;
+      })
+
+let histogram_family t ?(max_series = 32) ~key name =
+  find_or_create t.h_families name (fun () ->
+      {
+        hf_key = key;
+        hf_max = max 1 max_series;
+        hf_series = Hashtbl.create 8;
+        hf_overflow = counter t overflow_counter_name;
+      })
+
+(* Real labels are capped at [max]; "other" rides on top, so the family holds
+   at most max + 1 series.  Each lookup of a rejected label counts one
+   overflow (hot paths cache the returned handle, so in practice overflow
+   increments once per rejected label). *)
+let family_slot series maxn overflow label =
+  if Hashtbl.mem series label || String.equal label overflow_label then label
+  else begin
+    let real =
+      Hashtbl.length series - (if Hashtbl.mem series overflow_label then 1 else 0)
+    in
+    if real < maxn then label
+    else begin
+      incr overflow;
+      overflow_label
+    end
+  end
+
+let labeled_counter fam label =
+  let label = family_slot fam.cf_series fam.cf_max fam.cf_overflow label in
+  find_or_create fam.cf_series label (fun () -> { c = 0 })
+
+let labeled_histogram fam label =
+  let label = family_slot fam.hf_series fam.hf_max fam.hf_overflow label in
+  find_or_create fam.hf_series label (fun () ->
+      { counts = Array.make buckets 0; hcount = 0; hsum = 0; hmax = 0 })
+
+let counter_family_key fam = fam.cf_key
+let histogram_family_key fam = fam.hf_key
+
+let counter_family_labels fam =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) fam.cf_series [])
+
+let labeled_counter_value t name label =
+  match Hashtbl.find_opt t.c_families name with
+  | None -> 0
+  | Some fam -> (
+      match Hashtbl.find_opt fam.cf_series label with
+      | Some c -> c.c
+      | None -> 0)
 
 (* Two clocks, two helpers.  [time_ns] charges CPU time (Sys.time): right
    for "how much work did this do" series.  [time_mono_ns] charges wall
@@ -116,16 +204,22 @@ let hist_quantile h q =
     go 0 0
   end
 
+let reset_hist h =
+  Array.fill h.counts 0 buckets 0;
+  h.hcount <- 0;
+  h.hsum <- 0;
+  h.hmax <- 0
+
 let reset t =
   Hashtbl.iter (fun _ c -> c.c <- 0) t.counters;
   Hashtbl.iter (fun _ g -> g.g <- 0) t.gauges;
+  Hashtbl.iter (fun _ h -> reset_hist h) t.histograms;
   Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.counts 0 buckets 0;
-      h.hcount <- 0;
-      h.hsum <- 0;
-      h.hmax <- 0)
-    t.histograms
+    (fun _ fam -> Hashtbl.iter (fun _ c -> c.c <- 0) fam.cf_series)
+    t.c_families;
+  Hashtbl.iter
+    (fun _ fam -> Hashtbl.iter (fun _ h -> reset_hist h) fam.hf_series)
+    t.h_families
 
 let sorted_bindings tbl =
   List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -178,11 +272,36 @@ let to_json t =
       (fun (name, h) -> Printf.sprintf "%s:%s" (json_string name) (hist_json h))
       (sorted_bindings t.histograms)
   in
+  let labeled =
+    List.map
+      (fun (name, fam) ->
+        Printf.sprintf "%s:{\"key\":%s,\"series\":%s}" (json_string name)
+          (json_string fam.cf_key)
+          (obj
+             (List.map
+                (fun (l, c) -> Printf.sprintf "%s:%d" (json_string l) c.c)
+                (sorted_bindings fam.cf_series))))
+      (sorted_bindings t.c_families)
+  in
+  let labeled_hists =
+    List.map
+      (fun (name, fam) ->
+        Printf.sprintf "%s:{\"key\":%s,\"series\":%s}" (json_string name)
+          (json_string fam.hf_key)
+          (obj
+             (List.map
+                (fun (l, h) ->
+                  Printf.sprintf "%s:%s" (json_string l) (hist_json h))
+                (sorted_bindings fam.hf_series))))
+      (sorted_bindings t.h_families)
+  in
   obj
     [
       "\"counters\":" ^ obj counters;
       "\"gauges\":" ^ obj gauges;
       "\"histograms\":" ^ obj hists;
+      "\"labeled\":" ^ obj labeled;
+      "\"labeled_histograms\":" ^ obj labeled_hists;
     ]
 
 let pp ppf t =
@@ -209,6 +328,32 @@ let prometheus_name name =
       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
       | _ -> Buffer.add_char buf '_')
     name;
+  Buffer.contents buf
+
+(* Label names share the metric-name alphabet (minus the prefix); label
+   values are free-form, so the exposition format's three escapes apply:
+   backslash, double quote, line feed. *)
+let prometheus_label_name key =
+  let buf = Buffer.create (String.length key) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char buf c
+      | '0' .. '9' when i > 0 -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    key;
+  Buffer.contents buf
+
+let prometheus_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
   Buffer.contents buf
 
 let to_prometheus t =
@@ -244,7 +389,69 @@ let to_prometheus t =
       line "%s_sum %d" pname h.hsum;
       line "%s_count %d" pname h.hcount)
     (sorted_bindings t.histograms);
+  List.iter
+    (fun (name, fam) ->
+      let pname = prometheus_name name ^ "_total" in
+      let key = prometheus_label_name fam.cf_key in
+      line "# TYPE %s counter" pname;
+      List.iter
+        (fun (lv, c) ->
+          line "%s{%s=\"%s\"} %d" pname key (prometheus_label_value lv) c.c)
+        (sorted_bindings fam.cf_series))
+    (sorted_bindings t.c_families);
+  List.iter
+    (fun (name, fam) ->
+      let pname = prometheus_name name in
+      let key = prometheus_label_name fam.hf_key in
+      line "# TYPE %s histogram" pname;
+      List.iter
+        (fun (lv, h) ->
+          let lbl = Printf.sprintf "%s=\"%s\"" key (prometheus_label_value lv) in
+          let cum = ref 0 in
+          for i = 0 to buckets - 1 do
+            if h.counts.(i) > 0 then begin
+              cum := !cum + h.counts.(i);
+              line "%s_bucket{%s,le=\"%d\"} %d" pname lbl (bucket_upper i) !cum
+            end
+          done;
+          line "%s_bucket{%s,le=\"+Inf\"} %d" pname lbl h.hcount;
+          line "%s_sum{%s} %d" pname lbl h.hsum;
+          line "%s_count{%s} %d" pname lbl h.hcount)
+        (sorted_bindings fam.hf_series))
+    (sorted_bindings t.h_families);
   Buffer.contents buf
+
+(* Top talkers: a family's series sorted by value descending (ties broken by
+   label so the order is stable), truncated to [n]. *)
+let family_top fam n =
+  let series =
+    Hashtbl.fold (fun label c acc -> (label, c.c) :: acc) fam.cf_series []
+  in
+  let sorted =
+    List.sort
+      (fun (la, va) (lb, vb) ->
+        if va <> vb then compare vb va else String.compare la lb)
+      series
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let top_json t ?(n = 8) () =
+  let fams =
+    List.map
+      (fun (name, fam) ->
+        Printf.sprintf "%s:{\"key\":%s,\"top\":[%s]}" (json_string name)
+          (json_string fam.cf_key)
+          (String.concat ","
+             (List.map
+                (fun (label, v) ->
+                  Printf.sprintf "{\"label\":%s,\"value\":%d}"
+                    (json_string label) v)
+                (family_top fam n))))
+      (sorted_bindings t.c_families)
+  in
+  "{" ^ String.concat "," fams ^ "}"
+
+let table_top_n = 5
 
 let to_table t =
   let buf = Buffer.create 1024 in
@@ -268,6 +475,16 @@ let to_table t =
         line "  %-36s count=%-8d p50=%-10.0f p99=%-10.0f max=%d" name h.hcount
           (hist_quantile h 0.5) (hist_quantile h 0.99) h.hmax)
       (sorted_bindings t.histograms)
+  end;
+  if Hashtbl.length t.c_families > 0 then begin
+    line "labeled counters (top %d per family):" table_top_n;
+    List.iter
+      (fun (name, fam) ->
+        line "  %s{%s}:" name fam.cf_key;
+        List.iter
+          (fun (label, v) -> line "    %-34s %12d" label v)
+          (family_top fam table_top_n))
+      (sorted_bindings t.c_families)
   end;
   Buffer.contents buf
 

@@ -59,6 +59,56 @@ val hist_quantile : histogram -> float -> float
     q-th sample.  The estimate is within one bucket (a factor of 2) of the
     true value; 0 when the histogram is empty. *)
 
+(** {1 Labeled families}
+
+    A family is one logical series fanned out by a single label key —
+    [functions.calls{fn}], [events.delivered.by_conn{conn}] — so dispatch
+    time, allocation and fault absorption become attributable to a client,
+    function or event kind.  Cardinality is bounded: the first [max_series]
+    distinct label values (default 32) get real series; every later value
+    collapses into the ["other"] series, and each rejected lookup bumps the
+    registry-wide [metrics.label_overflow] counter.  Hot paths look a label
+    up once and cache the returned handle, exactly like plain counters. *)
+
+type counter_family
+type histogram_family
+
+val counter_family :
+  t -> ?max_series:int -> key:string -> string -> counter_family
+(** Find-or-create by family name.  [key] and [max_series] are fixed at
+    first creation; later calls with the same name return the existing
+    family unchanged. *)
+
+val histogram_family :
+  t -> ?max_series:int -> key:string -> string -> histogram_family
+
+val labeled_counter : counter_family -> string -> counter
+(** The series for one label value — or the ["other"] series once the
+    family is at capacity (bumping [metrics.label_overflow] per rejected
+    lookup). *)
+
+val labeled_histogram : histogram_family -> string -> histogram
+
+val counter_family_key : counter_family -> string
+val histogram_family_key : histogram_family -> string
+
+val counter_family_labels : counter_family -> string list
+(** Label values holding a series, sorted — includes ["other"] once
+    overflow has happened. *)
+
+val labeled_counter_value : t -> string -> string -> int
+(** [labeled_counter_value t family label]; 0 when either does not
+    exist. *)
+
+val family_top : counter_family -> int -> (string * int) list
+(** The family's top-[n] series by value, descending (ties broken by
+    label) — the "top talkers" view. *)
+
+val top_json : t -> ?n:int -> unit -> string
+(** Every counter family's {!family_top} (default [n = 8]) as one JSON
+    object: [{family:{"key":k,"top":[{"label":l,"value":v},..]},..}] —
+    the payload behind [f.stats]'s ["top"] section. *)
+
 (** {2 Clocks}
 
     Two timing helpers record into histograms, and they deliberately use
@@ -100,7 +150,9 @@ val to_json : t -> string
 (** The registry as one JSON object:
     [{"counters": {..}, "gauges": {..},
       "histograms": {name: {"count","sum","max","p50","p99",
-      "buckets":[[le,count],..]}}}]
+      "buckets":[[le,count],..]}},
+      "labeled": {family: {"key":k,"series":{label:v,..}},..},
+      "labeled_histograms": {family: {"key":k,"series":{label:hist,..}},..}]
     [p50]/[p99] are {!hist_quantile} estimates.  Series are sorted by name
     so dumps diff cleanly, and names are escaped with {!json_string} so the
     dump is always valid JSON. *)
@@ -111,8 +163,13 @@ val to_prometheus : t -> string
 (** The registry in Prometheus text exposition format (0.0.4): counters as
     [swm_<name>_total], gauges as [swm_<name>], histograms as cumulative
     [_bucket{le="..."}] lines (log2 upper bounds, ending in [+Inf]) plus
-    [_sum]/[_count].  Dots and other non-identifier characters in series
-    names become underscores.  Series are name-sorted, like {!to_json}. *)
+    [_sum]/[_count].  Labeled families follow as
+    [swm_<family>_total{key="value"}] samples (and labeled histograms with
+    the family label ahead of [le]); label values are escaped per the
+    format (backslash, double quote and newline each get a backslash
+    escape).  Dots and other
+    non-identifier characters in series names become underscores.  Series
+    are name-sorted, like {!to_json}. *)
 
 val to_table : t -> string
 (** A human-readable table: name-sorted counters and gauges with their

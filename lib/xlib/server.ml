@@ -26,6 +26,9 @@ type conn = {
   m_enqueued : Metrics.counter;
   m_coalesced : Metrics.counter;
   m_delivered : Metrics.counter;
+  m_delivered_by : Metrics.counter;
+      (* this connection's series in events.delivered.by_conn{conn} — cached
+         at connect, so per-client attribution costs one extra increment *)
   m_depth : Metrics.gauge;
   m_batch : Metrics.histogram;
   c_tracer : Tracing.t;
@@ -71,6 +74,8 @@ type t = {
   metrics : Metrics.t;
   s_tracer : Tracing.t;
   s_recorder : Recorder.t;
+  s_profiler : Profile.t;
+  delivered_by_conn : Metrics.counter_family;
   mutable fault : Fault.t option;
   mutable fault_protected : int list; (* cids faults may never victimise *)
   mutable injecting : bool; (* reentrancy guard: fault execution bumps too *)
@@ -131,6 +136,8 @@ let create ?(screens = [ default_screen ]) () =
         (id, spec))
       screens
   in
+  let metrics = Metrics.create () in
+  let s_tracer = Tracing.create () in
   {
     alloc;
     windows;
@@ -144,9 +151,12 @@ let create ?(screens = [ default_screen ]) () =
     focus = Xid.none;
     save_sets = [];
     requests = 0;
-    metrics = Metrics.create ();
-    s_tracer = Tracing.create ();
+    metrics;
+    s_tracer;
     s_recorder = Recorder.create ();
+    s_profiler = Profile.create ~metrics ~tracer:s_tracer ();
+    delivered_by_conn =
+      Metrics.counter_family metrics ~key:"conn" "events.delivered.by_conn";
     fault = None;
     fault_protected = [];
     injecting = false;
@@ -157,6 +167,7 @@ let create ?(screens = [ default_screen ]) () =
 let metrics server = server.metrics
 let tracer server = server.s_tracer
 let recorder server = server.s_recorder
+let profiler server = server.s_profiler
 
 let connect server ~name =
   let cid = server.next_cid in
@@ -174,6 +185,7 @@ let connect server ~name =
       m_enqueued = Metrics.counter server.metrics "events.enqueued";
       m_coalesced = Metrics.counter server.metrics "events.coalesced";
       m_delivered = Metrics.counter server.metrics "events.delivered";
+      m_delivered_by = Metrics.labeled_counter server.delivered_by_conn name;
       m_depth = Metrics.gauge server.metrics "queue.depth";
       m_batch = Metrics.histogram server.metrics "delivery.batch_size";
       c_tracer = server.s_tracer;
@@ -791,6 +803,7 @@ let rec next_event conn =
   | event :: rest ->
       conn.overflow <- rest;
       Metrics.incr conn.m_delivered;
+      Metrics.incr conn.m_delivered_by;
       Some event
   | [] -> (
       match Ring.pop conn.ring with
@@ -801,6 +814,7 @@ let rec next_event conn =
           | event :: rest ->
               conn.overflow <- rest;
               Metrics.incr conn.m_delivered;
+              Metrics.incr conn.m_delivered_by;
               Some event))
 
 let rec peek_event conn =

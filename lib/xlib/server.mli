@@ -73,6 +73,15 @@ val recorder : t -> Recorder.t
     lines, absorbed X errors, watchdog stalls — and armed fault plans
     record every injection into it. *)
 
+val profiler : t -> Profile.t
+(** The server's profiler (disarmed until {!Profile.start}, usually via
+    the [f.profile(start)] verb).  It shares this server's metrics
+    registry and tracer; while armed it samples GC deltas around every
+    dispatched event and folds closed spans into an aggregated call
+    tree.  The server also maintains the [events.delivered.by_conn{conn}]
+    labeled family (cached per connection at {!connect}), the always-on
+    per-client half of attribution. *)
+
 val screen_count : t -> int
 val screen_size : t -> screen:int -> int * int
 val screen_monochrome : t -> screen:int -> bool

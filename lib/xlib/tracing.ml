@@ -17,7 +17,18 @@ type slow_entry = {
   slow_attrs : (string * string) list;
 }
 
-type frame = { f_name : string; f_start : int; f_attrs : (string * string) list }
+type frame = {
+  f_name : string;
+  f_start : int;
+  f_attrs : (string * string) list;
+  f_minor : float; (* Gc.minor_words at open; 0. when no sink is installed *)
+}
+
+(* A sink sees every span as it closes — (name, open-ancestry outermost
+   first, duration ns, minor words allocated inside) — independently of the
+   ring, so an aggregator (Profile) stays consistent however often the ring
+   wraps. *)
+type sink = string -> string list -> int -> float -> unit
 
 type t = {
   mutable on : bool;
@@ -30,6 +41,7 @@ type t = {
   slow_capacity : int;
   mutable slow : slow_entry list; (* newest first, length <= slow_capacity *)
   mutable slow_length : int;
+  mutable sink : sink option;
 }
 
 (* The monotonic clock (CLOCK_MONOTONIC via bechamel's stubs): spans need
@@ -48,6 +60,7 @@ let create ?(capacity = 4096) ?(slow_capacity = 64) () =
     slow_capacity = max 1 slow_capacity;
     slow = [];
     slow_length = 0;
+    sink = None;
   }
 
 let enabled t = t.on
@@ -70,6 +83,8 @@ let stop t = t.on <- false
 
 let set_slow_threshold_ns t ns = t.slow_threshold <- ns
 let slow_threshold_ns t = t.slow_threshold
+let set_sink t sink = t.sink <- sink
+let has_sink t = t.sink <> None
 
 let record t ev =
   t.ring.(t.head) <- Some ev;
@@ -111,12 +126,30 @@ let close_span t =
           ev_attrs = frame.f_attrs;
         };
       if dur >= t.slow_threshold then
-        record_slow t frame.f_name (frame.f_start - t.epoch) dur frame.f_attrs
+        record_slow t frame.f_name (frame.f_start - t.epoch) dur frame.f_attrs;
+      (match t.sink with
+      | None -> ()
+      | Some k ->
+          (* A frame opened before the sink was installed carries f_minor = 0;
+             report its allocation as 0 rather than the process-lifetime
+             total. *)
+          let alloc =
+            if frame.f_minor = 0. then 0.
+            else Gc.minor_words () -. frame.f_minor
+          in
+          let ancestry = List.rev_map (fun f -> f.f_name) rest in
+          k frame.f_name ancestry dur alloc)
 
 let span t ?(attrs = []) name f =
   if not t.on then f ()
   else begin
-    t.stack <- { f_name = name; f_start = now_ns (); f_attrs = attrs } :: t.stack;
+    (* Gc.minor_words is a noalloc external, but reading it on every span is
+       still pointless when nothing aggregates allocation — pay it only
+       while a sink is armed. *)
+    let minor = match t.sink with Some _ -> Gc.minor_words () | None -> 0. in
+    t.stack <-
+      { f_name = name; f_start = now_ns (); f_attrs = attrs; f_minor = minor }
+      :: t.stack;
     match f () with
     | v ->
         close_span t;

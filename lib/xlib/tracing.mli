@@ -75,6 +75,27 @@ val set_slow_threshold_ns : t -> int -> unit
 
 val slow_threshold_ns : t -> int
 
+(** {1 Span sink}
+
+    A sink observes every span at the moment it closes, {e independently of
+    the ring}: [(name, ancestry, dur_ns, alloc_minor_words)], where
+    [ancestry] lists the still-open enclosing spans outermost first (the
+    same shape the slow-op log records).  {!Profile} installs one to fold
+    spans into an aggregated call tree — because aggregation happens at
+    close time rather than by reading the ring back, the tree stays
+    consistent no matter how often the ring overwrites old events.
+
+    While a sink is installed, {!span} additionally reads [Gc.minor_words]
+    at open and close so the sink receives the words allocated inside the
+    span (0. for spans that were already open when the sink was installed).
+    Without a sink there is no [Gc] read — the disabled/enabled costs
+    documented above are unchanged. *)
+
+type sink = string -> string list -> int -> float -> unit
+
+val set_sink : t -> sink option -> unit
+val has_sink : t -> bool
+
 (** {1 Recording} *)
 
 val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a

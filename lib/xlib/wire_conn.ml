@@ -8,6 +8,10 @@ type t = {
   mutable received : int;
   op_counters : Metrics.counter option array; (* per-opcode request counts *)
   m_rejected : Metrics.counter; (* frames refused by decode or execution *)
+  m_requests_by : Metrics.counter; (* wire.requests.by_conn{conn} series *)
+  profiler : Profile.t;
+  sec_decode : Profile.section; (* gc.minor_words.wire.decode *)
+  sec_encode : Profile.section; (* gc.minor_words.wire.encode *)
 }
 
 type submit_error = { executed : int; error : string }
@@ -18,6 +22,7 @@ type submit_error = { executed : int; error : string }
 let root_client_id screen = Xid.of_int (1000000 + screen)
 
 let create server ~name =
+  let profiler = Server.profiler server in
   let t =
     {
       server;
@@ -29,6 +34,14 @@ let create server ~name =
       received = 0;
       op_counters = Array.make 32 None;
       m_rejected = Metrics.counter (Server.metrics server) "wire.rejected_frames";
+      m_requests_by =
+        Metrics.labeled_counter
+          (Metrics.counter_family (Server.metrics server) ~key:"conn"
+             "wire.requests.by_conn")
+          name;
+      profiler;
+      sec_decode = Profile.section profiler "wire.decode";
+      sec_encode = Profile.section profiler "wire.encode";
     }
   in
   for screen = 0 to Server.screen_count server - 1 do
@@ -66,6 +79,7 @@ let to_client_id t sid =
 (* Per-request-opcode counters ("requests.opcode.NN"), resolved once per
    opcode and cached. *)
 let count_opcode t req =
+  Metrics.incr t.m_requests_by;
   let code = Wire.opcode req in
   if code >= 0 && code < Array.length t.op_counters then begin
     let counter =
@@ -144,6 +158,7 @@ let apply_frame_faults t bytes =
 let submit_bytes t bytes =
   t.sent <- t.sent + String.length bytes;
   let bytes = apply_frame_faults t bytes in
+  Profile.alloc_section t.profiler t.sec_decode @@ fun () ->
   (if Tracing.enabled (Server.tracer t.server) then
      Tracing.span (Server.tracer t.server) "wire.decode"
        ~attrs:
@@ -215,6 +230,7 @@ let drain_event_bytes t =
   bytes
 
 let flush_batch_bytes t =
+  Profile.alloc_section t.profiler t.sec_encode @@ fun () ->
   (if Tracing.enabled (Server.tracer t.server) then
      Tracing.span (Server.tracer t.server) "wire.flush"
        ~attrs:[ ("conn", Server.conn_name t.sconn) ]

@@ -29,6 +29,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("fuzz", Test_fuzz.suite);
       ("observability", Test_observability.suite);
+      ("profile", Test_profile.suite);
       ("chaos", Test_chaos.suite);
       ("replay", Test_replay.suite);
     ]

@@ -273,9 +273,71 @@ let is_prom_name s =
          || c = '_')
        s
 
+(* Parse a sample line's label set — {key="value",...} with the exposition
+   format's escapes (backslash, double quote, newline) inside values.
+   Returns the (key, raw-escaped-value) pairs; fails the test on malformed
+   syntax or an escape the format does not define. *)
+let parse_prom_labels name_part b =
+  let n = String.length name_part in
+  let labels = ref [] in
+  let pos = ref (b + 1) in
+  let fail fmt = Alcotest.failf fmt name_part in
+  let rec scan_value start acc =
+    if !pos >= n then fail "unterminated label value: %s"
+    else
+      match name_part.[!pos] with
+      | '"' ->
+          Stdlib.incr pos;
+          Buffer.contents acc
+      | '\\' ->
+          if !pos + 1 >= n then fail "dangling escape: %s"
+          else begin
+            (match name_part.[!pos + 1] with
+            | '\\' | '"' | 'n' ->
+                Buffer.add_char acc name_part.[!pos];
+                Buffer.add_char acc name_part.[!pos + 1]
+            | _ -> fail "undefined escape in label value: %s");
+            pos := !pos + 2;
+            scan_value start acc
+          end
+      | '\n' -> fail "raw newline in label value: %s"
+      | c ->
+          Buffer.add_char acc c;
+          Stdlib.incr pos;
+          scan_value start acc
+  in
+  let rec scan_pair () =
+    let key_start = !pos in
+    while !pos < n && name_part.[!pos] <> '=' do
+      Stdlib.incr pos
+    done;
+    if !pos >= n then fail "label without '=': %s";
+    let key = String.sub name_part key_start (!pos - key_start) in
+    check Alcotest.bool ("label name well-formed: " ^ key) true (is_prom_name key);
+    Stdlib.incr pos;
+    if !pos >= n || name_part.[!pos] <> '"' then fail "unquoted label value: %s";
+    Stdlib.incr pos;
+    let value = scan_value !pos (Buffer.create 16) in
+    labels := (key, value) :: !labels;
+    if !pos >= n then fail "label set missing '}': %s"
+    else
+      match name_part.[!pos] with
+      | ',' ->
+          Stdlib.incr pos;
+          scan_pair ()
+      | '}' ->
+          Stdlib.incr pos;
+          if !pos <> n then fail "trailing garbage after label set: %s"
+      | _ -> fail "expected ',' or '}' in label set: %s"
+  in
+  scan_pair ();
+  List.rev !labels
+
 (* A line-level validator for the text exposition format: every sample line
-   is NAME[{le="..."}] VALUE, every TYPE comment names a series the samples
-   then use, histogram buckets are cumulative and end at +Inf = _count. *)
+   is NAME[{key="value",...}] VALUE (label values escape backslash, quote
+   and newline), every TYPE comment names a series the samples then use,
+   histogram buckets are cumulative per label set and end at +Inf =
+   _count. *)
 let validate_prometheus text =
   let lines = String.split_on_char '\n' (String.trim text) in
   let bucket_state = Hashtbl.create 8 in
@@ -297,36 +359,39 @@ let validate_prometheus text =
         | Some sp ->
             let name_part = String.sub line 0 sp in
             let value_part = String.sub line (sp + 1) (String.length line - sp - 1) in
-            let bare, le =
+            let bare, labels =
               match String.index_opt name_part '{' with
-              | None -> (name_part, None)
+              | None -> (name_part, [])
               | Some b ->
-                  let bare = String.sub name_part 0 b in
-                  let label =
-                    String.sub name_part (b + 1) (String.length name_part - b - 2)
-                  in
-                  (match String.split_on_char '=' label with
-                  | [ "le"; quoted ] ->
-                      (bare, Some (String.sub quoted 1 (String.length quoted - 2)))
-                  | _ -> Alcotest.failf "unexpected label set: %s" name_part)
+                  (String.sub name_part 0 b, parse_prom_labels name_part b)
             in
             check Alcotest.bool ("sample name well-formed: " ^ bare) true
               (is_prom_name bare);
             (match float_of_string_opt value_part with
             | Some _ -> ()
             | None -> Alcotest.failf "non-numeric value: %s" line);
-            (match le with
+            (match List.assoc_opt "le" labels with
             | Some le_text ->
-                (* Cumulative: each bucket's count never decreases, and the
-                   last bucket of a series is +Inf. *)
+                (* Cumulative per series: the bucket-state key includes the
+                   non-le labels, so a labeled histogram's series are
+                   checked independently. *)
+                let series_key =
+                  bare
+                  ^ String.concat ","
+                      (List.filter_map
+                         (fun (k, v) ->
+                           if k = "le" then None else Some (k ^ "=" ^ v))
+                         labels)
+                in
                 let v = float_of_string value_part in
                 let prev =
-                  match Hashtbl.find_opt bucket_state bare with
+                  match Hashtbl.find_opt bucket_state series_key with
                   | Some p -> p
                   | None -> 0.
                 in
-                check Alcotest.bool ("buckets cumulative: " ^ bare) true (v >= prev);
-                Hashtbl.replace bucket_state bare v;
+                check Alcotest.bool ("buckets cumulative: " ^ series_key) true
+                  (v >= prev);
+                Hashtbl.replace bucket_state series_key v;
                 if le_text <> "+Inf" then
                   check Alcotest.bool ("le parses: " ^ le_text) true
                     (float_of_string_opt le_text <> None)
