@@ -1466,6 +1466,18 @@ let measure_profile () =
   let encode_words_per_event =
     (Gc.minor_words () -. w0) /. float_of_int (rounds * 64)
   in
+  (* Deterministic wall number for the same path, so CI can compare it
+     against the committed bench/BASELINE.json without a bechamel run. *)
+  let encode_timing_rounds = if !smoke then 500 else 20_000 in
+  let mt = Metrics.create () in
+  Metrics.time_mono_ns mt "bench.batch_encode_ns" (fun () ->
+      for _ = 1 to encode_timing_rounds do
+        ignore (Wire.encode_batch batch_events)
+      done);
+  let batch_encode_64_ns =
+    float_of_int (Metrics.hist_sum (Metrics.histogram mt "bench.batch_encode_ns"))
+    /. float_of_int encode_timing_rounds
+  in
   (* Churn: 100 clients jiggling while the armed WM drains; the profiler's
      gc.minor_words_per_event histogram is the measurement. *)
   let server = Server.create () in
@@ -1486,6 +1498,27 @@ let measure_profile () =
     float_of_int (Metrics.hist_sum h)
     /. float_of_int (max 1 (Metrics.hist_count h))
   in
+  (* Event storm, major-collection check: keep churning the same managed
+     population until the WM has dispatched [storm_target] more events; a
+     hot path that only allocates short-lived values promotes nothing, so
+     the storm must complete without a single major collection. *)
+  let storm_target = if !smoke then 1_000 else 10_000 in
+  let dispatched () =
+    Metrics.counter_value (Server.metrics server) "wm.events_dispatched"
+  in
+  Gc.full_major ();
+  let d0 = dispatched () in
+  let mc0 = (Gc.quick_stat ()).Gc.major_collections in
+  let round = ref 0 in
+  while dispatched () - d0 < storm_target && !round < 2_000 do
+    incr round;
+    Workload.configure_churn server ~seed:(1000 + !round) ~rounds:1 apps;
+    Workload.expose_storm server ~seed:(1000 + !round) ~rounds:1 apps;
+    List.iter (fun app -> ignore (Client_app.process_events app)) apps;
+    ignore (Wm.step wm)
+  done;
+  let storm_events = dispatched () - d0 in
+  let storm_major = (Gc.quick_stat ()).Gc.major_collections - mc0 in
   (* Coverage: profile the swmcmd scripted session (the acceptance
      workload) and compare the tree's root total against the dispatch wall
      the probe measured around each event. *)
@@ -1515,6 +1548,10 @@ let measure_profile () =
   in
   verdict "minor words/event: batch-encode %.1f, churn dispatch %.1f"
     encode_words_per_event churn_words_per_event;
+  verdict "batch-encode-64: %.0f ns/batch (%.1f ns/event) deterministic"
+    batch_encode_64_ns (batch_encode_64_ns /. 64.);
+  verdict "%d-event storm: %d major collections (budget 0)" storm_events
+    storm_major;
   verdict
     "flamegraph: %d collapsed stacks cover %.1f%% of %.2f ms dispatch wall \
      (%d events)"
@@ -1522,17 +1559,17 @@ let measure_profile () =
     (Profile.coverage p *. 100.)
     (float_of_int (Profile.dispatch_wall_ns p) /. 1e6)
     (Profile.events p);
-  ( encode_words_per_event, churn_words_per_event, Profile.events p,
-    Profile.dispatch_wall_ns p, Profile.root_total_ns p, Profile.coverage p,
-    stacks )
+  ( encode_words_per_event, churn_words_per_event, batch_encode_64_ns,
+    storm_events, storm_major, Profile.events p, Profile.dispatch_wall_ns p,
+    Profile.root_total_ns p, Profile.coverage p, stacks )
 
 (* The budgets CI gates on live inside the artifact next to the numbers.
    The ns budgets are generous against runner noise; the minor-words
    budgets carry ~2x headroom over the measured allocation, which is a
    property of the code path, not the machine. *)
 let write_profile_json ~path results
-    (encode_words, churn_words, events, dispatch_wall_ns, root_total_ns,
-     coverage, stacks) =
+    (encode_words, churn_words, batch_encode_64_ns, storm_events, storm_major,
+     events, dispatch_wall_ns, root_total_ns, coverage, stacks) =
   let disabled = find "profile/event_section-disabled" results
   and off = find "profile/pan_storm-disabled" results
   and on = find "profile/pan_storm-armed" results in
@@ -1551,9 +1588,19 @@ let write_profile_json ~path results
   Buffer.add_string b
     (Printf.sprintf
        "  \"allocation\": {\"batch_encode_words_per_event\": %.1f, \
-        \"batch_encode_budget_words\": 100.0, \"churn_words_per_event\": \
-        %.1f, \"churn_budget_words\": 3000.0},\n"
+        \"batch_encode_budget_words\": 5.0, \"churn_words_per_event\": \
+        %.1f, \"churn_budget_words\": 400.0},\n"
        encode_words churn_words);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"hot_path\": {\"batch_encode_64_ns\": %.1f, \
+        \"baseline_regression_budget\": 1.5},\n"
+       batch_encode_64_ns);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"storm\": {\"events\": %d, \"major_collections\": %d, \
+        \"major_collections_budget\": 0},\n"
+       storm_events storm_major);
   Buffer.add_string b
     (Printf.sprintf
        "  \"flame\": {\"events\": %d, \"dispatch_wall_ns\": %d, \

@@ -99,8 +99,35 @@ type t = {
   mutable watchdog_threshold_ns : int; (* dispatch wall time above = stall *)
   events_by_kind : Swm_xlib.Metrics.counter_family;
       (* wm.dispatch.events{event} — always-on per-event-kind attribution *)
+  dispatch_counters : Swm_xlib.Metrics.counter array;
+      (* events_by_kind series resolved per Event.code, so the per-event
+         increment is one array load instead of a label-hash lookup *)
+  h_dispatch_ns : Swm_xlib.Metrics.histogram; (* wm.dispatch_ns, CPU time *)
+  h_dispatch_wall_ns : Swm_xlib.Metrics.histogram; (* wm.dispatch_wall_ns *)
+  c_events_dispatched : Swm_xlib.Metrics.counter; (* wm.events_dispatched *)
+  c_watchdog_stalls : Swm_xlib.Metrics.counter; (* watchdog.stalls *)
+  atoms : atoms; (* hot ICCCM/SWM property names, interned once *)
   host : string;
   display : string;
+}
+
+(* The property names the WM compares or reads per event, interned in the
+   server's atom table at startup so the hot paths compare ints. *)
+and atoms = {
+  a_wm_name : Swm_xlib.Atom.t;
+  a_wm_icon_name : Swm_xlib.Atom.t;
+  a_wm_class : Swm_xlib.Atom.t;
+  a_wm_command : Swm_xlib.Atom.t;
+  a_wm_client_machine : Swm_xlib.Atom.t;
+  a_wm_hints : Swm_xlib.Atom.t;
+  a_wm_normal_hints : Swm_xlib.Atom.t;
+  a_wm_state : Swm_xlib.Atom.t;
+  a_wm_transient_for : Swm_xlib.Atom.t;
+  a_wm_protocols : Swm_xlib.Atom.t;
+  a_swm_root : Swm_xlib.Atom.t;
+  a_swm_command : Swm_xlib.Atom.t;
+  a_swm_places : Swm_xlib.Atom.t;
+  a_swm_result : Swm_xlib.Atom.t;
 }
 
 let screen ctx i = ctx.screens.(i)

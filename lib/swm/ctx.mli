@@ -133,8 +133,39 @@ type t = {
       (** the [wm.dispatch.events{event}] labeled family — always-on
           per-event-kind dispatch attribution, one cached-family increment
           per event *)
+  dispatch_counters : Swm_xlib.Metrics.counter array;
+      (** [events_by_kind] series resolved once per {!Event.code} (index
+          0..{!Event.last_event}), so the per-event increment is an array
+          load instead of a label-hash lookup *)
+  h_dispatch_ns : Swm_xlib.Metrics.histogram;
+      (** [wm.dispatch_ns] (CPU time), resolved once *)
+  h_dispatch_wall_ns : Swm_xlib.Metrics.histogram;
+      (** [wm.dispatch_wall_ns] (monotonic wall time), resolved once *)
+  c_events_dispatched : Swm_xlib.Metrics.counter;
+  c_watchdog_stalls : Swm_xlib.Metrics.counter;
+  atoms : atoms;  (** hot ICCCM/SWM property names, interned at startup *)
   host : string;
   display : string;
+}
+
+(** The property names the WM compares or reads per event, interned once
+    in the server's atom table so hot paths compare ints instead of
+    hashing strings. *)
+and atoms = {
+  a_wm_name : Swm_xlib.Atom.t;
+  a_wm_icon_name : Swm_xlib.Atom.t;
+  a_wm_class : Swm_xlib.Atom.t;
+  a_wm_command : Swm_xlib.Atom.t;
+  a_wm_client_machine : Swm_xlib.Atom.t;
+  a_wm_hints : Swm_xlib.Atom.t;
+  a_wm_normal_hints : Swm_xlib.Atom.t;
+  a_wm_state : Swm_xlib.Atom.t;
+  a_wm_transient_for : Swm_xlib.Atom.t;
+  a_wm_protocols : Swm_xlib.Atom.t;
+  a_swm_root : Swm_xlib.Atom.t;
+  a_swm_command : Swm_xlib.Atom.t;
+  a_swm_places : Swm_xlib.Atom.t;
+  a_swm_result : Swm_xlib.Atom.t;
 }
 
 val screen : t -> int -> screen_state

@@ -11,37 +11,41 @@ type placement =
 
 let read_placement (ctx : Ctx.t) win =
   let geom = Server.geometry ctx.server win in
-  match Server.get_property ctx.server win ~name:Prop.wm_normal_hints with
+  match Server.get_property_atom ctx.server win ctx.atoms.a_wm_normal_hints with
   | Some (Prop.Size_hints h) when h.us_position -> Place_absolute (Geom.point geom.x geom.y)
   | Some (Prop.Size_hints h) when h.p_position -> Place_viewport (Geom.point geom.x geom.y)
   | Some _ | None -> Place_default
 
 let read_class (ctx : Ctx.t) win =
-  match Server.get_property ctx.server win ~name:Prop.wm_class with
+  match Server.get_property_atom ctx.server win ctx.atoms.a_wm_class with
   | Some (Prop.Wm_class { instance; class_ }) -> (instance, class_)
   | Some _ | None -> ("unknown", "Unknown")
 
-let read_string ctx win name ~default =
-  match Server.get_property ctx.Ctx.server win ~name with
+let read_string_atom ctx win atom ~default =
+  match Server.get_property_atom ctx.Ctx.server win atom with
   | Some (Prop.String s) -> s
   | Some _ | None -> default
 
-let read_name ctx win = read_string ctx win Prop.wm_name ~default:"untitled"
-let read_icon_name ctx win = read_string ctx win Prop.wm_icon_name ~default:(read_name ctx win)
+let read_name ctx win =
+  read_string_atom ctx win ctx.Ctx.atoms.a_wm_name ~default:"untitled"
+
+let read_icon_name ctx win =
+  read_string_atom ctx win ctx.Ctx.atoms.a_wm_icon_name
+    ~default:(read_name ctx win)
 
 let read_command (ctx : Ctx.t) win =
-  match Server.get_property ctx.server win ~name:Prop.wm_command with
+  match Server.get_property_atom ctx.server win ctx.atoms.a_wm_command with
   | Some (Prop.String s) -> Some s
   | Some (Prop.String_list argv) -> Some (String.concat " " argv)
   | Some _ | None -> None
 
 let read_client_machine (ctx : Ctx.t) win =
-  match Server.get_property ctx.server win ~name:Prop.wm_client_machine with
+  match Server.get_property_atom ctx.server win ctx.atoms.a_wm_client_machine with
   | Some (Prop.String s) -> Some s
   | Some _ | None -> None
 
 let read_size_hints (ctx : Ctx.t) win =
-  match Server.get_property ctx.server win ~name:Prop.wm_normal_hints with
+  match Server.get_property_atom ctx.server win ctx.atoms.a_wm_normal_hints with
   | Some (Prop.Size_hints h) -> h
   | Some _ | None -> Prop.default_size_hints
 
@@ -58,7 +62,7 @@ let constrain_size (hints : Prop.size_hints) (w, h) =
   | Some _ | None -> (w, h)
 
 let read_wm_hints (ctx : Ctx.t) win =
-  match Server.get_property ctx.server win ~name:Prop.wm_hints_name with
+  match Server.get_property_atom ctx.server win ctx.atoms.a_wm_hints with
   | Some (Prop.Wm_hints h) -> h
   | Some _ | None -> Prop.default_wm_hints
 
@@ -68,7 +72,7 @@ let set_wm_state (ctx : Ctx.t) (client : Ctx.client) state =
     (Prop.Wm_state_value { state; icon = Xid.none })
 
 let set_swm_root (ctx : Ctx.t) win ~root =
-  let current = Server.get_property ctx.server win ~name:Prop.swm_root in
+  let current = Server.get_property_atom ctx.server win ctx.atoms.a_swm_root in
   match current with
   | Some (Prop.Window r) when Xid.equal r root -> ()
   | Some _ | None ->
@@ -77,7 +81,7 @@ let set_swm_root (ctx : Ctx.t) win ~root =
 
 let send_synthetic_configure (ctx : Ctx.t) (client : Ctx.client) =
   let effective_root =
-    match Server.get_property ctx.server client.cwin ~name:Prop.swm_root with
+    match Server.get_property_atom ctx.server client.cwin ctx.atoms.a_swm_root with
     | Some (Prop.Window r) when Server.window_exists ctx.server r -> r
     | Some _ | None -> (Ctx.screen ctx client.screen).root
   in

@@ -146,11 +146,21 @@ let hint_of_args s =
 
 (* -------- restart table -------- *)
 
-type table = { mutable hints : hint list }
+module Atom = Swm_xlib.Atom
 
-let create_table () = { hints = [] }
-let add table hint = table.hints <- table.hints @ [ hint ]
-let size table = List.length table.hints
+(* Commands are interned into a table-private atom space when a hint is
+   added, so the per-manage restart probe compares interned ids instead of
+   re-walking command strings down the whole table. *)
+type entry = { e_cmd : Atom.t; e_hint : hint }
+type table = { mutable entries : entry list; interned : Atom.table }
+
+let create_table () = { entries = []; interned = Atom.create_table () }
+
+let add table hint =
+  let entry = { e_cmd = Atom.intern table.interned hint.command; e_hint = hint } in
+  table.entries <- table.entries @ [ entry ]
+
+let size table = List.length table.entries
 
 type load_stats = { loaded : int; rejected : int; first_error : string option }
 
@@ -181,19 +191,24 @@ let load table text =
     lines
 
 let take_match table ~command ~host =
-  let host_matches hint =
-    match (hint.host, host) with
-    | Some a, Some b -> String.equal a b
-    | None, _ | _, None -> true
-  in
-  let rec extract acc = function
-    | [] -> None
-    | hint :: rest when String.equal hint.command command && host_matches hint ->
-        table.hints <- List.rev_append acc rest;
-        Some hint
-    | hint :: rest -> extract (hint :: acc) rest
-  in
-  extract [] table.hints
+  (* Intern the probe once; an unknown command can't match any hint. *)
+  match Atom.intern_existing table.interned command with
+  | None -> None
+  | Some cmd ->
+      let host_matches hint =
+        match (hint.host, host) with
+        | Some a, Some b -> String.equal a b
+        | None, _ | _, None -> true
+      in
+      let rec extract acc = function
+        | [] -> None
+        | entry :: rest
+          when Atom.equal entry.e_cmd cmd && host_matches entry.e_hint ->
+            table.entries <- List.rev_append acc rest;
+            Some entry.e_hint
+        | entry :: rest -> extract (entry :: acc) rest
+      in
+      extract [] table.entries
 
 (* -------- places file -------- *)
 

@@ -8,6 +8,7 @@ module Server = Swm_xlib.Server
 module Geom = Swm_xlib.Geom
 module Xid = Swm_xlib.Xid
 module Prop = Swm_xlib.Prop
+module Atom = Swm_xlib.Atom
 module Event = Swm_xlib.Event
 module Render = Swm_xlib.Render
 module Xrdb = Swm_xrdb.Xrdb
@@ -591,60 +592,97 @@ let handle_configure_request (ctx : Ctx.t) window (changes : Event.config_change
         Server.configure_window ctx.server ctx.conn window changes
 
 let handle_property (ctx : Ctx.t) window name =
-  let is_root =
-    Array.exists (fun (scr : Ctx.screen_state) -> Xid.equal scr.root window) ctx.screens
-  in
-  if is_root && String.equal name Prop.swm_command then
-    Swmcmd.handle_property_change ctx
-      ~screen:(screen_of_event_window ctx window)
-  else
-    match Xid.Tbl.find_opt ctx.clients window with
-    | None -> ()
-    | Some client ->
-        if String.equal name Prop.wm_name then Decoration.update_name ctx client
-        else if String.equal name Prop.wm_icon_name then begin
-          match client.icon_obj with
-          | Some icon -> (
-              match Wobj.find_descendant icon ~name:"iconname" with
-              | Some obj -> Wobj.set_label obj (Icccm.read_icon_name ctx window)
-              | None -> ())
-          | None -> ()
-        end
+  (* The name arriving in the event was interned when the property was
+     written, so a single probe resolves it and the comparisons against
+     the hot names are int equality, not per-event string walks. *)
+  match Server.interned ctx.server name with
+  | None -> ()
+  | Some atom ->
+      let atoms = ctx.atoms in
+      let is_root =
+        Array.exists
+          (fun (scr : Ctx.screen_state) -> Xid.equal scr.root window)
+          ctx.screens
+      in
+      if is_root && Atom.equal atom atoms.a_swm_command then
+        Swmcmd.handle_property_change ctx
+          ~screen:(screen_of_event_window ctx window)
+      else
+        match Xid.Tbl.find_opt ctx.clients window with
+        | None -> ()
+        | Some client ->
+            if Atom.equal atom atoms.a_wm_name then Decoration.update_name ctx client
+            else if Atom.equal atom atoms.a_wm_icon_name then begin
+              match client.icon_obj with
+              | Some icon -> (
+                  match Wobj.find_descendant icon ~name:"iconname" with
+                  | Some obj -> Wobj.set_label obj (Icccm.read_icon_name ctx window)
+                  | None -> ())
+              | None -> ()
+            end
 
-let handle_event (ctx : Ctx.t) (event : Event.t) =
-  match event with
+(* -------- event dispatch: the handler table --------
+
+   One handler function per event kind, precomputed into an array indexed
+   by {!Event.code} (the classic [event_handlers[LASTEvent]] idiom): the
+   per-event cost is one array load and a call instead of a wide variant
+   match.  Each handler re-matches its own constructor to destructure (a
+   cheap single-tag check); a mismatched code falls through to a no-op,
+   and the exhaustiveness of the table itself is pinned by a test over
+   [1 .. Event.last_event]. *)
+
+let on_map_request ctx = function
   | Event.Map_request { window; _ } -> (
-      match Xid.Tbl.find_opt ctx.clients window with
+      match Xid.Tbl.find_opt ctx.Ctx.clients window with
       | Some client ->
           (* Mapping an iconified window deiconifies it (ICCCM). *)
-          if client.state = Prop.Iconic then begin
+          if client.Ctx.state = Prop.Iconic then begin
             Icons.deiconify ctx client;
             Panner.refresh ctx ~screen:client.screen
           end
           else Server.map_window ctx.server ctx.conn window
       | None -> manage ctx window)
+  | _ -> ()
+
+let on_configure_request ctx = function
   | Event.Configure_request { window; changes; _ } ->
       handle_configure_request ctx window changes
+  | _ -> ()
+
+let on_destroy_notify ctx = function
   | Event.Destroy_notify { window } -> (
-      match Xid.Tbl.find_opt ctx.clients window with
+      match Xid.Tbl.find_opt ctx.Ctx.clients window with
       | Some client -> unmanage ctx client ~destroyed:true
       | None -> ())
+  | _ -> ()
+
+let on_unmap_notify ctx = function
   | Event.Unmap_notify { window } -> (
-      match Xid.Tbl.find_opt ctx.clients window with
+      match Xid.Tbl.find_opt ctx.Ctx.clients window with
       | Some client ->
           (* Reparenting briefly unmaps; a real withdrawal leaves the window
              unmapped when we process the event. *)
           if
             Server.window_exists ctx.server window
             && (not (Server.is_mapped ctx.server window))
-            && client.state <> Prop.Iconic
+            && client.Ctx.state <> Prop.Iconic
           then unmanage ctx client ~destroyed:false
       | None -> ())
+  | _ -> ()
+
+let on_property_notify ctx = function
   | Event.Property_notify { window; name; _ } -> handle_property ctx window name
+  | _ -> ()
+
+let on_button_press ctx event =
+  match event with
   | Event.Button_press { window; button; pos; root_pos; _ } ->
       handle_button_press ctx event window button pos root_pos
+  | _ -> ()
+
+let on_button_release ctx = function
   | Event.Button_release _ -> (
-      match ctx.mode with
+      match ctx.Ctx.mode with
       | Ctx.Moving { m_client; grab_offset; m_outline } ->
           handle_moving ctx m_client grab_offset m_outline
             (Server.pointer_pos ctx.server) true
@@ -652,25 +690,78 @@ let handle_event (ctx : Ctx.t) (event : Event.t) =
           handle_resizing ctx r_client r_start_client r_pointer r_dir r_frame0
             (Server.pointer_pos ctx.server) true
       | Ctx.Idle | Ctx.Prompting _ -> ())
+  | _ -> ()
+
+let on_motion_notify ctx = function
   | Event.Motion_notify { root_pos; _ } -> (
-      match ctx.mode with
+      match ctx.Ctx.mode with
       | Ctx.Moving { m_client; grab_offset; m_outline } ->
           handle_moving ctx m_client grab_offset m_outline root_pos false
       | Ctx.Resizing { r_client; r_start_client; r_pointer; r_dir; r_frame0 } ->
           handle_resizing ctx r_client r_start_client r_pointer r_dir r_frame0 root_pos
             false
       | Ctx.Idle | Ctx.Prompting _ -> ())
+  | _ -> ()
+
+let on_key_press ctx event =
+  match event with
   | Event.Key_press { window; _ } -> handle_key_press ctx event window
-  | Event.Enter_notify { window } | Event.Leave_notify { window } -> (
-      (match event with
-      | Event.Enter_notify _ -> apply_focus_policy ctx window Ctx.Focus_pointer
-      | _ -> ());
+  | _ -> ()
+
+let on_enter_notify ctx event =
+  match event with
+  | Event.Enter_notify { window } -> (
+      apply_focus_policy ctx window Ctx.Focus_pointer;
       match object_of_window ctx window with
       | Some obj -> dispatch_object ctx obj event
       | None -> ())
-  | Event.Map_notify _ | Event.Reparent_notify _ | Event.Configure_notify _
-  | Event.Expose _ | Event.Client_message _ | Event.Focus_in _ | Event.Focus_out _ ->
-      ()
+  | _ -> ()
+
+let on_leave_notify ctx event =
+  match event with
+  | Event.Leave_notify { window } -> (
+      match object_of_window ctx window with
+      | Some obj -> dispatch_object ctx obj event
+      | None -> ())
+  | _ -> ()
+
+let on_ignored (_ : Ctx.t) (_ : Event.t) = ()
+
+(* Every valid code gets an explicit binding, ignored kinds included, so
+   the table is total over [1 .. Event.last_event]; the exhaustiveness
+   test pins [dispatch_table_codes] against exactly that range.  Slot 0
+   (reserved) and anything out of range fall to the no-op default. *)
+let handler_bindings : (int * (Ctx.t -> Event.t -> unit)) list =
+  [
+    (1, on_map_request);
+    (2, on_configure_request);
+    (3, on_ignored) (* Map_notify *);
+    (4, on_unmap_notify);
+    (5, on_destroy_notify);
+    (6, on_ignored) (* Reparent_notify *);
+    (7, on_ignored) (* Configure_notify *);
+    (8, on_property_notify);
+    (9, on_button_press);
+    (10, on_button_release);
+    (11, on_key_press);
+    (12, on_motion_notify);
+    (13, on_enter_notify);
+    (14, on_leave_notify);
+    (15, on_ignored) (* Expose *);
+    (16, on_ignored) (* Client_message *);
+    (17, on_ignored) (* Focus_in *);
+    (18, on_ignored) (* Focus_out *);
+  ]
+
+let handler_table : (Ctx.t -> Event.t -> unit) array =
+  let table = Array.make (Event.last_event + 1) on_ignored in
+  List.iter (fun (code, handler) -> table.(code) <- handler) handler_bindings;
+  table
+
+let dispatch_table_codes () = List.map fst handler_bindings
+
+let handle_event (ctx : Ctx.t) (event : Event.t) =
+  handler_table.(Event.code event) ctx event
 
 (* After an absorbed X error the tables may hold clients whose windows are
    already gone (the racing client destroyed them mid-operation).  Unmanage
@@ -720,15 +811,26 @@ let stats_tick (ctx : Ctx.t) =
    time cannot see.  An exception that escapes even Xguard dumps a crash
    report before propagating: the flight recorder's whole purpose is to
    still have the story when that happens. *)
+(* Per-kind dispatch constants, precomputed once so the hot loop never
+   allocates attr lists or concatenates labels. *)
+let span_attrs =
+  Array.init (Event.last_event + 1) (fun code ->
+      [ ("event", Event.name_of_code code) ])
+
+let dispatch_where =
+  Array.init (Event.last_event + 1) (fun code ->
+      "dispatch:" ^ Event.name_of_code code)
+
 let handle_event_timed (ctx : Ctx.t) event =
   let metrics = Server.metrics ctx.server in
   let tracer = Server.tracer ctx.server in
   let recorder = Server.recorder ctx.server in
-  let kind = Event.kind_name event in
+  let code = Event.code event in
+  let kind = Event.name_of_code code in
   if Recorder.enabled recorder then Recorder.record recorder ~kind:"event" kind;
-  Metrics.incr (Metrics.labeled_counter ctx.events_by_kind kind);
+  Metrics.incr ctx.dispatch_counters.(code);
   (if Tracing.enabled tracer then
-     Tracing.span tracer "wm.dispatch" ~attrs:[ ("event", kind) ]
+     Tracing.span tracer "wm.dispatch" ~attrs:span_attrs.(code)
    else fun f -> f ())
   @@ fun () ->
   (* The profiler's GC probe sits inside the wm.dispatch span: the span's
@@ -737,30 +839,34 @@ let handle_event_timed (ctx : Ctx.t) event =
   Profile.event_section (Server.profiler ctx.server)
   @@ fun () ->
   let t0 = Metrics.now_mono_ns () in
+  let c0 = Sys.time () in
   (match
-     Metrics.time_ns metrics "wm.dispatch_ns" (fun () ->
-         try
-           Xguard.protect ctx ~where:("dispatch:" ^ kind) (fun () ->
-               (* WM activity during dispatch is derived state, not session
-                  input: a replayed WM recomputes it, so it stays out of
-                  the journal (the WM's own conn is exempt; this covers
-                  conn-less calls like outline warps too). *)
-               Server.with_journal_suspended ctx.server (fun () ->
-                   handle_event ctx event))
-         with e ->
-           Recorder.crash recorder
-             ~reason:
-               (Printf.sprintf "unhandled exception dispatching %s: %s" kind
-                  (Printexc.to_string e))
-             ~metrics ~tracer;
-           raise e)
+     (try
+        Xguard.protect ctx ~where:dispatch_where.(code) (fun () ->
+            (* WM activity during dispatch is derived state, not session
+               input: a replayed WM recomputes it, so it stays out of
+               the journal (the WM's own conn is exempt; this covers
+               conn-less calls like outline warps too). *)
+            Server.with_journal_suspended ctx.server (fun () ->
+                handle_event ctx event))
+      with e ->
+        Recorder.crash recorder
+          ~reason:
+            (Printf.sprintf "unhandled exception dispatching %s: %s" kind
+               (Printexc.to_string e))
+          ~metrics ~tracer;
+        raise e)
    with
   | Some () -> ()
   | None -> sweep_dead ctx);
+  (* Both dispatch clocks land in preresolved histograms: CPU time
+     (dispatch_ns, "how much work") and monotonic wall time
+     (dispatch_wall_ns, "how long the loop stalled"). *)
+  Metrics.observe ctx.h_dispatch_ns (int_of_float ((Sys.time () -. c0) *. 1e9));
   let elapsed = Metrics.now_mono_ns () - t0 in
-  Metrics.observe (Metrics.histogram metrics "wm.dispatch_wall_ns") elapsed;
+  Metrics.observe ctx.h_dispatch_wall_ns elapsed;
   if elapsed >= ctx.watchdog_threshold_ns then begin
-    Metrics.incr (Metrics.counter metrics "watchdog.stalls");
+    Metrics.incr ctx.c_watchdog_stalls;
     let attrs =
       [ ("event", kind); ("dur_ns", string_of_int elapsed) ]
     in
@@ -768,7 +874,7 @@ let handle_event_timed (ctx : Ctx.t) event =
     if Recorder.enabled recorder then
       Recorder.record recorder ~kind:"stall" ~attrs kind
   end;
-  Metrics.incr (Metrics.counter metrics "wm.events_dispatched");
+  Metrics.incr ctx.c_events_dispatched;
   stats_tick ctx;
   autosave_tick ctx
 
@@ -939,6 +1045,33 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
           focus_policy = Ctx.Focus_none;
         })
   in
+  let metrics = Server.metrics server in
+  let events_by_kind = Metrics.counter_family metrics ~key:"event" "wm.dispatch.events" in
+  (* Resolve every per-event metric handle and atom once: dispatch then
+     touches only preresolved counters/histograms and compares ints. *)
+  let dispatch_counters =
+    Array.init (Event.last_event + 1) (fun code ->
+        Metrics.labeled_counter events_by_kind (Event.name_of_code code))
+  in
+  let atoms =
+    let i name = Server.intern_name server name in
+    {
+      Ctx.a_wm_name = i Prop.wm_name;
+      a_wm_icon_name = i Prop.wm_icon_name;
+      a_wm_class = i Prop.wm_class;
+      a_wm_command = i Prop.wm_command;
+      a_wm_client_machine = i Prop.wm_client_machine;
+      a_wm_hints = i Prop.wm_hints_name;
+      a_wm_normal_hints = i Prop.wm_normal_hints;
+      a_wm_state = i Prop.wm_state_name;
+      a_wm_transient_for = i Prop.wm_transient_for;
+      a_wm_protocols = i Prop.wm_protocols;
+      a_swm_root = i Prop.swm_root;
+      a_swm_command = i Prop.swm_command;
+      a_swm_places = i Prop.swm_places;
+      a_swm_result = i Prop.swm_result;
+    }
+  in
   let ctx =
     {
       Ctx.server;
@@ -965,9 +1098,13 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
       stats_interval = 32;
       stats_pending = 0;
       watchdog_threshold_ns = 50_000_000;
-      events_by_kind =
-        Metrics.counter_family (Server.metrics server) ~key:"event"
-          "wm.dispatch.events";
+      events_by_kind;
+      dispatch_counters;
+      h_dispatch_ns = Metrics.histogram metrics "wm.dispatch_ns";
+      h_dispatch_wall_ns = Metrics.histogram metrics "wm.dispatch_wall_ns";
+      c_events_dispatched = Metrics.counter metrics "wm.events_dispatched";
+      c_watchdog_stalls = Metrics.counter metrics "watchdog.stalls";
+      atoms;
       host;
       display;
     }

@@ -51,6 +51,12 @@ val shutdown : t -> unit
 (** Disconnect from the server; save-set windows are reparented back to the
     root (how clients survive a WM restart). *)
 
+val dispatch_table_codes : unit -> int list
+(** The event-kind codes the precomputed dispatch table explicitly binds
+    (in binding order).  The exhaustiveness test pins this against
+    [1 .. Event.last_event]: adding an event kind without routing it
+    through the table is a test failure, not a silent no-op. *)
+
 val render_screen : t -> screen:int -> string
 (** Character rendering of a screen, for tests and figures. *)
 

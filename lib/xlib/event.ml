@@ -101,26 +101,59 @@ let window_of = function
   | Expose { window; _ }
   | Client_message { window; _ } -> window
 
+(* Dense event-kind codes matching the wire event codes in
+   [Wire_codec.encode_event].  0 is reserved (X errors on the real
+   protocol); valid codes are 1..last_event, so handler tables are
+   [last_event + 1] entries with slot 0 unused. *)
+let code = function
+  | Map_request _ -> 1
+  | Configure_request _ -> 2
+  | Map_notify _ -> 3
+  | Unmap_notify _ -> 4
+  | Destroy_notify _ -> 5
+  | Reparent_notify _ -> 6
+  | Configure_notify _ -> 7
+  | Property_notify _ -> 8
+  | Button_press _ -> 9
+  | Button_release _ -> 10
+  | Key_press _ -> 11
+  | Motion_notify _ -> 12
+  | Enter_notify _ -> 13
+  | Leave_notify _ -> 14
+  | Expose _ -> 15
+  | Client_message _ -> 16
+  | Focus_in _ -> 17
+  | Focus_out _ -> 18
+
+let last_event = 18
+
+let code_names =
+  [|
+    "Unknown";
+    "MapRequest";
+    "ConfigureRequest";
+    "MapNotify";
+    "UnmapNotify";
+    "DestroyNotify";
+    "ReparentNotify";
+    "ConfigureNotify";
+    "PropertyNotify";
+    "ButtonPress";
+    "ButtonRelease";
+    "KeyPress";
+    "MotionNotify";
+    "EnterNotify";
+    "LeaveNotify";
+    "Expose";
+    "ClientMessage";
+    "FocusIn";
+    "FocusOut";
+  |]
+
+let name_of_code c = if c >= 1 && c <= last_event then code_names.(c) else "Unknown"
+
 (* Constant strings so tracing attributes allocate nothing per event. *)
-let kind_name = function
-  | Map_request _ -> "MapRequest"
-  | Configure_request _ -> "ConfigureRequest"
-  | Map_notify _ -> "MapNotify"
-  | Unmap_notify _ -> "UnmapNotify"
-  | Destroy_notify _ -> "DestroyNotify"
-  | Reparent_notify _ -> "ReparentNotify"
-  | Configure_notify _ -> "ConfigureNotify"
-  | Property_notify _ -> "PropertyNotify"
-  | Button_press _ -> "ButtonPress"
-  | Button_release _ -> "ButtonRelease"
-  | Key_press _ -> "KeyPress"
-  | Motion_notify _ -> "MotionNotify"
-  | Enter_notify _ -> "EnterNotify"
-  | Leave_notify _ -> "LeaveNotify"
-  | Focus_in _ -> "FocusIn"
-  | Focus_out _ -> "FocusOut"
-  | Expose _ -> "Expose"
-  | Client_message _ -> "ClientMessage"
+let kind_name t = code_names.(code t)
 
 let pp ppf event =
   match event with

@@ -84,6 +84,19 @@ type t =
 val window_of : t -> Xid.t
 (** The event window. *)
 
+val code : t -> int
+(** Dense per-kind code, identical to the wire event code used by
+    {!Wire_codec.encode_event}.  Ranges over [1 .. last_event]; 0 is
+    reserved.  Handler tables indexed by [code] need
+    [last_event + 1] slots. *)
+
+val last_event : int
+(** The highest value {!code} returns (18). *)
+
+val name_of_code : int -> string
+(** Protocol name for a kind code ("MapRequest", ...), ["Unknown"] for
+    out-of-range codes.  Constant strings; allocation-free. *)
+
 val kind_name : t -> string
 (** The X protocol name of the event's kind ("ButtonPress", "Expose", ...);
     a constant string, cheap enough for tracing attributes. *)

@@ -47,7 +47,7 @@ type window = {
   mutable label : string option;
   mutable art : string list option;
   mutable shape : Region.t option; (* window-interior coords *)
-  props : (string, Prop.value) Hashtbl.t;
+  props : (Atom.t, Prop.value) Hashtbl.t; (* keyed by interned name *)
   mutable selections : (int * Event.mask list) list; (* cid -> masks *)
   mutable owner : int;
 }
@@ -709,7 +709,7 @@ let disconnect server conn =
 let change_property server conn id ~name value =
   bump server;
   let window = lookup server id in
-  ignore (Atom.intern server.atom_table name);
+  let atom = Atom.intern server.atom_table name in
   (* Property fault site: a string write from an unprotected client may
      arrive garbled, so readers must survive malformed property bytes. *)
   let value =
@@ -731,11 +731,21 @@ let change_property server conn id ~name value =
         (Printf.sprintf "prop %s %d %s %s" (conn_key conn) (Xid.to_int id)
            (Wire_codec.to_hex name)
            (Wire_codec.to_hex (Prop.value_to_text v))));
-  Hashtbl.replace window.props name value;
+  Hashtbl.replace window.props atom value;
   notify server window Event.Property_change
     (Event.Property_notify { window = id; name; deleted = false })
 
-let get_property server id ~name = Hashtbl.find_opt (lookup server id).props name
+let get_property server id ~name =
+  let window = lookup server id in
+  match Atom.intern_existing server.atom_table name with
+  | None -> None
+  | Some atom -> Hashtbl.find_opt window.props atom
+
+(* The hot-path variant: callers holding an interned id (Ctx caches the
+   ICCCM atoms) skip the per-read string hash entirely. *)
+let get_property_atom server id atom = Hashtbl.find_opt (lookup server id).props atom
+let intern_name server name = Atom.intern server.atom_table name
+let interned server name = Atom.intern_existing server.atom_table name
 
 let append_string_property server conn id ~name line =
   let existing =
@@ -749,14 +759,17 @@ let delete_property server conn id ~name =
   bump server;
   journal_frame server conn (Wire_codec.Delete_property { window = id; name });
   let window = lookup server id in
-  if Hashtbl.mem window.props name then begin
-    Hashtbl.remove window.props name;
-    notify server window Event.Property_change
-      (Event.Property_notify { window = id; name; deleted = true })
-  end
+  match Atom.intern_existing server.atom_table name with
+  | Some atom when Hashtbl.mem window.props atom ->
+      Hashtbl.remove window.props atom;
+      notify server window Event.Property_change
+        (Event.Property_notify { window = id; name; deleted = true })
+  | Some _ | None -> ()
 
 let property_names server id =
-  Hashtbl.fold (fun name _ acc -> name :: acc) (lookup server id).props []
+  Hashtbl.fold
+    (fun atom _ acc -> Atom.name server.atom_table atom :: acc)
+    (lookup server id).props []
 
 (* -------- event selection and queues -------- *)
 

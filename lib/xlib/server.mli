@@ -168,6 +168,19 @@ val get_property : t -> Xid.t -> name:string -> Prop.value option
 val delete_property : t -> conn -> Xid.t -> name:string -> unit
 val property_names : t -> Xid.t -> string list
 
+(** Properties are stored keyed by interned atom; the [~name] API above
+    interns (or probes) per call.  Hot paths intern once and use the
+    atom-keyed variants. *)
+
+val intern_name : t -> string -> Atom.t
+(** Intern in this server's atom table (idempotent). *)
+
+val interned : t -> string -> Atom.t option
+(** The atom for [name] if it was ever interned, without creating it. *)
+
+val get_property_atom : t -> Xid.t -> Atom.t -> Prop.value option
+(** [get_property] without the per-read string hash/compare. *)
+
 (** {1 Events} *)
 
 val select_input : t -> conn -> Xid.t -> Event.mask list -> unit

@@ -8,11 +8,27 @@ include Wire_codec
 (* -------- traces -------- *)
 
 module Trace = struct
-  type t = { mutable items : request list (* newest first *) }
+  (* Count and encoded size are tracked incrementally in [record]:
+     [length]/[byte_size] are O(1) instead of O(n) list walks / full
+     re-encodes, so callers can poll them per event. *)
+  type t = {
+    mutable items : request list; (* newest first *)
+    mutable count : int;
+    mutable bytes : int;
+  }
 
-  let create () = { items = [] }
-  let record t req = t.items <- req :: t.items
-  let length t = List.length t.items
+  let sum_bytes reqs =
+    List.fold_left (fun acc req -> acc + encoded_request_size req) 0 reqs
+
+  let create () = { items = []; count = 0; bytes = 0 }
+
+  let record t req =
+    t.items <- req :: t.items;
+    t.count <- t.count + 1;
+    t.bytes <- t.bytes + encoded_request_size req
+
+  let length t = t.count
+  let byte_size t = t.bytes
   let requests t = List.rev t.items
 
   let to_bytes t =
@@ -20,14 +36,15 @@ module Trace = struct
     List.iter (fun req -> Buffer.add_string buf (encode_request req)) (requests t);
     Buffer.contents buf
 
-  let byte_size t = String.length (to_bytes t)
-
   let of_bytes s =
     match decode_requests s with
-    | Ok reqs -> Ok { items = List.rev reqs }
+    | Ok reqs ->
+        Ok { items = List.rev reqs; count = List.length reqs; bytes = sum_bytes reqs }
     | Error _ as e -> e
 
-  let compress t = { items = List.rev (compress_requests (requests t)) }
+  let compress t =
+    let reqs = compress_requests (requests t) in
+    { items = List.rev reqs; count = List.length reqs; bytes = sum_bytes reqs }
 
   let replay t server conn ~remap =
     (* Created windows get fresh server ids; recorded ids are mapped to the

@@ -45,12 +45,48 @@ val opcode : request -> int
 (** The wire opcode (1..16) — also the key of the per-opcode request
     counters in {!Server.metrics}. *)
 
+(** {1 Encode arena}
+
+    The hot-path encoders write into a reusable growable [Bytes] arena
+    with an explicit cursor — no per-frame [Buffer], no payload-then-
+    frame copy.  A caller owning an arena ({!Wire_conn} keeps one per
+    connection) encodes whole batches with a single allocation: the
+    final [contents] string.  Reuse is safe because a frame is fully
+    materialized before the arena is reset for the next one. *)
+
+module A : sig
+  type t
+
+  val create : int -> t
+  (** A fresh arena with at least [n] bytes of capacity. *)
+
+  val reset : t -> unit
+  val length : t -> int
+
+  val contents : t -> string
+  (** Copy of the bytes written so far — the only allocation on the
+      encode path. *)
+end
+
 val encode_request : request -> string
-(** X-framed bytes: 4-byte-aligned, length-prefixed. *)
+(** X-framed bytes: 4-byte-aligned, length-prefixed.  Encodes through a
+    domain-local scratch arena; allocates only the returned string. *)
+
+val encode_request_into : A.t -> request -> unit
+(** Append one framed request to the arena (single pass: header
+    reserved, payload written in place, length patched). *)
+
+val encoded_request_size : request -> int
+(** Exact byte length [encode_request] would produce, without encoding. *)
 
 val decode_request : string -> pos:int -> (request * int, string) result
 (** Decode one request starting at [pos]; returns it and the next
     position. *)
+
+val decode_request_cursor : string -> int ref -> (request, string) result
+(** Cursor-style variant: the caller owns the position cell and reuses
+    it across frames.  On [Ok] the cursor sits at the next frame; on
+    [Error] its value is meaningless. *)
 
 val decode_requests : string -> (request list, string) result
 
@@ -58,7 +94,12 @@ val encode_event : Event.t -> string
 (** A fixed 32-byte frame (strings that don't fit are truncated, as X
     events cannot carry arbitrary property data either). *)
 
+val encode_event_into : A.t -> Event.t -> unit
+(** Append one 32-byte event frame to the arena. *)
+
 val decode_event : string -> pos:int -> (Event.t * int, string) result
+
+val decode_event_cursor : string -> int ref -> (Event.t, string) result
 
 (** {1 Batched event frames}
 
@@ -70,6 +111,7 @@ val decode_event : string -> pos:int -> (Event.t * int, string) result
     [encode_batch (fst (decode_batch bytes)) = bytes]. *)
 
 val encode_batch : Event.t list -> string
+val encode_batch_into : A.t -> Event.t list -> unit
 val decode_batch : string -> pos:int -> (Event.t list * int, string) result
 
 (** {1 Compression}
@@ -113,6 +155,19 @@ module Trace : sig
   (** Re-issue the requests against a server, translating ids through
       [remap] (ids are server-allocated and differ across instances).
       Returns the number of requests applied; stops at the first error. *)
+end
+
+(** {1 Reference encoders}
+
+    The seed Buffer-based encoders, kept as the executable spec of the
+    byte format.  The arena-based hot-path encoders above are
+    property-tested byte-identical to these; journal hex and the repro
+    corpus are defined by this encoding. *)
+
+module Spec : sig
+  val encode_request : request -> string
+  val encode_event : Event.t -> string
+  val encode_batch : Event.t list -> string
 end
 
 (** {1 Hex framing} *)

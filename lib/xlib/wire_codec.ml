@@ -109,6 +109,81 @@ module R = struct
     end
 end
 
+(* A growable Bytes arena with an explicit cursor: the zero-copy encode
+   path.  One arena is reused across frames (per connection, or the
+   domain-local scratch below), so steady-state encoding allocates
+   nothing but the final [contents] string.  Reuse is safe because a
+   frame is always fully materialized (via [contents] / [sub_string])
+   before the arena is reset for the next one. *)
+module A = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create n = { buf = Bytes.create (max n 64); len = 0 }
+  let reset a = a.len <- 0
+  let length a = a.len
+
+  let ensure a extra =
+    let need = a.len + extra in
+    if need > Bytes.length a.buf then begin
+      let cap = ref (Bytes.length a.buf * 2) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit a.buf 0 bigger 0 a.len;
+      a.buf <- bigger
+    end
+
+  let u8 a v =
+    ensure a 1;
+    Bytes.unsafe_set a.buf a.len (Char.unsafe_chr (v land 0xff));
+    a.len <- a.len + 1
+
+  let u16 a v =
+    ensure a 2;
+    Bytes.unsafe_set a.buf a.len (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set a.buf (a.len + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    a.len <- a.len + 2
+
+  let u32 a v =
+    ensure a 4;
+    let b = a.buf and p = a.len in
+    Bytes.unsafe_set b p (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set b (p + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set b (p + 3) (Char.unsafe_chr ((v lsr 24) land 0xff));
+    a.len <- p + 4
+
+  (* Signed 32-bit two's complement. *)
+  let i32 a v = u32 a (v land 0xffffffff)
+
+  let string16 a s =
+    let n = String.length s in
+    u16 a n;
+    ensure a n;
+    Bytes.blit_string s 0 a.buf a.len n;
+    a.len <- a.len + n
+
+  (* Patch an already-written slot (length fields are reserved first,
+     filled once the payload size is known: the single-pass framing). *)
+  let patch_u16 a off v =
+    Bytes.unsafe_set a.buf off (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set a.buf (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+
+  let patch_u32 a off v =
+    patch_u16 a off (v land 0xffff);
+    patch_u16 a (off + 2) ((v lsr 16) land 0xffff)
+
+  let zero_fill_to a target =
+    if target > a.len then begin
+      ensure a (target - a.len);
+      Bytes.fill a.buf a.len (target - a.len) '\000';
+      a.len <- target
+    end
+
+  let contents a = Bytes.sub_string a.buf 0 a.len
+end
+
 (* -------- request framing -------- *)
 
 let opcode = function
@@ -219,18 +294,120 @@ let write_payload buf = function
       W.u16 buf (List.length rects);
       List.iter (write_rect buf) rects
 
-let encode_request req =
-  let payload = Buffer.create 32 in
-  write_payload payload req;
-  let frame = Buffer.create (Buffer.length payload + 4) in
-  W.u8 frame (opcode req);
-  W.u8 frame 0;
-  let total = 4 + Buffer.length payload in
+(* Arena mirrors of the Buffer writers above: the hot path.  The Buffer
+   versions remain as the executable spec (module [Spec] below); qcheck
+   asserts byte-identity between the two. *)
+
+let write_rect_a a (r : Geom.rect) =
+  A.i32 a r.x;
+  A.i32 a r.y;
+  A.u32 a r.w;
+  A.u32 a r.h
+
+let write_payload_a a = function
+  | Create_window { wid; parent; geom; border; override_redirect } ->
+      A.u32 a (Xid.to_int wid);
+      A.u32 a (Xid.to_int parent);
+      write_rect_a a geom;
+      A.u16 a border;
+      A.u8 a (if override_redirect then 1 else 0)
+  | Destroy_window w | Map_window w | Unmap_window w | Grab_pointer w
+  | Set_input_focus w | Add_to_save_set w | Remove_from_save_set w ->
+      A.u32 a (Xid.to_int w)
+  | Ungrab_pointer -> ()
+  | Configure_window (w, changes) ->
+      A.u32 a (Xid.to_int w);
+      let bit i = function Some _ -> 1 lsl i | None -> 0 in
+      let present =
+        bit 0 changes.cx lor bit 1 changes.cy lor bit 2 changes.cw
+        lor bit 3 changes.ch lor bit 4 changes.cborder lor bit 5 changes.cstack
+        lor bit 6 changes.csibling
+      in
+      A.u16 a present;
+      let field = function Some v -> A.i32 a v | None -> () in
+      field changes.cx;
+      field changes.cy;
+      field changes.cw;
+      field changes.ch;
+      field changes.cborder;
+      (match changes.cstack with
+      | Some Event.Above -> A.u8 a 0
+      | Some Event.Below -> A.u8 a 1
+      | None -> ());
+      (match changes.csibling with
+      | Some s -> A.u32 a (Xid.to_int s)
+      | None -> ())
+  | Reparent_window { window; parent; pos } ->
+      A.u32 a (Xid.to_int window);
+      A.u32 a (Xid.to_int parent);
+      A.i32 a pos.Geom.px;
+      A.i32 a pos.Geom.py
+  | Change_property { window; name; value } ->
+      A.u32 a (Xid.to_int window);
+      A.string16 a name;
+      A.string16 a value
+  | Delete_property { window; name } ->
+      A.u32 a (Xid.to_int window);
+      A.string16 a name
+  | Select_input { window; masks } ->
+      A.u32 a (Xid.to_int window);
+      A.u16 a (encode_masks masks)
+  | Warp_pointer p ->
+      A.i32 a p.Geom.px;
+      A.i32 a p.Geom.py
+  | Shape_rectangles { window; rects } ->
+      A.u32 a (Xid.to_int window);
+      A.u16 a (List.length rects);
+      List.iter (write_rect_a a) rects
+
+(* Single-pass framing: reserve the 4-byte header, write the payload in
+   place, then patch the length and zero-pad to the 4-byte boundary.  No
+   intermediate payload buffer, no copy. *)
+let encode_request_into a req =
+  let start = A.length a in
+  A.u8 a (opcode req);
+  A.u8 a 0;
+  A.u16 a 0;
+  write_payload_a a req;
+  let total = A.length a - start in
   let padded = (total + 3) / 4 in
-  W.u16 frame padded;
-  Buffer.add_buffer frame payload;
-  W.pad4 frame;
-  Buffer.contents frame
+  A.patch_u16 a (start + 2) padded;
+  A.zero_fill_to a (start + (padded * 4))
+
+(* Exact encoded payload size, kept in sync with [write_payload_a]
+   (byte_size agreement is pinned by the trace round-trip tests), so
+   trace accounting never has to materialize frames. *)
+let payload_size = function
+  | Create_window _ -> 27
+  | Destroy_window _ | Map_window _ | Unmap_window _ | Grab_pointer _
+  | Set_input_focus _ | Add_to_save_set _ | Remove_from_save_set _ ->
+      4
+  | Ungrab_pointer -> 0
+  | Configure_window (_, c) ->
+      let opt n = function Some _ -> n | None -> 0 in
+      6 + opt 4 c.cx + opt 4 c.cy + opt 4 c.cw + opt 4 c.ch + opt 4 c.cborder
+      + opt 1 c.cstack + opt 4 c.csibling
+  | Reparent_window _ -> 16
+  | Change_property { name; value; _ } ->
+      8 + String.length name + String.length value
+  | Delete_property { name; _ } -> 6 + String.length name
+  | Select_input _ -> 6
+  | Warp_pointer _ -> 8
+  | Shape_rectangles { rects; _ } -> 6 + (16 * List.length rects)
+
+let encoded_request_size req = (4 + payload_size req + 3) / 4 * 4
+
+(* Domain-local scratch arena for the string-returning entry points, so
+   they stay allocation-flat without threading an arena everywhere.
+   Domain-local (not global) so a future domain-per-shard deployment
+   needs no locking. *)
+let scratch_key = Domain.DLS.new_key (fun () -> A.create 4096)
+
+let encode_request req =
+  let a = Domain.DLS.get scratch_key in
+  A.reset a;
+  encode_request_into a req;
+  A.contents a
 
 let read_payload s pos code =
   let xid () = Xid.of_int (R.u32 s pos) in
@@ -298,9 +475,13 @@ let read_payload s pos code =
   | 16 -> Remove_from_save_set (xid ())
   | other -> failwith (Printf.sprintf "unknown opcode %d" other)
 
-let decode_request s ~pos =
+(* Cursor-style decode: the caller owns the position cell, so a consumer
+   draining a stream (Wire_conn) reuses one cursor for every frame
+   instead of allocating a fresh ref per frame.  On [Ok] the cursor sits
+   at the start of the next frame; on [Error] its value is meaningless. *)
+let decode_request_cursor s cursor =
+  let pos = !cursor in
   try
-    let cursor = ref pos in
     let code = R.u8 s cursor in
     let _pad = R.u8 s cursor in
     let units = R.u16 s cursor in
@@ -310,12 +491,19 @@ let decode_request s ~pos =
       if frame_end > String.length s then Error "truncated frame"
       else begin
         let req = read_payload s cursor code in
-        Ok (req, frame_end)
+        cursor := frame_end;
+        Ok req
       end
     end
   with
   | R.Short -> Error "short read"
   | Failure msg -> Error msg
+
+let decode_request s ~pos =
+  let cursor = ref pos in
+  match decode_request_cursor s cursor with
+  | Ok req -> Ok (req, !cursor)
+  | Error _ as e -> e
 
 let decode_requests s =
   let rec loop acc pos =
@@ -346,116 +534,217 @@ let fixed_string buf n s =
     W.u8 buf 0
   done
 
+(* Scan for the terminating NUL in place; one [String.sub] for the
+   result, no intermediate copy of the raw field. *)
 let read_fixed_string s pos n =
-  let raw = String.sub s !pos n in
-  pos := !pos + n;
-  match String.index_opt raw '\000' with
-  | Some i -> String.sub raw 0 i
-  | None -> raw
+  let start = !pos in
+  let limit = start + n in
+  if limit > String.length s then invalid_arg "read_fixed_string";
+  let rec scan i = if i >= limit || s.[i] = '\000' then i else scan (i + 1) in
+  let stop = scan start in
+  pos := limit;
+  String.sub s start (stop - start)
 
-let encode_event (event : Event.t) =
-  let xid buf id = W.u32 buf (Xid.to_int id) in
-  let point buf (p : Geom.point) =
-    W.i32 buf p.px;
-    W.i32 buf p.py
-  in
-  let mods buf (m : Keysym.modifiers) =
-    W.u8 buf
-      ((if m.shift then 1 else 0)
-      lor (if m.control then 2 else 0)
-      lor if m.meta then 4 else 0)
-  in
+(* Arena mirror of [fixed_string]: truncate to [n - 1] bytes, zero-pad
+   to [n] so at least one NUL terminates the field. *)
+let a_fixed_string a n s =
+  let k = min (String.length s) (n - 1) in
+  A.ensure a n;
+  Bytes.blit_string s 0 a.A.buf a.A.len k;
+  Bytes.fill a.A.buf (a.A.len + k) (n - k) '\000';
+  a.A.len <- a.A.len + n
+
+(* Top-level (not per-call closures) so encoding an event allocates
+   nothing beyond the arena it writes into. *)
+let a_xid a id = A.u32 a (Xid.to_int id)
+
+let a_point a (p : Geom.point) =
+  A.i32 a p.px;
+  A.i32 a p.py
+
+let a_mods a (m : Keysym.modifiers) =
+  A.u8 a
+    ((if m.shift then 1 else 0)
+    lor (if m.control then 2 else 0)
+    lor if m.meta then 4 else 0)
+
+(* Position-addressed writers for pre-[ensure]d, pre-zeroed fixed frames:
+   no per-field bounds check, no cursor update.  Field offsets below are
+   pinned byte-for-byte against [Spec.encode_event] by the hotpath qcheck
+   suite. *)
+let raw_u8 b p v = Bytes.unsafe_set b p (Char.unsafe_chr (v land 0xff))
+
+let raw_u16 b p v =
+  Bytes.unsafe_set b p (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+
+let raw_u32 b p v =
+  Bytes.unsafe_set b p (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (p + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (p + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let raw_i32 b p v = raw_u32 b p (v land 0xffffffff)
+let raw_xid b p id = raw_u32 b p (Xid.to_int id)
+
+let raw_point b p (pt : Geom.point) =
+  raw_i32 b p pt.px;
+  raw_i32 b (p + 4) pt.py
+
+let raw_rect b p (r : Geom.rect) =
+  raw_i32 b p r.x;
+  raw_i32 b (p + 4) r.y;
+  raw_u32 b (p + 8) r.w;
+  raw_u32 b (p + 12) r.h
+
+let raw_mods b p (m : Keysym.modifiers) =
+  raw_u8 b p
+    ((if m.shift then 1 else 0)
+    lor (if m.control then 2 else 0)
+    lor if m.meta then 4 else 0)
+
+(* Into a pre-zeroed [n]-byte field: blit at most [n - 1] bytes, the
+   terminating NUL(s) are already in place. *)
+let raw_fixed_string b p n s =
+  Bytes.blit_string s 0 b p (min (String.length s) (n - 1))
+
+(* Write one 32-byte event frame into the arena, byte-identical to the
+   Buffer-based [Spec.encode_event].  Every kind except Configure_request
+   has a fixed layout, so the frame is reserved and zeroed once and the
+   fields land at precomputed offsets — one bounds check per event
+   instead of one per field.  Configure_request reuses the variable-size
+   request payload writer and is clamped back to the 32-byte frame
+   (truncating a payload that can reach 40 bytes). *)
+let encode_event_into a (event : Event.t) =
   match event with
-  | Event.Map_request { window; parent } ->
-      event_frame 1 (fun b ->
-          xid b window;
-          xid b parent)
   | Event.Configure_request { window; parent; changes } ->
-      (* Re-use the request encoding for the changes, truncated if huge. *)
-      event_frame 2 (fun b ->
-          xid b window;
-          xid b parent;
-          write_payload b (Configure_window (window, changes)))
-  | Event.Map_notify { window } -> event_frame 3 (fun b -> xid b window)
-  | Event.Unmap_notify { window } -> event_frame 4 (fun b -> xid b window)
-  | Event.Destroy_notify { window } -> event_frame 5 (fun b -> xid b window)
-  | Event.Reparent_notify { window; parent; pos } ->
-      event_frame 6 (fun b ->
-          xid b window;
-          xid b parent;
-          point b pos)
-  | Event.Configure_notify { window; geom; border; synthetic } ->
-      event_frame 7 (fun b ->
-          xid b window;
-          write_rect b geom;
-          W.u16 b border;
-          W.u8 b (if synthetic then 1 else 0))
-  | Event.Property_notify { window; name; deleted } ->
-      event_frame 8 (fun b ->
-          xid b window;
-          W.u8 b (if deleted then 1 else 0);
-          fixed_string b 23 name)
-  | Event.Button_press { window; button; mods = m; pos; root_pos } ->
-      event_frame 9 (fun b ->
-          xid b window;
-          W.u8 b button;
-          mods b m;
-          point b pos;
-          point b root_pos)
-  | Event.Button_release { window; button; mods = m; pos; root_pos } ->
-      event_frame 10 (fun b ->
-          xid b window;
-          W.u8 b button;
-          mods b m;
-          point b pos;
-          point b root_pos)
-  | Event.Key_press { window; keysym; mods = m; pos; root_pos } ->
-      event_frame 11 (fun b ->
-          xid b window;
-          mods b m;
-          point b pos;
-          point b root_pos;
-          fixed_string b 6 keysym)
-  | Event.Motion_notify { window; pos; root_pos } ->
-      event_frame 12 (fun b ->
-          xid b window;
-          point b pos;
-          point b root_pos)
-  | Event.Enter_notify { window } -> event_frame 13 (fun b -> xid b window)
-  | Event.Leave_notify { window } -> event_frame 14 (fun b -> xid b window)
-  | Event.Focus_in { window } -> event_frame 17 (fun b -> xid b window)
-  | Event.Focus_out { window } -> event_frame 18 (fun b -> xid b window)
-  | Event.Expose { window; damage } ->
-      event_frame 15 (fun b ->
-          xid b window;
+      let start = A.length a in
+      A.u8 a 2;
+      a_xid a window;
+      a_xid a parent;
+      write_payload_a a (Configure_window (window, changes));
+      if A.length a > start + 32 then a.A.len <- start + 32
+      else A.zero_fill_to a (start + 32)
+  | event ->
+      let start = A.length a in
+      A.ensure a 32;
+      let b = a.A.buf in
+      Bytes.fill b start 32 '\000';
+      (match event with
+      | Event.Configure_request _ -> () (* handled above *)
+      | Event.Map_request { window; parent } ->
+          raw_u8 b start 1;
+          raw_xid b (start + 1) window;
+          raw_xid b (start + 5) parent
+      | Event.Map_notify { window } ->
+          raw_u8 b start 3;
+          raw_xid b (start + 1) window
+      | Event.Unmap_notify { window } ->
+          raw_u8 b start 4;
+          raw_xid b (start + 1) window
+      | Event.Destroy_notify { window } ->
+          raw_u8 b start 5;
+          raw_xid b (start + 1) window
+      | Event.Reparent_notify { window; parent; pos } ->
+          raw_u8 b start 6;
+          raw_xid b (start + 1) window;
+          raw_xid b (start + 5) parent;
+          raw_point b (start + 9) pos
+      | Event.Configure_notify { window; geom; border; synthetic } ->
+          raw_u8 b start 7;
+          raw_xid b (start + 1) window;
+          raw_rect b (start + 5) geom;
+          raw_u16 b (start + 21) border;
+          raw_u8 b (start + 23) (if synthetic then 1 else 0)
+      | Event.Property_notify { window; name; deleted } ->
+          raw_u8 b start 8;
+          raw_xid b (start + 1) window;
+          raw_u8 b (start + 5) (if deleted then 1 else 0);
+          raw_fixed_string b (start + 6) 23 name
+      | Event.Button_press { window; button; mods = m; pos; root_pos } ->
+          raw_u8 b start 9;
+          raw_xid b (start + 1) window;
+          raw_u8 b (start + 5) button;
+          raw_mods b (start + 6) m;
+          raw_point b (start + 7) pos;
+          raw_point b (start + 15) root_pos
+      | Event.Button_release { window; button; mods = m; pos; root_pos } ->
+          raw_u8 b start 10;
+          raw_xid b (start + 1) window;
+          raw_u8 b (start + 5) button;
+          raw_mods b (start + 6) m;
+          raw_point b (start + 7) pos;
+          raw_point b (start + 15) root_pos
+      | Event.Key_press { window; keysym; mods = m; pos; root_pos } ->
+          raw_u8 b start 11;
+          raw_xid b (start + 1) window;
+          raw_mods b (start + 5) m;
+          raw_point b (start + 6) pos;
+          raw_point b (start + 14) root_pos;
+          raw_fixed_string b (start + 22) 6 keysym
+      | Event.Motion_notify { window; pos; root_pos } ->
+          raw_u8 b start 12;
+          raw_xid b (start + 1) window;
+          raw_point b (start + 5) pos;
+          raw_point b (start + 13) root_pos
+      | Event.Enter_notify { window } ->
+          raw_u8 b start 13;
+          raw_xid b (start + 1) window
+      | Event.Leave_notify { window } ->
+          raw_u8 b start 14;
+          raw_xid b (start + 1) window
+      | Event.Focus_in { window } ->
+          raw_u8 b start 17;
+          raw_xid b (start + 1) window
+      | Event.Focus_out { window } ->
+          raw_u8 b start 18;
+          raw_xid b (start + 1) window
+      | Event.Expose { window; damage } -> (
+          raw_u8 b start 15;
+          raw_xid b (start + 1) window;
           match damage with
-          | None -> W.u8 b 0
+          | None -> ()
           | Some r ->
-              W.u8 b 1;
-              write_rect b r)
-  | Event.Client_message { window; name; data } ->
-      event_frame 16 (fun b ->
-          xid b window;
-          fixed_string b 13 name;
-          fixed_string b 14 data)
+              raw_u8 b (start + 5) 1;
+              raw_rect b (start + 6) r)
+      | Event.Client_message { window; name; data } ->
+          raw_u8 b start 16;
+          raw_xid b (start + 1) window;
+          raw_fixed_string b (start + 5) 13 name;
+          raw_fixed_string b (start + 18) 14 data);
+      a.A.len <- start + 32
 
-let decode_event s ~pos =
+let encode_event event =
+  let a = Domain.DLS.get scratch_key in
+  A.reset a;
+  encode_event_into a event;
+  A.contents a
+
+(* Field readers at top level so decoding an event allocates only the
+   decoded value itself, not a closure set per frame. *)
+let r_xid s cursor = Xid.of_int (R.u32 s cursor)
+
+let r_point s cursor =
+  let x = R.i32 s cursor in
+  let y = R.i32 s cursor in
+  Geom.point x y
+
+let r_mods s cursor =
+  let bits = R.u8 s cursor in
+  Keysym.mods ~shift:(bits land 1 <> 0) ~control:(bits land 2 <> 0)
+    ~meta:(bits land 4 <> 0) ()
+
+(* Cursor-style decode of one fixed 32-byte event frame; on [Ok] the
+   cursor sits on the next frame. *)
+let decode_event_cursor s cursor =
+  let pos = !cursor in
   try
     if pos + 32 > String.length s then Error "short event frame"
     else begin
-      let cursor = ref pos in
       let code = R.u8 s cursor in
-      let xid () = Xid.of_int (R.u32 s cursor) in
-      let point () =
-        let x = R.i32 s cursor in
-        let y = R.i32 s cursor in
-        Geom.point x y
-      in
-      let mods () =
-        let bits = R.u8 s cursor in
-        Keysym.mods ~shift:(bits land 1 <> 0) ~control:(bits land 2 <> 0)
-          ~meta:(bits land 4 <> 0) ()
-      in
+      let xid () = r_xid s cursor in
+      let point () = r_point s cursor in
+      let mods () = r_mods s cursor in
       let event =
         match code with
         | 1 ->
@@ -549,12 +838,19 @@ let decode_event s ~pos =
             Event.Client_message { window; name; data }
         | other -> failwith (Printf.sprintf "unknown event code %d" other)
       in
-      Ok (event, pos + 32)
+      cursor := pos + 32;
+      Ok event
     end
   with
   | R.Short -> Error "short read"
   | Failure msg -> Error msg
   | Invalid_argument _ -> Error "short event frame"
+
+let decode_event s ~pos =
+  let cursor = ref pos in
+  match decode_event_cursor s cursor with
+  | Ok event -> Ok (event, !cursor)
+  | Error _ as e -> e
 
 (* -------- batched event frames -------- *)
 
@@ -566,16 +862,25 @@ let decode_event s ~pos =
 
 let batch_code = 0xeb
 
+(* Single-pass batch framing: reserve the 8-byte header, append each
+   32-byte event frame directly into the arena, patch count and payload
+   size.  No per-event intermediate strings, no payload buffer. *)
+let encode_batch_into a events =
+  let start = A.length a in
+  A.u8 a batch_code;
+  A.u8 a 0;
+  A.u16 a 0;
+  A.u32 a 0;
+  List.iter (encode_event_into a) events;
+  let payload = A.length a - start - 8 in
+  A.patch_u16 a (start + 2) (payload / 32);
+  A.patch_u32 a (start + 4) payload
+
 let encode_batch events =
-  let payload = Buffer.create (32 * List.length events) in
-  List.iter (fun event -> Buffer.add_string payload (encode_event event)) events;
-  let frame = Buffer.create (Buffer.length payload + 8) in
-  W.u8 frame batch_code;
-  W.u8 frame 0;
-  W.u16 frame (List.length events);
-  W.u32 frame (Buffer.length payload);
-  Buffer.add_buffer frame payload;
-  Buffer.contents frame
+  let a = Domain.DLS.get scratch_key in
+  A.reset a;
+  encode_batch_into a events;
+  A.contents a
 
 let decode_batch s ~pos =
   try
@@ -681,15 +986,141 @@ let compress_requests requests =
   fold [] requests
 
 
+(* -------- executable spec --------
+
+   The seed Buffer-based encoders, kept verbatim as the reference
+   implementation.  The arena encoders above are required (and
+   qcheck-tested) to be byte-identical to these; anything byte-level —
+   journal hex, repro corpus, batch replayability — is defined by this
+   module. *)
+
+module Spec = struct
+  let encode_request req =
+    let payload = Buffer.create 32 in
+    write_payload payload req;
+    let frame = Buffer.create (Buffer.length payload + 4) in
+    W.u8 frame (opcode req);
+    W.u8 frame 0;
+    let total = 4 + Buffer.length payload in
+    let padded = (total + 3) / 4 in
+    W.u16 frame padded;
+    Buffer.add_buffer frame payload;
+    W.pad4 frame;
+    Buffer.contents frame
+
+  let encode_event (event : Event.t) =
+    let xid buf id = W.u32 buf (Xid.to_int id) in
+    let point buf (p : Geom.point) =
+      W.i32 buf p.px;
+      W.i32 buf p.py
+    in
+    let mods buf (m : Keysym.modifiers) =
+      W.u8 buf
+        ((if m.shift then 1 else 0)
+        lor (if m.control then 2 else 0)
+        lor if m.meta then 4 else 0)
+    in
+    match event with
+    | Event.Map_request { window; parent } ->
+        event_frame 1 (fun b ->
+            xid b window;
+            xid b parent)
+    | Event.Configure_request { window; parent; changes } ->
+        event_frame 2 (fun b ->
+            xid b window;
+            xid b parent;
+            write_payload b (Configure_window (window, changes)))
+    | Event.Map_notify { window } -> event_frame 3 (fun b -> xid b window)
+    | Event.Unmap_notify { window } -> event_frame 4 (fun b -> xid b window)
+    | Event.Destroy_notify { window } -> event_frame 5 (fun b -> xid b window)
+    | Event.Reparent_notify { window; parent; pos } ->
+        event_frame 6 (fun b ->
+            xid b window;
+            xid b parent;
+            point b pos)
+    | Event.Configure_notify { window; geom; border; synthetic } ->
+        event_frame 7 (fun b ->
+            xid b window;
+            write_rect b geom;
+            W.u16 b border;
+            W.u8 b (if synthetic then 1 else 0))
+    | Event.Property_notify { window; name; deleted } ->
+        event_frame 8 (fun b ->
+            xid b window;
+            W.u8 b (if deleted then 1 else 0);
+            fixed_string b 23 name)
+    | Event.Button_press { window; button; mods = m; pos; root_pos } ->
+        event_frame 9 (fun b ->
+            xid b window;
+            W.u8 b button;
+            mods b m;
+            point b pos;
+            point b root_pos)
+    | Event.Button_release { window; button; mods = m; pos; root_pos } ->
+        event_frame 10 (fun b ->
+            xid b window;
+            W.u8 b button;
+            mods b m;
+            point b pos;
+            point b root_pos)
+    | Event.Key_press { window; keysym; mods = m; pos; root_pos } ->
+        event_frame 11 (fun b ->
+            xid b window;
+            mods b m;
+            point b pos;
+            point b root_pos;
+            fixed_string b 6 keysym)
+    | Event.Motion_notify { window; pos; root_pos } ->
+        event_frame 12 (fun b ->
+            xid b window;
+            point b pos;
+            point b root_pos)
+    | Event.Enter_notify { window } -> event_frame 13 (fun b -> xid b window)
+    | Event.Leave_notify { window } -> event_frame 14 (fun b -> xid b window)
+    | Event.Focus_in { window } -> event_frame 17 (fun b -> xid b window)
+    | Event.Focus_out { window } -> event_frame 18 (fun b -> xid b window)
+    | Event.Expose { window; damage } ->
+        event_frame 15 (fun b ->
+            xid b window;
+            match damage with
+            | None -> W.u8 b 0
+            | Some r ->
+                W.u8 b 1;
+                write_rect b r)
+    | Event.Client_message { window; name; data } ->
+        event_frame 16 (fun b ->
+            xid b window;
+            fixed_string b 13 name;
+            fixed_string b 14 data)
+
+  let encode_batch events =
+    let payload = Buffer.create (32 * List.length events) in
+    List.iter (fun event -> Buffer.add_string payload (encode_event event)) events;
+    let frame = Buffer.create (Buffer.length payload + 8) in
+    W.u8 frame batch_code;
+    W.u8 frame 0;
+    W.u16 frame (List.length events);
+    W.u32 frame (Buffer.length payload);
+    Buffer.add_buffer frame payload;
+    Buffer.contents frame
+end
+
 (* -------- hex framing --------
 
    The replay journal stores wire frames as lowercase hex so they survive
    a trip through JSON (and human eyes) unharmed. *)
 
+let hex_digits = "0123456789abcdef"
+
 let to_hex s =
-  let buf = Buffer.create (2 * String.length s) in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
-  Buffer.contents buf
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1) (String.unsafe_get hex_digits (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
 
 let of_hex s =
   let n = String.length s in

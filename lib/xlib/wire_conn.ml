@@ -12,6 +12,8 @@ type t = {
   profiler : Profile.t;
   sec_decode : Profile.section; (* gc.minor_words.wire.decode *)
   sec_encode : Profile.section; (* gc.minor_words.wire.encode *)
+  enc : Wire.A.t; (* reusable encode arena: one per connection *)
+  dec_cursor : int ref; (* reusable decode cursor: one per connection *)
 }
 
 type submit_error = { executed : int; error : string }
@@ -42,6 +44,8 @@ let create server ~name =
       profiler;
       sec_decode = Profile.section profiler "wire.decode";
       sec_encode = Profile.section profiler "wire.encode";
+      enc = Wire.A.create 4096;
+      dec_cursor = ref 0;
     }
   in
   for screen = 0 to Server.screen_count server - 1 do
@@ -172,21 +176,25 @@ let submit_bytes t bytes =
     Metrics.incr t.m_rejected;
     Error { executed = count; error = msg }
   in
-  let rec loop count pos =
-    if pos >= String.length bytes then Ok count
+  (* One cached cursor decodes every frame in the stream — no per-frame
+     position cells. *)
+  let cursor = t.dec_cursor in
+  cursor := 0;
+  let rec loop count =
+    if !cursor >= String.length bytes then Ok count
     else
-      match Wire.decode_request bytes ~pos with
+      match Wire.decode_request_cursor bytes cursor with
       | Error msg -> fail count msg
-      | Ok (req, next) -> (
+      | Ok req -> (
           match execute t req with
-          | () -> loop (count + 1) next
+          | () -> loop (count + 1)
           | exception Wire_error msg -> fail count msg
           | exception Server.Bad_window id ->
               fail count (Format.asprintf "BadWindow %a" Xid.pp id)
           | exception Server.Bad_access msg -> fail count ("BadAccess: " ^ msg)
           | exception Invalid_argument msg -> fail count msg)
   in
-  loop 0 0
+  loop 0
 
 let submit t req =
   match submit_bytes t (Wire.encode_request req) with
@@ -220,12 +228,12 @@ let translate_event t (event : Event.t) : Event.t =
   | Event.Client_message r -> Event.Client_message { r with window = c r.window }
 
 let drain_event_bytes t =
-  let buf = Buffer.create 128 in
+  let a = t.enc in
+  Wire.A.reset a;
   List.iter
-    (fun event ->
-      Buffer.add_string buf (Wire.encode_event (translate_event t event)))
+    (fun event -> Wire.encode_event_into a (translate_event t event))
     (Server.drain_events t.sconn);
-  let bytes = Buffer.contents buf in
+  let bytes = Wire.A.contents a in
   t.received <- t.received + String.length bytes;
   bytes
 
@@ -240,6 +248,9 @@ let flush_batch_bytes t =
   | [] -> ""
   | events ->
       let events = Wire.compress_events (List.map (translate_event t) events) in
-      let bytes = Wire.encode_batch events in
+      let a = t.enc in
+      Wire.A.reset a;
+      Wire.encode_batch_into a events;
+      let bytes = Wire.A.contents a in
       t.received <- t.received + String.length bytes;
       bytes

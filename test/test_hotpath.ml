@@ -1,0 +1,403 @@
+(* Hot-path suite: the arena codec must be byte-identical to the retained
+   [Wire.Spec] (Buffer-based) encoders on arbitrary request/event streams,
+   decode must round-trip what encode produces, rejected frames must keep
+   feeding [wire.rejected_frames] through the cursor-based batch decoder,
+   the dispatch table must bind every event kind, and the committed repro
+   corpus must stay hex-canonical under the new codec. *)
+
+module Wire = Swm_xlib.Wire
+module Server = Swm_xlib.Server
+module Wire_conn = Swm_xlib.Wire_conn
+module Metrics = Swm_xlib.Metrics
+module Replay = Swm_xlib.Replay
+module Geom = Swm_xlib.Geom
+module Xid = Swm_xlib.Xid
+module Event = Swm_xlib.Event
+module Keysym = Swm_xlib.Keysym
+module Wm = Swm_core.Wm
+
+let check = Alcotest.check
+
+(* -------- generators -------- *)
+
+let xid_gen = QCheck2.Gen.(map Xid.of_int (int_range 1 100000))
+
+let rect_gen =
+  QCheck2.Gen.(
+    map
+      (fun (x, y, w, h) -> Geom.rect x y (w + 1) (h + 1))
+      (quad (int_range (-3000) 3000) (int_range (-3000) 3000) (int_range 0 5000)
+         (int_range 0 5000)))
+
+let point_gen =
+  QCheck2.Gen.(
+    map (fun (x, y) -> Geom.point x y)
+      (pair (int_range (-3000) 3000) (int_range (-3000) 3000)))
+
+let name_gen =
+  QCheck2.Gen.oneofl
+    [ "WM_NAME"; "WM_CLASS"; "WM_NORMAL_HINTS"; "SWM_ROOT"; "SWM_COMMAND"; "X"; "" ]
+
+let mods_gen =
+  QCheck2.Gen.oneofl
+    [
+      Keysym.no_mods;
+      Keysym.mods ~shift:true ();
+      Keysym.mods ~control:true ();
+      Keysym.mods ~meta:true ();
+      Keysym.mods ~shift:true ~meta:true ();
+    ]
+
+(* Every optional field independently present, so this reaches all 128
+   present-bit combinations — including the 40-byte worst case that the
+   event framer truncates. *)
+let changes_gen =
+  QCheck2.Gen.(
+    let opt g = oneof [ return None; map Option.some g ] in
+    map
+      (fun ((cx, cy, cw), (ch, cborder, (cstack, csibling))) ->
+        { Event.cx; cy; cw; ch; cborder; cstack; csibling })
+      (pair
+         (triple (opt (int_range (-500) 500)) (opt (int_range (-500) 500))
+            (opt (int_range 1 500)))
+         (triple (opt (int_range 1 500)) (opt (int_range 0 20))
+            (pair (opt (oneofl [ Event.Above; Event.Below ])) (opt xid_gen)))))
+
+(* All 16 request constructors. *)
+let request_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map
+        (fun (((wid, parent), geom), (border, ovr)) ->
+          Wire.Create_window { wid; parent; geom; border; override_redirect = ovr })
+        (pair (pair (pair xid_gen xid_gen) rect_gen) (pair (int_range 0 9) bool));
+      map (fun w -> Wire.Destroy_window w) xid_gen;
+      map (fun w -> Wire.Map_window w) xid_gen;
+      map (fun w -> Wire.Unmap_window w) xid_gen;
+      map (fun (w, c) -> Wire.Configure_window (w, c)) (pair xid_gen changes_gen);
+      map
+        (fun ((window, parent), pos) -> Wire.Reparent_window { window; parent; pos })
+        (pair (pair xid_gen xid_gen) point_gen);
+      map
+        (fun (w, (n, v)) -> Wire.Change_property { window = w; name = n; value = v })
+        (pair xid_gen (pair name_gen (small_string ~gen:printable)));
+      map
+        (fun (w, n) -> Wire.Delete_property { window = w; name = n })
+        (pair xid_gen name_gen);
+      map
+        (fun (w, bits) ->
+          Wire.Select_input
+            {
+              window = w;
+              masks =
+                List.filteri
+                  (fun i _ -> bits land (1 lsl i) <> 0)
+                  [
+                    Event.Substructure_redirect; Event.Structure_notify;
+                    Event.Property_change; Event.Button_press_mask;
+                    Event.Pointer_motion_mask; Event.Exposure_mask;
+                  ];
+            })
+        (pair xid_gen (int_range 0 63));
+      map (fun w -> Wire.Grab_pointer w) xid_gen;
+      return Wire.Ungrab_pointer;
+      map (fun p -> Wire.Warp_pointer p) point_gen;
+      map (fun w -> Wire.Set_input_focus w) xid_gen;
+      map
+        (fun (w, rects) -> Wire.Shape_rectangles { window = w; rects })
+        (pair xid_gen (list_size (int_range 0 6) rect_gen));
+      map (fun w -> Wire.Add_to_save_set w) xid_gen;
+      map (fun w -> Wire.Remove_from_save_set w) xid_gen;
+    ]
+
+(* All 18 event constructors, including Configure_request frames that
+   overflow 32 bytes and get truncated by the framer. *)
+let event_gen =
+  let open QCheck2.Gen in
+  let button_fields =
+    map
+      (fun ((w, b), (m, (p, rp))) -> (w, b, m, p, rp))
+      (pair (pair xid_gen (int_range 1 5)) (pair mods_gen (pair point_gen point_gen)))
+  in
+  oneof
+    [
+      map
+        (fun (window, parent) -> Event.Map_request { window; parent })
+        (pair xid_gen xid_gen);
+      map
+        (fun ((window, parent), changes) ->
+          Event.Configure_request { window; parent; changes })
+        (pair (pair xid_gen xid_gen) changes_gen);
+      map (fun window -> Event.Map_notify { window }) xid_gen;
+      map (fun window -> Event.Unmap_notify { window }) xid_gen;
+      map (fun window -> Event.Destroy_notify { window }) xid_gen;
+      map
+        (fun ((window, parent), pos) -> Event.Reparent_notify { window; parent; pos })
+        (pair (pair xid_gen xid_gen) point_gen);
+      map
+        (fun ((window, geom), (border, synthetic)) ->
+          Event.Configure_notify { window; geom; border; synthetic })
+        (pair (pair xid_gen rect_gen) (pair (int_range 0 9) bool));
+      map
+        (fun ((window, name), deleted) -> Event.Property_notify { window; name; deleted })
+        (pair (pair xid_gen name_gen) bool);
+      map
+        (fun (window, button, mods, pos, root_pos) ->
+          Event.Button_press { window; button; mods; pos; root_pos })
+        button_fields;
+      map
+        (fun (window, button, mods, pos, root_pos) ->
+          Event.Button_release { window; button; mods; pos; root_pos })
+        button_fields;
+      map
+        (fun ((window, keysym), (mods, (pos, root_pos))) ->
+          Event.Key_press { window; keysym; mods; pos; root_pos })
+        (pair
+           (pair xid_gen (oneofl [ "Up"; "Down"; "a"; "F1" ]))
+           (pair mods_gen (pair point_gen point_gen)));
+      map
+        (fun ((window, pos), root_pos) -> Event.Motion_notify { window; pos; root_pos })
+        (pair (pair xid_gen point_gen) point_gen);
+      map (fun window -> Event.Enter_notify { window }) xid_gen;
+      map (fun window -> Event.Leave_notify { window }) xid_gen;
+      map (fun window -> Event.Focus_in { window }) xid_gen;
+      map (fun window -> Event.Focus_out { window }) xid_gen;
+      map
+        (fun (window, damage) -> Event.Expose { window; damage })
+        (pair xid_gen (oneof [ return None; map Option.some rect_gen ]));
+      map
+        (fun ((window, name), data) -> Event.Client_message { window; name; data })
+        (pair (pair xid_gen name_gen) (small_string ~gen:printable));
+    ]
+
+(* Events whose frames fit in 32 bytes round-trip exactly; the truncated
+   Configure_request tail is covered by the byte-identity properties. *)
+let roundtrip_event_gen =
+  (* Fixed string fields hold n-1 bytes before NUL-truncation. *)
+  let clamp n s = if String.length s >= n then String.sub s 0 (n - 1) else s in
+  QCheck2.Gen.map
+    (fun ev ->
+      match ev with
+      | Event.Client_message { window; name; data } ->
+          Event.Client_message { window; name = clamp 13 name; data = clamp 14 data }
+      | Event.Configure_request { window; parent; changes } ->
+          (* ≤ 4 numeric fields keeps the frame within 32 bytes. *)
+          Event.Configure_request
+            {
+              window;
+              parent;
+              changes = { changes with cborder = None; cstack = None; csibling = None };
+            }
+      | ev -> ev)
+    event_gen
+
+(* -------- byte identity: arena codec vs the Buffer spec -------- *)
+
+let prop_request_bytes_identical =
+  QCheck2.Test.make ~name:"arena request encode == Spec encode" ~count:1000
+    request_gen (fun req ->
+      String.equal (Wire.encode_request req) (Wire.Spec.encode_request req))
+
+let prop_request_stream_identical =
+  QCheck2.Test.make ~name:"arena request stream == Spec stream" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 30) request_gen)
+    (fun reqs ->
+      (* One reused arena across the whole stream, as Wire_conn does. *)
+      let a = Wire.A.create 64 in
+      List.iter (Wire.encode_request_into a) reqs;
+      String.equal (Wire.A.contents a)
+        (String.concat "" (List.map Wire.Spec.encode_request reqs)))
+
+let prop_event_bytes_identical =
+  QCheck2.Test.make ~name:"arena event encode == Spec encode" ~count:1000 event_gen
+    (fun ev -> String.equal (Wire.encode_event ev) (Wire.Spec.encode_event ev))
+
+let prop_batch_bytes_identical =
+  QCheck2.Test.make ~name:"arena batch encode == Spec encode" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 40) event_gen)
+    (fun events ->
+      String.equal (Wire.encode_batch events) (Wire.Spec.encode_batch events))
+
+(* -------- decode round-trips through the cursor API -------- *)
+
+let prop_request_cursor_roundtrip =
+  QCheck2.Test.make ~name:"cursor decode round-trips request streams" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 30) request_gen)
+    (fun reqs ->
+      let bytes = String.concat "" (List.map Wire.encode_request reqs) in
+      let cursor = ref 0 in
+      let rec walk acc =
+        if !cursor >= String.length bytes then List.rev acc
+        else
+          match Wire.decode_request_cursor bytes cursor with
+          | Ok req -> walk (req :: acc)
+          | Error msg -> Alcotest.failf "decode_request_cursor: %s" msg
+      in
+      walk [] = reqs)
+
+let prop_event_cursor_roundtrip =
+  QCheck2.Test.make ~name:"cursor decode round-trips event streams" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 20) roundtrip_event_gen)
+    (fun events ->
+      let a = Wire.A.create 64 in
+      List.iter (Wire.encode_event_into a) events;
+      let bytes = Wire.A.contents a in
+      let cursor = ref 0 in
+      let rec walk acc =
+        if !cursor >= String.length bytes then List.rev acc
+        else
+          match Wire.decode_event_cursor bytes cursor with
+          | Ok ev -> walk (ev :: acc)
+          | Error msg -> Alcotest.failf "decode_event_cursor: %s" msg
+      in
+      walk [] = events)
+
+let prop_event_code_in_range =
+  QCheck2.Test.make ~name:"Event.code is dense and named" ~count:500 event_gen
+    (fun ev ->
+      let code = Event.code ev in
+      code >= 1 && code <= Event.last_event
+      && String.equal (Event.name_of_code code) (Event.kind_name ev)
+      && not (String.equal (Event.kind_name ev) "Unknown"))
+
+(* -------- rejected frames still count through the cached cursor -------- *)
+
+let test_rejected_frames_counted () =
+  let server = Server.create () in
+  let wc = Wire_conn.create server ~name:"rej" in
+  let rejected () =
+    Metrics.counter_value (Server.metrics server) "wire.rejected_frames"
+  in
+  let wid = Wire_conn.fresh_id wc in
+  let root = Wire_conn.root_id wc ~screen:0 in
+  let create =
+    Wire.encode_request
+      (Wire.Create_window
+         { wid; parent = root; geom = Geom.rect 0 0 40 40; border = 0;
+           override_redirect = false })
+  in
+  (* Truncated tail after a good frame. *)
+  (match
+     Wire_conn.submit_bytes wc (create ^ String.sub create 0 (String.length create - 3))
+   with
+  | Ok n -> Alcotest.failf "truncated frame accepted (Ok %d)" n
+  | Error { Wire_conn.executed; _ } -> check Alcotest.int "good frame ran" 1 executed);
+  check Alcotest.int "truncation counted" 1 (rejected ());
+  (* Garbled opcode. *)
+  (match Wire_conn.submit_bytes wc "\xff\x00\x01\x00" with
+  | Ok n -> Alcotest.failf "garbage accepted (Ok %d)" n
+  | Error _ -> ());
+  check Alcotest.int "garbage counted" 2 (rejected ());
+  (* Zero-length frame (claims 0 units). *)
+  (match Wire_conn.submit_bytes wc "\x03\x00\x00\x00" with
+  | Ok n -> Alcotest.failf "zero-length frame accepted (Ok %d)" n
+  | Error _ -> ());
+  check Alcotest.int "zero-length counted" 3 (rejected ());
+  (* The cached decode cursor recovers: a clean batch still executes. *)
+  match Wire_conn.submit_bytes wc (Wire.encode_request (Wire.Map_window wid)) with
+  | Ok n ->
+      check Alcotest.int "clean batch after rejects" 1 n;
+      check Alcotest.int "no extra rejects" 3 (rejected ())
+  | Error { Wire_conn.error; _ } -> Alcotest.failf "clean batch failed: %s" error
+
+(* -------- dispatch-table exhaustiveness -------- *)
+
+let test_dispatch_table_exhaustive () =
+  let codes = Wm.dispatch_table_codes () in
+  let sorted = List.sort_uniq compare codes in
+  check Alcotest.int "one binding per kind, no duplicates" (List.length codes)
+    (List.length sorted);
+  check
+    Alcotest.(list int)
+    "every code in [1 .. last_event] is bound"
+    (List.init Event.last_event (fun i -> i + 1))
+    sorted
+
+(* -------- committed repro corpus stays hex-canonical -------- *)
+
+let repros_dir =
+  if Sys.file_exists "repros" && Sys.is_directory "repros" then "repros"
+  else "test/repros"
+
+(* Every wire frame in the corpus must decode under the new codec and
+   re-encode to the very same hex: the journal byte format is pinned by
+   the committed files, not just by Spec. *)
+let test_corpus_hex_canonical () =
+  let files =
+    Sys.readdir repros_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  check Alcotest.bool "corpus is not empty" true (files <> []);
+  let frames = ref 0 and sends = ref 0 in
+  let recode_requests file hex =
+    match Wire.of_hex hex with
+    | Error msg -> Alcotest.failf "%s: bad hex: %s" file msg
+    | Ok bytes ->
+        let a = Wire.A.create 64 in
+        let cursor = ref 0 in
+        while !cursor < String.length bytes do
+          match Wire.decode_request_cursor bytes cursor with
+          | Ok req ->
+              Wire.encode_request_into a req;
+              incr frames
+          | Error msg -> Alcotest.failf "%s: frame decode: %s" file msg
+        done;
+        check Alcotest.string
+          (Printf.sprintf "%s: frame hex canonical" file)
+          hex
+          (Wire.to_hex (Wire.A.contents a))
+  in
+  let recode_event file hex =
+    match Wire.of_hex hex with
+    | Error msg -> Alcotest.failf "%s: bad hex: %s" file msg
+    | Ok bytes -> (
+        match Wire.decode_event bytes ~pos:0 with
+        | Error msg -> Alcotest.failf "%s: event decode: %s" file msg
+        | Ok (event, _) ->
+            incr sends;
+            check Alcotest.string
+              (Printf.sprintf "%s: event hex canonical" file)
+              hex
+              (Wire.to_hex (Wire.encode_event event)))
+  in
+  List.iter
+    (fun file ->
+      let path = Filename.concat repros_dir file in
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Replay.parse_report text with
+      | Error msg -> Alcotest.failf "%s: %s" file msg
+      | Ok report ->
+          List.iter
+            (fun op ->
+              match String.split_on_char ' ' op with
+              | [ "frame"; _key; hex ] -> recode_requests file hex
+              | [ "send"; _key; _dest; hex ] -> recode_event file hex
+              | _ -> ())
+            report.Replay.ops;
+          (* And the corpus still replays to convergence under the new
+             dispatch table + codec. *)
+          (match Wm.replay report with
+          | outcome when Replay.ok outcome -> ()
+          | outcome ->
+              Alcotest.failf "%s: %s" file (Replay.outcome_to_string outcome)))
+    files;
+  check Alcotest.bool "corpus exercised wire frames" true (!frames > 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_request_bytes_identical;
+    QCheck_alcotest.to_alcotest prop_request_stream_identical;
+    QCheck_alcotest.to_alcotest prop_event_bytes_identical;
+    QCheck_alcotest.to_alcotest prop_batch_bytes_identical;
+    QCheck_alcotest.to_alcotest prop_request_cursor_roundtrip;
+    QCheck_alcotest.to_alcotest prop_event_cursor_roundtrip;
+    QCheck_alcotest.to_alcotest prop_event_code_in_range;
+    Alcotest.test_case "rejected frames keep counting" `Quick
+      test_rejected_frames_counted;
+    Alcotest.test_case "dispatch table binds every event kind" `Quick
+      test_dispatch_table_exhaustive;
+    Alcotest.test_case "repro corpus is hex-canonical and replays" `Quick
+      test_corpus_hex_canonical;
+  ]

@@ -6,6 +6,7 @@ let () =
       ("xrdb", Test_xrdb.suite);
       ("server", Test_server.suite);
       ("wire", Test_wire.suite);
+      ("hotpath", Test_hotpath.suite);
       ("pipeline", Test_pipeline.suite);
       ("bindings", Test_bindings.suite);
       ("oi", Test_oi.suite);
