@@ -60,6 +60,17 @@ and vdesk = {
   mutable panner_scale : int;
 }
 
+(* Degradation tiers: under load the WM sheds its own discretionary work
+   before the server sheds events.  Full = everything; Reduced = skip
+   decoration title redraws and panner refreshes; Essential = additionally
+   skip dispatching droppable (Motion/Expose) events entirely. *)
+type tier = Tier_full | Tier_reduced | Tier_essential
+
+let tier_name = function
+  | Tier_full -> "full"
+  | Tier_reduced -> "reduced"
+  | Tier_essential -> "essential"
+
 type mode =
   | Idle
   | Moving of { m_client : client; grab_offset : Geom.point; m_outline : Xid.t }
@@ -97,6 +108,13 @@ type t = {
   mutable stats_interval : int; (* dispatched events between samples *)
   mutable stats_pending : int; (* events since the last sample *)
   mutable watchdog_threshold_ns : int; (* dispatch wall time above = stall *)
+  mutable tier : tier; (* current degradation tier (load governor) *)
+  mutable governor_interval : int; (* dispatched events between governor ticks *)
+  mutable governor_pending : int; (* events since the last governor tick *)
+  mutable gov_calm : int; (* consecutive calm ticks toward de-escalation *)
+  mutable gov_last_stalls : int; (* watchdog.stalls at the last governor tick *)
+  c_tier_transitions : Swm_xlib.Metrics.counter; (* governor.transitions *)
+  c_gov_skipped : Swm_xlib.Metrics.counter; (* governor.events_skipped *)
   events_by_kind : Swm_xlib.Metrics.counter_family;
       (* wm.dispatch.events{event} — always-on per-event-kind attribution *)
   dispatch_counters : Swm_xlib.Metrics.counter array;

@@ -75,6 +75,14 @@ and vdesk = {
   mutable panner_scale : int;
 }
 
+type tier =
+  | Tier_full  (** no degradation *)
+  | Tier_reduced  (** skip decoration title redraws and panner refreshes *)
+  | Tier_essential
+      (** additionally skip dispatching droppable (Motion/Expose) events *)
+
+val tier_name : tier -> string
+
 type mode =
   | Idle
   | Moving of {
@@ -129,6 +137,22 @@ type t = {
   mutable watchdog_threshold_ns : int;
       (** wall-time dispatch latency above which the watchdog counts a
           stall ([watchdogThresholdMs], default 50ms) *)
+  mutable tier : tier;
+      (** current degradation tier; stepped by {!Governor.tick}, read by
+          the redraw/refresh gates in {!Decoration} and {!Panner} *)
+  mutable governor_interval : int;
+      (** dispatched events between governor ticks ([governorInterval],
+          default 32) *)
+  mutable governor_pending : int;  (** events since the last governor tick *)
+  mutable gov_calm : int;
+      (** consecutive calm governor ticks, toward tier de-escalation *)
+  mutable gov_last_stalls : int;
+      (** [watchdog.stalls] value at the last governor tick, for deltas *)
+  c_tier_transitions : Swm_xlib.Metrics.counter;
+      (** [governor.transitions] *)
+  c_gov_skipped : Swm_xlib.Metrics.counter;
+      (** [governor.events_skipped] — droppable events not dispatched while
+          in the essential tier *)
   events_by_kind : Swm_xlib.Metrics.counter_family;
       (** the [wm.dispatch.events{event}] labeled family — always-on
           per-event-kind dispatch attribution, one cached-family increment

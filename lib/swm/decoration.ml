@@ -215,6 +215,14 @@ let move_frame (ctx : Ctx.t) (client : Ctx.client) pos =
   Icccm.send_synthetic_configure ctx client
 
 let update_name (ctx : Ctx.t) (client : Ctx.client) =
+  if ctx.tier <> Ctx.Tier_full then
+    (* Degraded: skip the title repaint; the stale label costs nothing and
+       the next PropertyNotify after recovery repaints it. *)
+    Swm_xlib.Metrics.incr
+      (Swm_xlib.Metrics.counter
+         (Server.metrics ctx.server)
+         "governor.redraws_skipped")
+  else
   Xguard.run ctx ~where:"decoration.name" @@ fun () ->
   client.wm_name <- Icccm.read_name ctx client.cwin;
   match client.deco with

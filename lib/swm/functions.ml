@@ -445,15 +445,27 @@ let health_json (ctx : Ctx.t) =
   let recorder = Server.recorder ctx.server in
   let c name = Metrics.counter_value metrics name in
   let stalls = c "watchdog.stalls" in
+  let degraded = stalls > 0 || ctx.tier <> Ctx.Tier_full in
   Printf.sprintf
-    "{\"status\":%s,\"events_dispatched\":%d,\"xerrors\":%d,\
+    "{\"status\":%s,\"tier\":%s,\"events_dispatched\":%d,\"xerrors\":%d,\
      \"watchdog_stalls\":%d,\"faults_injected\":%d,\"swmcmd_errors\":%d,\
-     \"clients\":%d,\"recorder\":{\"enabled\":%b,\"recorded\":%d,\
+     \"clients\":%d,\"overload\":{\"queue_cap\":%d,\"events_shed\":%d,\
+     \"state_bearing_shed\":%d,\"cap_overruns\":%d,\"quarantined\":%d,\
+     \"recovered\":%d,\"evicted\":%d,\"tier_transitions\":%d,\
+     \"events_skipped\":%d},\"recorder\":{\"enabled\":%b,\"recorded\":%d,\
      \"dropped\":%d,\"crash_dumps\":%d}}"
-    (Metrics.json_string (if stalls > 0 then "degraded" else "ok"))
+    (Metrics.json_string (if degraded then "degraded" else "ok"))
+    (Metrics.json_string (Ctx.tier_name ctx.tier))
     (c "wm.events_dispatched") (c "wm.xerrors") stalls (c "faults.injected")
     (c "swmcmd.errors")
     (List.length (Ctx.all_clients ctx))
+    (Server.queue_cap ctx.server)
+    (c "events.shed")
+    (c "events.shed.state_bearing")
+    (c "queue.cap_overruns") (c "health.quarantined") (c "health.recovered")
+    (c "health.evicted")
+    (c "governor.transitions")
+    (c "governor.events_skipped")
     (Recorder.enabled recorder) (Recorder.recorded recorder)
     (Recorder.dropped recorder) (Recorder.dumps recorder)
 

@@ -1,0 +1,92 @@
+(* The load governor: degradation tiers driven by queue pressure and
+   watchdog wall latency.
+
+   Every [governor_interval] dispatched events {!Wm} calls {!tick}, which
+   reads the two overload signals — the worst queue-depth-to-cap ratio
+   across connections ({!Server.max_queue_ratio}) and the watchdog stall
+   delta since the last tick — and steps [ctx.tier]:
+
+       full ----pressure---> reduced ----more pressure---> essential
+       full <---calm ticks-- reduced <---calm ticks------- essential
+
+   Escalation is immediate (overload will not wait); de-escalation needs
+   [restore_calm_ticks] consecutive calm ticks and walks back one tier at
+   a time, so a load oscillation cannot flap the WM between extremes.
+   Each transition is counted ([governor.transitions]), traced, and
+   recorded (kind ["tier"]).  Restoring to full triggers the panner
+   refreshes that the reduced tiers skipped.
+
+   The same cadence drives {!Server.health_tick}, so quarantine decisions
+   ride the governor clock instead of needing their own. *)
+
+module Server = Swm_xlib.Server
+module Metrics = Swm_xlib.Metrics
+module Tracing = Swm_xlib.Tracing
+module Recorder = Swm_xlib.Recorder
+
+(* Queue ratios at which the governor escalates. *)
+let reduced_ratio = 0.5
+let essential_ratio = 0.9
+
+(* Watchdog stall deltas (per governor interval) at which it escalates. *)
+let reduced_stalls = 1
+let essential_stalls = 2
+
+(* Consecutive calm ticks before stepping one tier back down. *)
+let restore_calm_ticks = 3
+
+let rank = function
+  | Ctx.Tier_full -> 0
+  | Ctx.Tier_reduced -> 1
+  | Ctx.Tier_essential -> 2
+
+let step_down = function
+  | Ctx.Tier_essential -> Ctx.Tier_reduced
+  | Ctx.Tier_reduced | Ctx.Tier_full -> Ctx.Tier_full
+
+let desired (ctx : Ctx.t) =
+  let ratio = Server.max_queue_ratio ctx.server in
+  let stalls = Metrics.value ctx.c_watchdog_stalls in
+  let d_stalls = stalls - ctx.gov_last_stalls in
+  ctx.gov_last_stalls <- stalls;
+  if ratio >= essential_ratio || d_stalls >= essential_stalls then
+    Ctx.Tier_essential
+  else if ratio >= reduced_ratio || d_stalls >= reduced_stalls then
+    Ctx.Tier_reduced
+  else Ctx.Tier_full
+
+let transition (ctx : Ctx.t) ~from tier =
+  ctx.tier <- tier;
+  Metrics.incr ctx.c_tier_transitions;
+  let attrs = [ ("from", Ctx.tier_name from); ("to", Ctx.tier_name tier) ] in
+  let tracer = Server.tracer ctx.server in
+  if Tracing.enabled tracer then Tracing.instant tracer "governor.tier" ~attrs;
+  let recorder = Server.recorder ctx.server in
+  if Recorder.enabled recorder then
+    Recorder.record recorder ~kind:"tier" ~attrs
+      (Ctx.tier_name from ^ " -> " ^ Ctx.tier_name tier);
+  Ctx.log ctx "governor: tier %s -> %s" (Ctx.tier_name from) (Ctx.tier_name tier);
+  (* Back at full service: repaint what the degraded tiers skipped. *)
+  if tier = Ctx.Tier_full then
+    Array.iter
+      (fun (scr : Ctx.screen_state) ->
+        Xguard.run ctx ~where:"governor.restore" (fun () ->
+            Panner.refresh ctx ~screen:scr.index))
+      ctx.screens
+
+let tick (ctx : Ctx.t) =
+  let current = ctx.tier in
+  let want = desired ctx in
+  if rank want > rank current then begin
+    ctx.gov_calm <- 0;
+    transition ctx ~from:current want
+  end
+  else if rank want < rank current then begin
+    ctx.gov_calm <- ctx.gov_calm + 1;
+    if ctx.gov_calm >= restore_calm_ticks then begin
+      ctx.gov_calm <- 0;
+      transition ctx ~from:current (step_down current)
+    end
+  end
+  else ctx.gov_calm <- 0;
+  Server.health_tick ctx.server

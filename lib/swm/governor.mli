@@ -1,0 +1,24 @@
+(** The load governor: steps [Ctx.tier] through degradation modes (full →
+    reduced → essential) from queue pressure ({!Swm_xlib.Server.max_queue_ratio})
+    and watchdog stall deltas, restoring one tier at a time after
+    consecutive calm ticks.  Transitions are counted
+    ([governor.transitions]), traced, and recorded (kind ["tier"]).
+    {!Wm} calls {!tick} every [governorInterval] dispatched events; the
+    same cadence drives {!Swm_xlib.Server.health_tick} (quarantine). *)
+
+val reduced_ratio : float
+val essential_ratio : float
+(** Queue depth-to-cap ratios at which escalation to the reduced /
+    essential tier happens. *)
+
+val restore_calm_ticks : int
+(** Consecutive calm ticks before stepping one tier back down. *)
+
+val desired : Ctx.t -> Ctx.tier
+(** The tier the current pressure signals call for.  Consumes the
+    watchdog-stall delta (updates [gov_last_stalls]). *)
+
+val tick : Ctx.t -> unit
+(** One governor tick: re-evaluate the tier (escalate immediately,
+    de-escalate after {!restore_calm_ticks} calm ticks), then run one
+    {!Swm_xlib.Server.health_tick}. *)

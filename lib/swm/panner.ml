@@ -90,6 +90,12 @@ let clear_miniatures (ctx : Ctx.t) ~screen =
     stale
 
 let refresh (ctx : Ctx.t) ~screen =
+  if ctx.tier <> Ctx.Tier_full then
+    (* Degraded: the panner is a luxury redraw.  The governor re-runs
+       refresh on every screen when it restores the full tier. *)
+    Metrics.incr
+      (Metrics.counter (Server.metrics ctx.server) "governor.refreshes_skipped")
+  else
   (let tracer = Server.tracer ctx.server in
    if Swm_xlib.Tracing.enabled tracer then
      Swm_xlib.Tracing.span tracer "panner.refresh"

@@ -821,7 +821,19 @@ let dispatch_where =
   Array.init (Event.last_event + 1) (fun code ->
       "dispatch:" ^ Event.name_of_code code)
 
-let handle_event_timed (ctx : Ctx.t) event =
+(* Every [governor_interval] events through the loop, one governor tick:
+   re-evaluate the degradation tier and run a server health (quarantine)
+   pass.  Under journal suspension — the tier machine and any eviction it
+   triggers are WM-derived state a replay recomputes from the same
+   inputs. *)
+let governor_tick (ctx : Ctx.t) =
+  ctx.governor_pending <- ctx.governor_pending + 1;
+  if ctx.governor_pending >= ctx.governor_interval then begin
+    ctx.governor_pending <- 0;
+    Server.with_journal_suspended ctx.server (fun () -> Governor.tick ctx)
+  end
+
+let handle_event_full (ctx : Ctx.t) event =
   let metrics = Server.metrics ctx.server in
   let tracer = Server.tracer ctx.server in
   let recorder = Server.recorder ctx.server in
@@ -875,8 +887,21 @@ let handle_event_timed (ctx : Ctx.t) event =
       Recorder.record recorder ~kind:"stall" ~attrs kind
   end;
   Metrics.incr ctx.c_events_dispatched;
+  governor_tick ctx;
   stats_tick ctx;
   autosave_tick ctx
+
+let handle_event_timed (ctx : Ctx.t) event =
+  if ctx.tier = Ctx.Tier_essential && Event.droppable_code (Event.code event)
+  then begin
+    (* Essential tier: latest-wins events are not worth their dispatch cost
+       while overloaded.  The governor still ticks on skipped events, so
+       recovery happens even under a pure motion storm. *)
+    Metrics.incr ctx.c_gov_skipped;
+    governor_tick ctx;
+    stats_tick ctx
+  end
+  else handle_event_full ctx event
 
 (* The flight recorder's compact state snapshot: the window table, the
    per-screen viewport, and the iconic/sticky id sets — enough to place
@@ -1098,6 +1123,13 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
       stats_interval = 32;
       stats_pending = 0;
       watchdog_threshold_ns = 50_000_000;
+      tier = Ctx.Tier_full;
+      governor_interval = 32;
+      governor_pending = 0;
+      gov_calm = 0;
+      gov_last_stalls = 0;
+      c_tier_transitions = Metrics.counter metrics "governor.transitions";
+      c_gov_skipped = Metrics.counter metrics "governor.events_skipped";
       events_by_kind;
       dispatch_counters;
       h_dispatch_ns = Metrics.histogram metrics "wm.dispatch_ns";
@@ -1128,6 +1160,40 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
   | Some n -> (
       match int_of_string_opt (String.trim n) with
       | Some n when n > 0 -> ctx.watchdog_threshold_ns <- n * 1_000_000
+      | Some _ | None -> ())
+  | None -> ());
+  (* Overload-protection resources: the per-connection queue cap, the
+     quarantine thresholds, and the governor cadence. *)
+  (match Config.query1 cfg ~screen:0 "queueCap" with
+  | Some n -> (
+      match int_of_string_opt (String.trim n) with
+      | Some n when n > 0 -> Server.set_queue_cap server n
+      | Some _ | None -> ())
+  | None -> ());
+  (let th = ref (Server.health_thresholds server) in
+   let float_res name set =
+     match Config.query1 cfg ~screen:0 name with
+     | Some v -> (
+         match float_of_string_opt (String.trim v) with
+         | Some f when f > 0.0 -> set f
+         | Some _ | None -> ())
+     | None -> ()
+   in
+   float_res "healthQuarantineScore" (fun f ->
+       th := { !th with Swm_xlib.Health.quarantine_score = f });
+   float_res "healthEvictScore" (fun f ->
+       th := { !th with Swm_xlib.Health.evict_score = f });
+   (match Config.query1 cfg ~screen:0 "healthCalmTicks" with
+   | Some v -> (
+       match int_of_string_opt (String.trim v) with
+       | Some n when n > 0 -> th := { !th with Swm_xlib.Health.calm_ticks = n }
+       | Some _ | None -> ())
+   | None -> ());
+   Server.set_health_thresholds server !th);
+  (match Config.query1 cfg ~screen:0 "governorInterval" with
+  | Some n -> (
+      match int_of_string_opt (String.trim n) with
+      | Some n when n > 0 -> ctx.governor_interval <- n
       | Some _ | None -> ())
   | None -> ());
   (* The flight recorder's state snapshots come from the WM, not the

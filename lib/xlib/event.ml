@@ -155,6 +155,14 @@ let name_of_code c = if c >= 1 && c <= last_event then code_names.(c) else "Unkn
 (* Constant strings so tracing attributes allocate nothing per event. *)
 let kind_name t = code_names.(code t)
 
+(* Shed eligibility under overload.  Droppable events describe a latest-wins
+   or redrawable observation (pointer position, damage): losing one costs a
+   frame of fidelity, never correctness.  Everything else is state-bearing —
+   dropping a MapRequest or DestroyNotify desynchronises the WM's model of
+   the session — and must never be shed. *)
+let droppable_code c = c = 12 (* MotionNotify *) || c = 15 (* Expose *)
+let droppable t = droppable_code (code t)
+
 let pp ppf event =
   match event with
   | Map_request { window; parent } ->

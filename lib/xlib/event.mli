@@ -101,4 +101,13 @@ val kind_name : t -> string
 (** The X protocol name of the event's kind ("ButtonPress", "Expose", ...);
     a constant string, cheap enough for tracing attributes. *)
 
+val droppable : t -> bool
+(** Shed eligibility under overload: [true] only for latest-wins /
+    redrawable observations (MotionNotify, Expose).  Everything else is
+    state-bearing and must never be shed — see the shed-eligibility table
+    in DESIGN.md. *)
+
+val droppable_code : int -> bool
+(** {!droppable} by kind code, for callers that only hold a code. *)
+
 val pp : Format.formatter -> t -> unit

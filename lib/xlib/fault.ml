@@ -5,6 +5,7 @@ type action =
   | Truncate_frame
   | Corrupt_frame
   | Garble_property
+  | Flood_events
 
 let action_name = function
   | Destroy_window -> "destroy_window"
@@ -13,6 +14,7 @@ let action_name = function
   | Truncate_frame -> "truncate_frame"
   | Corrupt_frame -> "corrupt_frame"
   | Garble_property -> "garble_property"
+  | Flood_events -> "flood_events"
 
 let all_actions =
   [
@@ -22,6 +24,7 @@ let all_actions =
     Truncate_frame;
     Corrupt_frame;
     Garble_property;
+    Flood_events;
   ]
 
 let index = function
@@ -31,6 +34,7 @@ let index = function
   | Truncate_frame -> 3
   | Corrupt_frame -> 4
   | Garble_property -> 5
+  | Flood_events -> 6
 
 type plan = {
   seed : int;
@@ -40,6 +44,8 @@ type plan = {
   p_truncate_frame : float;
   p_corrupt_frame : float;
   p_garble_property : float;
+  p_flood : float;
+  flood_burst : int; (* events per flood storm *)
   max_faults : int;
 }
 
@@ -52,6 +58,8 @@ let quiet =
     p_truncate_frame = 0.0;
     p_corrupt_frame = 0.0;
     p_garble_property = 0.0;
+    p_flood = 0.0;
+    flood_burst = 0;
     max_faults = 0;
   }
 
@@ -64,15 +72,24 @@ let storm ?(seed = 1) () =
     p_truncate_frame = 0.05;
     p_corrupt_frame = 0.05;
     p_garble_property = 0.05;
+    p_flood = 0.0;
+    flood_burst = 0;
     max_faults = 64;
   }
+
+(* Overload preset: one connection starts screaming.  [p_flood] is rolled
+   once per request, so keep it low; each hit delivers [flood_burst]
+   events into a single victim's queue. *)
+let flood ?(seed = 1) ?(burst = 4096) () =
+  { quiet with seed; p_flood = 0.02; flood_burst = burst; max_faults = 8 }
 
 let pp_plan ppf p =
   Format.fprintf ppf
     "seed=%d destroy=%.3f kill=%.3f stall=%.3f truncate=%.3f corrupt=%.3f \
-     garble=%.3f max=%d"
+     garble=%.3f flood=%.3f/%d max=%d"
     p.seed p.p_destroy_window p.p_kill_connection p.p_stall_connection
-    p.p_truncate_frame p.p_corrupt_frame p.p_garble_property p.max_faults
+    p.p_truncate_frame p.p_corrupt_frame p.p_garble_property p.p_flood
+    p.flood_burst p.max_faults
 
 type t = {
   plan : plan;
@@ -109,6 +126,7 @@ let draw_request t =
   else if roll t t.plan.p_destroy_window then Some Destroy_window
   else if roll t t.plan.p_kill_connection then Some Kill_connection
   else if roll t t.plan.p_stall_connection then Some Stall_connection
+  else if roll t t.plan.p_flood then Some Flood_events
   else None
 
 let draw_frame t =
@@ -118,6 +136,7 @@ let draw_frame t =
   else None
 
 let draw_property t = (not (exhausted t)) && roll t t.plan.p_garble_property
+let flood_burst t = max 1 t.plan.flood_burst
 
 let fire t ?(attrs = []) action =
   t.injected <- t.injected + 1;

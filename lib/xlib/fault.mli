@@ -31,6 +31,9 @@ type action =
   | Truncate_frame
   | Corrupt_frame
   | Garble_property
+  | Flood_events
+      (** one connection emits an event storm into its own queue —
+          exercises backpressure and quarantine *)
 
 val action_name : action -> string
 val all_actions : action list
@@ -43,6 +46,8 @@ type plan = {
   p_truncate_frame : float;  (** per submitted wire byte string *)
   p_corrupt_frame : float;  (** per submitted wire byte string *)
   p_garble_property : float;  (** per property write *)
+  p_flood : float;  (** per request; one connection floods its queue *)
+  flood_burst : int;  (** events delivered per flood storm *)
   max_faults : int;  (** stop injecting after this many; [<= 0] = unlimited *)
 }
 
@@ -50,7 +55,14 @@ val quiet : plan
 (** All probabilities zero — an armed but inert plan. *)
 
 val storm : ?seed:int -> unit -> plan
-(** A moderately hostile default (a few percent per site, budget 64). *)
+(** A moderately hostile default (a few percent per site, budget 64).
+    [p_flood] stays zero so long-standing storm seeds keep their fault
+    schedules. *)
+
+val flood : ?seed:int -> ?burst:int -> unit -> plan
+(** The overload preset: only {!Flood_events} fires (default burst 4096,
+    budget 8) — a client event storm against backpressure and
+    quarantine. *)
 
 val pp_plan : Format.formatter -> plan -> unit
 
@@ -70,13 +82,16 @@ val rng : t -> Random.State.t
     with no eligible victim injects nothing). *)
 
 val draw_request : t -> action option
-(** [Some Destroy_window | Kill_connection | Stall_connection], or
-    [None]. *)
+(** [Some Destroy_window | Kill_connection | Stall_connection |
+    Flood_events], or [None]. *)
 
 val draw_frame : t -> action option
 (** [Some Truncate_frame | Corrupt_frame], or [None]. *)
 
 val draw_property : t -> bool
+
+val flood_burst : t -> int
+(** The armed plan's storm size (at least 1). *)
 
 val fire : t -> ?attrs:(string * string) list -> action -> unit
 (** Record one injected fault: bumps [faults.injected] and

@@ -438,6 +438,14 @@ let run report ~make =
       | [ "stall"; key; state ] ->
           Server.set_stalled (Wire_conn.conn (conn_for key)) (int_of state <> 0);
           dirty := true
+      | [ "flood"; key; burst ] ->
+          (* A flood fault's storm: re-delivered through the same
+             deterministic generator ([Server.flood_conn]), so the replayed
+             queue sheds exactly as the recorded session did. *)
+          Server.flood_conn server
+            (Wire_conn.conn (conn_for key))
+            ~burst:(int_of burst);
+          dirty := true
       | [ "shapeclear"; wid ] ->
           (* The op carries no connection; any one will do (shape state is
              not owner-scoped). *)

@@ -55,6 +55,32 @@ let replace_back t x =
   if t.len = 0 then invalid_arg "Ring.replace_back: empty"
   else t.buf.(back_index t) <- Some x
 
+(* Logical-index access: index 0 is the front (oldest) element.  Used by
+   the overload shed policy, which scans for droppable entries at cap. *)
+let get t i =
+  if i < 0 || i >= t.len then None
+  else t.buf.((t.head + i) land (Array.length t.buf - 1))
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Ring.set: out of range"
+  else t.buf.((t.head + i) land (Array.length t.buf - 1)) <- Some x
+
+(* O(n) shift toward the head; acceptable because removal only happens at
+   the queue cap, where bounding memory matters more than the shed cost. *)
+let remove t i =
+  if i < 0 || i >= t.len then None
+  else begin
+    let mask = Array.length t.buf - 1 in
+    let removed = t.buf.((t.head + i) land mask) in
+    for j = i downto 1 do
+      t.buf.((t.head + j) land mask) <- t.buf.((t.head + j - 1) land mask)
+    done;
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) land mask;
+    t.len <- t.len - 1;
+    removed
+  end
+
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;
   t.head <- 0;

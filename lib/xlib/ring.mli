@@ -36,6 +36,20 @@ val peek_back : 'a t -> 'a option
 val replace_back : 'a t -> 'a -> unit
 (** Overwrite the back element; raises [Invalid_argument] when empty. *)
 
+val get : 'a t -> int -> 'a option
+(** Logical-index read: [get t 0] is the front (oldest) element; [None]
+    out of range. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Overwrite the element at a logical index; raises [Invalid_argument]
+    out of range.  With {!get}, lets the overload shed policy fold an
+    event into an entry anywhere in the queue. *)
+
+val remove : 'a t -> int -> 'a option
+(** Remove and return the element at a logical index, preserving the order
+    of the rest.  O(i) shift — meant for the rare at-cap shed path, not
+    steady-state delivery. *)
+
 val clear : 'a t -> unit
 
 val high_water : 'a t -> int

@@ -15,8 +15,23 @@ type conn = {
   mutable overflow : Event.t list;
       (* events expanded out of a multi-rect [Damage] entry but not yet
          handed to the client; always delivered before the ring *)
+  mutable overflow_len : int;
+      (* tracked incrementally so queue-depth accounting never walks the
+         spillover list *)
+  mutable cap : int;
+      (* hard bound on [pending]: at the cap droppable events are shed
+         (coalesce-harder first, then drop-oldest); only state-bearing
+         events may overrun it *)
   mutable coalesce : bool;
   mutable alive : bool;
+  mutable throttled : bool;
+      (* quarantine: a throttled connection gets state-bearing events only;
+         droppable classes are shed at enqueue until health recovers *)
+  health : Health.t;
+  mutable h_shed : int; (* cumulative events shed from this queue *)
+  mutable h_rejected : int; (* cumulative rejected wire frames *)
+  mutable h_xerrors : int; (* cumulative absorbed X errors *)
+  mutable h_stalls : int; (* cumulative stall-tick contributions *)
   mutable stalled : bool;
       (* a stalled connection accumulates events but delivers none — the
          fault harness's model of a client that stopped reading *)
@@ -58,6 +73,11 @@ type screen_spec = { size : int * int; monochrome : bool }
 
 let default_screen = { size = (1152, 900); monochrome = false }
 
+(* Default per-connection queue cap.  Generous relative to the delivery
+   batch size (64) so normal bursts never shed, small enough that a
+   flooding client is bounded at a few hundred entries. *)
+let default_queue_cap = 512
+
 type t = {
   alloc : Xid.Alloc.t;
   windows : window Xid.Tbl.t;
@@ -76,6 +96,16 @@ type t = {
   s_recorder : Recorder.t;
   s_profiler : Profile.t;
   delivered_by_conn : Metrics.counter_family;
+  mutable queue_cap : int;
+  mutable health_th : Health.thresholds;
+  m_shed : Metrics.counter;
+  m_shed_state : Metrics.counter;
+      (* must stay 0: state-bearing events are never shed; the counter
+         exists so dumps and CI gates can assert the invariant *)
+  m_overrun : Metrics.counter;
+  m_quarantined : Metrics.counter;
+  m_unquarantined : Metrics.counter;
+  m_evicted : Metrics.counter;
   mutable fault : Fault.t option;
   mutable fault_protected : int list; (* cids faults may never victimise *)
   mutable injecting : bool; (* reentrancy guard: fault execution bumps too *)
@@ -157,6 +187,14 @@ let create ?(screens = [ default_screen ]) () =
     s_profiler = Profile.create ~metrics ~tracer:s_tracer ();
     delivered_by_conn =
       Metrics.counter_family metrics ~key:"conn" "events.delivered.by_conn";
+    queue_cap = default_queue_cap;
+    health_th = Health.default_thresholds;
+    m_shed = Metrics.counter metrics "events.shed";
+    m_shed_state = Metrics.counter metrics "events.shed.state_bearing";
+    m_overrun = Metrics.counter metrics "queue.cap_overruns";
+    m_quarantined = Metrics.counter metrics "health.quarantined";
+    m_unquarantined = Metrics.counter metrics "health.recovered";
+    m_evicted = Metrics.counter metrics "health.evicted";
     fault = None;
     fault_protected = [];
     injecting = false;
@@ -178,8 +216,16 @@ let connect server ~name =
       cname = name;
       ring = Ring.create ();
       overflow = [];
+      overflow_len = 0;
+      cap = server.queue_cap;
       coalesce = true;
       alive = true;
+      throttled = false;
+      health = Health.create ();
+      h_shed = 0;
+      h_rejected = 0;
+      h_xerrors = 0;
+      h_stalls = 0;
       stalled = false;
       jexempt = false;
       m_enqueued = Metrics.counter server.metrics "events.enqueued";
@@ -290,27 +336,141 @@ let try_coalesce conn event =
       true
   | _, (Some _ | None) -> false
 
+(* -------- overload shed policy --------
+
+   Queue depth is bounded by [conn.cap].  At the cap, delivery degrades in
+   order: (1) coalesce harder — fold the event into any same-window entry
+   anywhere in the ring, not just the newest (sacrifices intra-class
+   ordering, allowed for latest-wins classes); (2) shed a droppable event —
+   the incoming one, or the oldest droppable entry in the ring when the
+   incoming event is state-bearing and needs its slot.  State-bearing
+   events are NEVER shed: if no droppable entry can yield a slot they
+   overrun the cap (counted in queue.cap_overruns), because desynchronising
+   the WM's session model is strictly worse than a bounded overshoot. *)
+
+let queue_depth conn = conn.overflow_len + Ring.length conn.ring
+
+let entry_droppable = function
+  | Plain event -> Event.droppable event
+  | Damage _ -> true
+
+(* Fold [event] into any same-window ring entry of its own class.  Only
+   called for droppable classes, at the cap. *)
+let coalesce_harder conn event =
+  let n = Ring.length conn.ring in
+  match event with
+  | Event.Motion_notify { window; _ } ->
+      let rec scan i =
+        i >= 0
+        &&
+        match Ring.get conn.ring i with
+        | Some (Plain (Event.Motion_notify { window = prev; _ }))
+          when Xid.equal prev window ->
+            Ring.set conn.ring i (Plain event);
+            true
+        | _ -> scan (i - 1)
+      in
+      scan (n - 1)
+  | Event.Expose { window; damage } ->
+      let rec scan i =
+        i >= 0
+        &&
+        match Ring.get conn.ring i with
+        | Some (Damage d) when Xid.equal d.dwindow window ->
+            (match (d.region, damage) with
+            | None, _ -> ()
+            | _, None -> d.region <- None
+            | Some acc, Some r -> d.region <- Some (Region.union acc (Region.of_rect r)));
+            true
+        | _ -> scan (i - 1)
+      in
+      scan (n - 1)
+  | _ -> false
+
+let note_shed server conn event =
+  Metrics.incr server.m_shed;
+  conn.h_shed <- conn.h_shed + 1;
+  (* First shed per connection gets a recorder entry; after that, metrics
+     carry the count so a sustained storm cannot wipe the flight ring. *)
+  if conn.h_shed = 1 && Recorder.enabled server.s_recorder then
+    Recorder.record server.s_recorder ~kind:"shed"
+      ~attrs:[ ("conn", conn.cname); ("event", Event.kind_name event) ]
+      ("shedding from " ^ conn.cname);
+  if Tracing.enabled conn.c_tracer then
+    Tracing.instant conn.c_tracer "server.shed"
+      ~attrs:[ ("event", Event.kind_name event); ("conn", conn.cname) ]
+
+(* Remove the oldest droppable entry; false when the ring holds only
+   state-bearing events. *)
+let shed_oldest_droppable server conn =
+  let n = Ring.length conn.ring in
+  let rec scan i =
+    i < n
+    &&
+    match Ring.get conn.ring i with
+    | Some entry when entry_droppable entry ->
+        ignore (Ring.remove conn.ring i);
+        let kind =
+          match entry with
+          | Plain event -> Event.kind_name event
+          | Damage _ -> "Expose"
+        in
+        Metrics.incr server.m_shed;
+        conn.h_shed <- conn.h_shed + 1;
+        if Tracing.enabled conn.c_tracer then
+          Tracing.instant conn.c_tracer "server.shed"
+            ~attrs:[ ("event", kind); ("conn", conn.cname) ];
+        true
+    | _ -> scan (i + 1)
+  in
+  scan 0
+
+let push_entry conn event =
+  (match event with
+  | Event.Expose { window; damage } when conn.coalesce ->
+      let region = Option.map Region.of_rect damage in
+      Ring.push conn.ring (Damage { dwindow = window; region })
+  | _ -> Ring.push conn.ring (Plain event));
+  Metrics.record_max conn.m_depth (queue_depth conn)
+
 let deliver server cid event =
   match Hashtbl.find_opt server.conns cid with
   | Some conn when conn.alive ->
       Metrics.incr conn.m_enqueued;
-      if try_coalesce conn event then begin
+      let droppable = Event.droppable event in
+      if conn.throttled && droppable then
+        (* Quarantined: latest-wins classes are shed outright; the client
+           still sees every state-bearing event, so its session model stays
+           correct while its delivery budget shrinks. *)
+        note_shed server conn event
+      else if try_coalesce conn event then begin
         Metrics.incr conn.m_coalesced;
         if Tracing.enabled conn.c_tracer then
           Tracing.instant conn.c_tracer "server.coalesce"
             ~attrs:[ ("event", Event.kind_name event); ("conn", conn.cname) ]
       end
+      else if queue_depth conn >= conn.cap then begin
+        if droppable then begin
+          if coalesce_harder conn event then Metrics.incr conn.m_coalesced
+          else if shed_oldest_droppable server conn then
+            (* drop-oldest: the stalest droppable observation yields its
+               slot to the newest one *)
+            push_entry conn event
+          else note_shed server conn event
+        end
+        else if shed_oldest_droppable server conn then push_entry conn event
+        else begin
+          (* Every queued entry is state-bearing too: overrun the cap
+             rather than lose session state. *)
+          Metrics.incr server.m_overrun;
+          push_entry conn event
+        end
+      end
       else begin
         if Tracing.enabled conn.c_tracer then
           Tracing.instant conn.c_tracer "server.enqueue"
             ~attrs:[ ("event", Event.kind_name event); ("conn", conn.cname) ];
-        (match event with
-        | Event.Expose { window; damage } when conn.coalesce ->
-            let region = Option.map Region.of_rect damage in
-            Ring.push conn.ring (Damage { dwindow = window; region })
-        | _ -> Ring.push conn.ring (Plain event));
-        Metrics.record_max conn.m_depth
-          (Ring.length conn.ring + List.length conn.overflow)
+        push_entry conn event
       end
   | Some _ | None -> ()
 
@@ -795,7 +955,7 @@ let selected_masks server conn id =
   | Some masks -> masks
   | None -> []
 
-let pending conn = List.length conn.overflow + Ring.length conn.ring
+let pending conn = conn.overflow_len + Ring.length conn.ring
 
 (* A coalesced [Damage] entry expands to one Expose per disjoint rectangle
    of its region: the union of delivered damage is exactly the union of the
@@ -815,6 +975,7 @@ let rec next_event conn =
     match conn.overflow with
   | event :: rest ->
       conn.overflow <- rest;
+      conn.overflow_len <- conn.overflow_len - 1;
       Metrics.incr conn.m_delivered;
       Metrics.incr conn.m_delivered_by;
       Some event
@@ -826,6 +987,9 @@ let rec next_event conn =
           | [] -> next_event conn (* an empty damage region delivers nothing *)
           | event :: rest ->
               conn.overflow <- rest;
+              (* [rest] was just materialised from one entry, so the walk is
+                 over a handful of damage rects, not the queue *)
+              conn.overflow_len <- List.length rest;
               Metrics.incr conn.m_delivered;
               Metrics.incr conn.m_delivered_by;
               Some event))
@@ -1059,6 +1223,30 @@ let pick rng = function
       let arr = Array.of_list candidates in
       Some arr.(Random.State.int rng (Array.length arr))
 
+(* Event storm into one connection's queue: alternating Motion and Expose
+   over the victim's own windows (sorted, so replay picks the same
+   sequence), defeating newest-entry coalescing.  Everything goes through
+   [deliver], so the queue cap and shed policy bound it. *)
+let flood_conn server conn ~burst =
+  let windows =
+    Xid.Tbl.fold
+      (fun id w acc -> if w.owner = conn.cid then id :: acc else acc)
+      server.windows []
+    |> List.sort Xid.compare
+  in
+  let windows =
+    match windows with [] -> [| root server ~screen:0 |] | ws -> Array.of_list ws
+  in
+  for i = 0 to burst - 1 do
+    let window = windows.(i mod Array.length windows) in
+    let pos = Geom.point (i land 1023) (i land 63) in
+    let event =
+      if i land 1 = 0 then Event.Motion_notify { window; pos; root_pos = pos }
+      else Event.Expose { window; damage = Some (Geom.rect 0 0 8 8) }
+    in
+    deliver server conn.cid event
+  done
+
 let run_fault server f (action : Fault.action) =
   match action with
   | Fault.Destroy_window -> (
@@ -1100,6 +1288,23 @@ let run_fault server f (action : Fault.action) =
                  (if victim.stalled then 0 else 1));
             victim.stalled <- not victim.stalled
           end)
+  | Fault.Flood_events -> (
+      let candidates =
+        Hashtbl.fold
+          (fun cid conn acc ->
+            if conn.alive && not (is_fault_protected server cid) then conn :: acc
+            else acc)
+          server.conns []
+        |> List.sort (fun a b -> compare a.cid b.cid)
+      in
+      match pick (Fault.rng f) candidates with
+      | None -> ()
+      | Some victim ->
+          let burst = Fault.flood_burst f in
+          Fault.fire f action
+            ~attrs:[ ("conn", victim.cname); ("burst", string_of_int burst) ];
+          journal_fault server (Printf.sprintf "flood %s %d" (conn_key victim) burst);
+          flood_conn server victim ~burst)
   | Fault.Truncate_frame | Fault.Corrupt_frame | Fault.Garble_property ->
       (* Frame faults are applied by Wire_conn, property faults inline in
          change_property; neither reaches the request site. *)
@@ -1135,3 +1340,94 @@ let disarm_faults server =
   server.fault_protected <- []
 
 let faults server = server.fault
+
+(* -------- overload protection: caps, health, quarantine -------- *)
+
+let queue_cap server = server.queue_cap
+
+let set_queue_cap server cap =
+  let cap = max 1 cap in
+  server.queue_cap <- cap;
+  Hashtbl.iter (fun _ conn -> conn.cap <- cap) server.conns
+
+let set_health_thresholds server th = server.health_th <- th
+let health_thresholds server = server.health_th
+
+(* Pressure attribution from the wire layer: rejected frames and absorbed
+   X errors count against the submitting connection's health. *)
+let note_rejected conn = conn.h_rejected <- conn.h_rejected + 1
+let note_conn_xerror conn = conn.h_xerrors <- conn.h_xerrors + 1
+
+let conn_health conn = conn.health.Health.state
+let conn_health_score conn = conn.health.Health.score
+let is_throttled conn = conn.throttled
+let shed_count conn = conn.h_shed
+
+(* Worst queue-depth-to-cap ratio across live connections: the load
+   governor's primary input. *)
+let max_queue_ratio server =
+  Hashtbl.fold
+    (fun _ conn acc ->
+      if conn.alive then
+        max acc (float_of_int (pending conn) /. float_of_int (max 1 conn.cap))
+      else acc)
+    server.conns 0.0
+
+(* One health tick: fold each live connection's pressure signals into its
+   score and act on state transitions — quarantine throttles delivery,
+   recovery lifts it, eviction is the X "misbehaving client" close with
+   save-set rescue (via [disconnect]).  The WM's own connection
+   (journal-exempt) and fault-protected connections are never judged.
+   Transitions are collected first because eviction mutates [server.conns]
+   mid-iteration. *)
+let health_tick server =
+  let transitions = ref [] in
+  Hashtbl.iter
+    (fun cid conn ->
+      if conn.alive && (not conn.jexempt) && not (is_fault_protected server cid)
+      then begin
+        (* A stalled client (stopped reading) accrues a stall contribution
+           every tick it stays wedged. *)
+        if conn.stalled then conn.h_stalls <- conn.h_stalls + 1;
+        let sample =
+          {
+            Health.depth_ratio =
+              float_of_int (pending conn) /. float_of_int (max 1 conn.cap);
+            shed = conn.h_shed;
+            rejected = conn.h_rejected;
+            xerrors = conn.h_xerrors;
+            stalls = conn.h_stalls;
+          }
+        in
+        match Health.observe server.health_th conn.health sample with
+        | Health.No_change -> ()
+        | Health.Became state -> transitions := (conn, state) :: !transitions
+      end)
+    server.conns;
+  List.iter
+    (fun (conn, state) ->
+      (match state with
+      | Health.Throttled ->
+          conn.throttled <- true;
+          Metrics.incr server.m_quarantined
+      | Health.Healthy ->
+          conn.throttled <- false;
+          Metrics.incr server.m_unquarantined
+      | Health.Evicted ->
+          conn.throttled <- false;
+          Metrics.incr server.m_evicted);
+      let state_name = Health.state_name state in
+      if Recorder.enabled server.s_recorder then
+        Recorder.record server.s_recorder ~kind:"health"
+          ~attrs:
+            [
+              ("conn", conn.cname);
+              ("state", state_name);
+              ("score", Printf.sprintf "%.1f" conn.health.Health.score);
+            ]
+          (conn.cname ^ " -> " ^ state_name);
+      if Tracing.enabled server.s_tracer then
+        Tracing.instant server.s_tracer "server.health"
+          ~attrs:[ ("conn", conn.cname); ("state", state_name) ];
+      if state = Health.Evicted then disconnect server conn)
+    (List.rev !transitions)

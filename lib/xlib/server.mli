@@ -293,6 +293,59 @@ val set_stalled : conn -> bool -> unit
 (** Manual stall control for tests: a stalled connection enqueues
     events but {!next_event}/{!read_events} deliver nothing. *)
 
+val flood_conn : t -> conn -> burst:int -> unit
+(** Deliver an event storm (alternating Motion/Expose over the victim's
+    own windows) into one connection's queue through the normal delivery
+    path — the {!Fault.Flood_events} mechanism, also callable directly by
+    benches.  Backpressure bounds the queue at its cap. *)
+
+(** {1 Overload protection}
+
+    Per-connection queues are hard-bounded: at the cap, delivery degrades
+    through coalesce-harder (fold the event into any same-window entry of
+    its class) and then sheds {!Event.droppable} events (drop-oldest),
+    counted in [events.shed].  State-bearing events are never shed; if no
+    droppable entry can yield a slot they overrun the cap (counted in
+    [queue.cap_overruns]).  A {!Health} score per connection turns
+    sustained pressure into quarantine (droppable classes shed at enqueue)
+    and finally eviction — {!disconnect} with save-set rescue.  The WM's
+    journal-exempt connection and fault-protected connections are never
+    judged. *)
+
+val default_queue_cap : int
+
+val queue_cap : t -> int
+val set_queue_cap : t -> int -> unit
+(** Set the per-connection queue cap (clamped to >= 1) for existing and
+    future connections. *)
+
+val set_health_thresholds : t -> Health.thresholds -> unit
+val health_thresholds : t -> Health.thresholds
+
+val health_tick : t -> unit
+(** One quarantine pass: fold each live connection's pressure signals
+    (queue depth ratio, sheds, rejected frames, absorbed X errors, stall
+    contributions) into its {!Health} score and apply state transitions —
+    throttle, recover, or evict.  Transitions are recorded (kind
+    ["health"]), traced, and counted ([health.quarantined] /
+    [health.recovered] / [health.evicted]).  The WM calls this from its
+    governor cadence; tests may call it directly. *)
+
+val max_queue_ratio : t -> float
+(** Worst [pending / cap] over live connections — the load governor's
+    queue-pressure input. *)
+
+val note_rejected : conn -> unit
+val note_conn_xerror : conn -> unit
+(** Health attribution hooks for the wire layer: a rejected frame or an
+    absorbed X error counts against the submitting connection. *)
+
+val conn_health : conn -> Health.state
+val conn_health_score : conn -> float
+val is_throttled : conn -> bool
+val shed_count : conn -> int
+(** Events shed from this connection's queue so far. *)
+
 (** {1 Replay journal}
 
     When the flight recorder is enabled, every state-changing request a

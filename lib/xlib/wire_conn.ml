@@ -174,6 +174,9 @@ let submit_bytes t bytes =
      effects (traces, replays, chaos tests) need the split point. *)
   let fail count msg =
     Metrics.incr t.m_rejected;
+    (* Health attribution: a client that keeps submitting frames the
+       server refuses is pressuring the WM, and its score should say so. *)
+    Server.note_rejected t.sconn;
     Error { executed = count; error = msg }
   in
   (* One cached cursor decodes every frame in the stream — no per-frame
@@ -190,8 +193,11 @@ let submit_bytes t bytes =
           | () -> loop (count + 1)
           | exception Wire_error msg -> fail count msg
           | exception Server.Bad_window id ->
+              Server.note_conn_xerror t.sconn;
               fail count (Format.asprintf "BadWindow %a" Xid.pp id)
-          | exception Server.Bad_access msg -> fail count ("BadAccess: " ^ msg)
+          | exception Server.Bad_access msg ->
+              Server.note_conn_xerror t.sconn;
+              fail count ("BadAccess: " ^ msg)
           | exception Invalid_argument msg -> fail count msg)
   in
   loop 0

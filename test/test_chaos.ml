@@ -255,6 +255,8 @@ let plan_gen =
           p_truncate_frame = float_of_int c /. 400.;
           p_corrupt_frame = float_of_int d /. 400.;
           p_garble_property = float_of_int d /. 400.;
+          p_flood = float_of_int c /. 800.;
+          flood_burst = 64;
           max_faults = 48;
         })
       (triple (int_range 1 1_000_000)
@@ -269,6 +271,60 @@ let prop_no_crash_under_random_plans =
       in
       true)
 
+(* The overload storm: a seeded flood plan hammers client queues while the
+   usual stimulus runs.  Backpressure must bound every queue, no
+   state-bearing event may ever be shed, the WM must survive, and after a
+   restart every surviving client is re-adopted — the quarantine of the
+   flooders must not cost anyone else their session. *)
+let test_flood_storm_overload () =
+  let seed = 99 in
+  let cap = 128 in
+  let server = Server.create () in
+  Server.set_queue_cap server cap;
+  let wm = Wm.start ~resources server in
+  let ctx = Wm.ctx wm in
+  let apps = Workload.launch_n server 8 in
+  wm_step ~seed wm;
+  let fault =
+    Server.arm_faults server ~protect:[ ctx.Ctx.conn ]
+      (Fault.flood ~seed ~burst:4096 ())
+  in
+  for round = 0 to 5 do
+    let sub = (seed * 31) + round in
+    client_side (fun () -> Workload.motion_storm server ~seed:sub ~steps:25 ());
+    wm_step ~seed wm;
+    client_side (fun () -> Workload.expose_storm server ~seed:sub ~rounds:1 apps);
+    wm_step ~seed wm;
+    client_side (fun () ->
+        Workload.configure_churn server ~seed:sub ~rounds:2 apps);
+    wm_step ~seed wm
+  done;
+  let m = Server.metrics server in
+  check Alcotest.bool "floods actually fired" true
+    (Fault.count fault Fault.Flood_events > 0);
+  check Alcotest.bool "backpressure shed events" true
+    (Metrics.counter_value m "events.shed" > 0);
+  check Alcotest.int "zero state-bearing events shed" 0
+    (Metrics.counter_value m "events.shed.state_bearing");
+  check Alcotest.bool "queue depth stayed bounded" true
+    (Metrics.gauge_value m "queue.depth"
+    <= cap + Metrics.counter_value m "queue.cap_overruns");
+  Server.disarm_faults server;
+  let _late = Workload.launch_n server 3 in
+  wm_step ~seed wm;
+  Wm.shutdown wm;
+  let survivors = adoptable server in
+  let wm2 = Wm.start ~resources server in
+  wm_step ~seed wm2;
+  List.iter
+    (fun w ->
+      if Wm.find_client wm2 w = None then
+        Alcotest.failf "survivor %d not re-adopted after the storm"
+          (Xid.to_int w))
+    survivors;
+  check Alcotest.bool "adoption check was not vacuous" true
+    (List.length survivors >= 3)
+
 let suite =
   [
     Alcotest.test_case "200 seeded fault plans, zero crashes" `Quick
@@ -278,5 +334,7 @@ let suite =
       test_chaos_deterministic;
     Alcotest.test_case "metrics account for faults" `Quick
       test_metrics_account_for_faults;
+    Alcotest.test_case "flood storm: bounded queues, full re-adoption" `Quick
+      test_flood_storm_overload;
     QCheck_alcotest.to_alcotest prop_no_crash_under_random_plans;
   ]

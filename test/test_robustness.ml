@@ -234,6 +234,263 @@ let test_wm_restart_under_load () =
   in
   check Alcotest.int "all clients re-managed" 12 managed
 
+(* ---- Overload protection & self-healing ---- *)
+
+module Metrics = Swm_xlib.Metrics
+module Health = Swm_xlib.Health
+module Event = Swm_xlib.Event
+module Recorder = Swm_xlib.Recorder
+module Governor = Swm_core.Governor
+module Supervisor = Swm_core.Supervisor
+module Workload = Swm_clients.Workload
+
+let resources =
+  [ Templates.open_look; "swm*virtualDesktop: False\nswm*rootPanels:\n" ]
+
+let no_quarantine server =
+  (* Keep a test focused on backpressure/tiers: health never trips. *)
+  Server.set_health_thresholds server
+    {
+      Swm_xlib.Health.default_thresholds with
+      quarantine_score = infinity;
+      evict_score = infinity;
+    }
+
+let test_backpressure_bounds_queue () =
+  let server = Server.create () in
+  Server.set_queue_cap server 64;
+  no_quarantine server;
+  let conn = Server.connect server ~name:"hog" in
+  let root = Server.root server ~screen:0 in
+  (* More windows than cap slots: coalescing (which folds same-window
+     events) cannot absorb the storm, so the shed path must engage. *)
+  for _ = 1 to 96 do
+    ignore
+      (Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 20 20)
+         ())
+  done;
+  Server.flood_conn server conn ~burst:10_000;
+  let m = Server.metrics server in
+  check Alcotest.bool "pending bounded by the cap" true
+    (Server.pending conn <= 64);
+  check Alcotest.bool "max observed depth bounded" true
+    (Metrics.gauge_value m "queue.depth" <= 64);
+  check Alcotest.bool "sheds were counted" true
+    (Metrics.counter_value m "events.shed" > 0);
+  check Alcotest.int "no state-bearing event shed" 0
+    (Metrics.counter_value m "events.shed.state_bearing");
+  check Alcotest.bool "connection attributed its sheds" true
+    (Server.shed_count conn > 0)
+
+let test_state_bearing_overruns_cap () =
+  let server = Server.create () in
+  Server.set_queue_cap server 4;
+  no_quarantine server;
+  let conn = Server.connect server ~name:"tiny" in
+  let root = Server.root server ~screen:0 in
+  let parent =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 50 50) ()
+  in
+  Server.select_input server conn parent [ Event.Substructure_notify ];
+  (* Twelve state-bearing notifications into a cap-4 queue: every single
+     one must arrive — the cap is overrun rather than session state lost. *)
+  let kids =
+    List.init 12 (fun _ ->
+        Server.create_window server conn ~parent ~geom:(Geom.rect 0 0 5 5) ())
+  in
+  List.iter (fun k -> Server.destroy_window server k) kids;
+  let rec drain acc =
+    match Server.next_event conn with
+    | Some e -> drain (e :: acc)
+    | None -> acc
+  in
+  let destroys =
+    List.length
+      (List.filter
+         (fun e -> Event.kind_name e = "DestroyNotify")
+         (drain []))
+  in
+  check Alcotest.int "every DestroyNotify delivered" 12 destroys;
+  check Alcotest.bool "cap overruns counted" true
+    (Metrics.counter_value (Server.metrics server) "queue.cap_overruns" > 0);
+  check Alcotest.int "still zero state-bearing sheds" 0
+    (Metrics.counter_value (Server.metrics server) "events.shed.state_bearing")
+
+let test_health_state_machine () =
+  let th = Swm_xlib.Health.default_thresholds in
+  let sample ~depth ~shed =
+    { Health.depth_ratio = depth; shed; rejected = 0; xerrors = 0; stalls = 0 }
+  in
+  (* Sustained pressure: quarantine, then eviction. *)
+  let h = Health.create () in
+  let shed = ref 0 in
+  let seen = ref [] in
+  for _ = 1 to 6 do
+    shed := !shed + 50;
+    match Health.observe th h (sample ~depth:1.0 ~shed:!shed) with
+    | Health.Became s -> seen := s :: !seen
+    | Health.No_change -> ()
+  done;
+  check
+    Alcotest.(list string)
+    "escalates one state per tick"
+    [ "throttled"; "evicted" ]
+    (List.rev_map Health.state_name !seen);
+  (* One burst, then calm: hysteresis recovers the connection. *)
+  let h = Health.create () in
+  (match Health.observe th h (sample ~depth:1.0 ~shed:10) with
+  | Health.Became Health.Throttled -> ()
+  | _ -> Alcotest.fail "burst should quarantine");
+  let recovered = ref false in
+  for _ = 1 to 6 do
+    match Health.observe th h (sample ~depth:0.0 ~shed:10) with
+    | Health.Became Health.Healthy -> recovered := true
+    | _ -> ()
+  done;
+  check Alcotest.bool "calm ticks recover" true !recovered;
+  check Alcotest.string "healthy again" "healthy"
+    (Health.state_name h.Health.state)
+
+let test_flooder_quarantined_then_evicted () =
+  let server = Server.create () in
+  Server.set_queue_cap server 32;
+  let conn = Server.connect server ~name:"flooder" in
+  let root = Server.root server ~screen:0 in
+  (* Enough windows that the flood actually sheds (coalescing can't keep
+     up), so the health score sees real pressure. *)
+  for _ = 1 to 64 do
+    ignore
+      (Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 20 20)
+         ())
+  done;
+  let m = Server.metrics server in
+  let ticks = ref 0 in
+  while Server.conn_health conn <> Health.Evicted && !ticks < 50 do
+    incr ticks;
+    Server.flood_conn server conn ~burst:2000;
+    Server.health_tick server
+  done;
+  check Alcotest.bool "flooder was quarantined on the way" true
+    (Metrics.counter_value m "health.quarantined" > 0);
+  check Alcotest.string "flooder evicted" "evicted"
+    (Health.state_name (Server.conn_health conn));
+  check Alcotest.int "eviction counted" 1
+    (Metrics.counter_value m "health.evicted")
+
+let test_governor_tier_ladder () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources server in
+  let ctx = Wm.ctx wm in
+  Server.set_queue_cap server 32;
+  no_quarantine server;
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let conn = Client_app.conn app in
+  Server.flood_conn server conn ~burst:2000;
+  Governor.tick ctx;
+  check Alcotest.string "escalates straight to essential" "essential"
+    (Ctx.tier_name ctx.Ctx.tier);
+  (* Drain the flooded queue: pressure gone, but restoration is stepped. *)
+  while Server.pending conn > 0 do
+    ignore (Server.flush_batch conn)
+  done;
+  for _ = 1 to Governor.restore_calm_ticks do
+    Governor.tick ctx
+  done;
+  check Alcotest.string "one tier back after calm ticks" "reduced"
+    (Ctx.tier_name ctx.Ctx.tier);
+  for _ = 1 to Governor.restore_calm_ticks do
+    Governor.tick ctx
+  done;
+  check Alcotest.string "full service restored" "full"
+    (Ctx.tier_name ctx.Ctx.tier);
+  check Alcotest.int "three transitions counted" 3
+    (Metrics.counter_value (Server.metrics server) "governor.transitions")
+
+let test_degraded_tier_skips_luxury_work () =
+  let server = Server.create () in
+  let wm = Wm.start ~resources server in
+  let ctx = Wm.ctx wm in
+  let app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let client = client_of wm app in
+  ctx.Ctx.tier <- Ctx.Tier_reduced;
+  Swm_core.Decoration.update_name ctx client;
+  Swm_core.Panner.refresh ctx ~screen:0;
+  let m = Server.metrics server in
+  check Alcotest.bool "title repaint skipped" true
+    (Metrics.counter_value m "governor.redraws_skipped" > 0);
+  check Alcotest.bool "panner refresh skipped" true
+    (Metrics.counter_value m "governor.refreshes_skipped" > 0);
+  ctx.Ctx.tier <- Ctx.Tier_full
+
+let test_supervisor_recovers_from_exception () =
+  let server = Server.create () in
+  Recorder.start (Server.recorder server);
+  let sup = Supervisor.create ~resources server in
+  let apps = Workload.launch_n server 6 in
+  (match Supervisor.step sup with
+  | Supervisor.Stepped _ -> ()
+  | _ -> Alcotest.fail "expected a normal step");
+  let sleeps = ref [] in
+  Supervisor.set_sleep sup (fun ms -> sleeps := ms :: !sleeps);
+  Supervisor.set_backoff sup ~base_ms:7 ~max_ms:100;
+  (match Supervisor.step ~drive:(fun _ -> failwith "boom") sup with
+  | Supervisor.Recovered { attempts; _ } ->
+      check Alcotest.int "recovered on the first attempt" 1 attempts
+  | _ -> Alcotest.fail "expected a recovery");
+  check Alcotest.int "one restart" 1 (Supervisor.restarts sup);
+  check Alcotest.(list int) "backoff slept once, base delay" [ 7 ] !sleeps;
+  let wm2 = Supervisor.wm sup in
+  ignore (Wm.step wm2);
+  List.iter
+    (fun app ->
+      let win = Client_app.window app in
+      if Server.window_exists server win && Wm.find_client wm2 win = None then
+        Alcotest.failf "client %d not re-adopted" (Xid.to_int win))
+    apps;
+  check Alcotest.bool "recorder saw the recovery" true
+    (List.exists
+       (fun (e : Recorder.entry) -> e.kind = "supervisor")
+       (Recorder.entries (Server.recorder server)))
+
+let test_supervisor_watchdog_stall_recovery () =
+  let server = Server.create () in
+  Recorder.start (Server.recorder server);
+  let sup = Supervisor.create ~resources server in
+  let _apps = Workload.launch_n server 6 in
+  (* Every dispatch now overruns the watchdog: the stall burst must turn
+     into a supervised recovery, not a frozen WM. *)
+  (Supervisor.wm sup).Ctx.watchdog_threshold_ns <- 0;
+  (match Supervisor.step sup with
+  | Supervisor.Recovered { reason; _ } ->
+      check Alcotest.bool "reason names the watchdog" true
+        (Astring_contains.contains reason "watchdog")
+  | _ -> Alcotest.fail "expected a watchdog-triggered recovery");
+  check Alcotest.bool "fresh WM has a sane threshold" true
+    ((Supervisor.wm sup).Ctx.watchdog_threshold_ns > 0);
+  check Alcotest.bool "supervisor still in service" true
+    (not (Supervisor.gave_up sup));
+  let entries = Recorder.entries (Server.recorder server) in
+  check Alcotest.bool "stall recorded" true
+    (List.exists (fun (e : Recorder.entry) -> e.kind = "stall") entries);
+  check Alcotest.bool "recovery recorded" true
+    (List.exists (fun (e : Recorder.entry) -> e.kind = "supervisor") entries)
+
+let test_supervisor_gives_up () =
+  let server = Server.create () in
+  let sup = Supervisor.create ~resources server in
+  Supervisor.set_max_restarts sup 0;
+  (match Supervisor.recover sup ~reason:"test" with
+  | Supervisor.Gave_up _ -> ()
+  | _ -> Alcotest.fail "expected give-up with a zero restart budget");
+  check Alcotest.bool "inert afterwards" true
+    (match Supervisor.step sup with
+    | Supervisor.Gave_up _ -> true
+    | _ -> false);
+  check Alcotest.int "give-up counted" 1
+    (Metrics.counter_value (Server.metrics server) "supervisor.giveups")
+
 let suite =
   [
     Alcotest.test_case "client dies mid-move" `Quick test_client_dies_mid_move;
@@ -256,4 +513,22 @@ let suite =
     Alcotest.test_case "malformed bindings ignored" `Quick
       test_malformed_bindings_ignored;
     Alcotest.test_case "WM restart under load" `Quick test_wm_restart_under_load;
+    Alcotest.test_case "backpressure bounds the queue" `Quick
+      test_backpressure_bounds_queue;
+    Alcotest.test_case "state-bearing events overrun, never shed" `Quick
+      test_state_bearing_overruns_cap;
+    Alcotest.test_case "health state machine with hysteresis" `Quick
+      test_health_state_machine;
+    Alcotest.test_case "flooder quarantined then evicted" `Quick
+      test_flooder_quarantined_then_evicted;
+    Alcotest.test_case "governor walks the tier ladder" `Quick
+      test_governor_tier_ladder;
+    Alcotest.test_case "degraded tier skips luxury work" `Quick
+      test_degraded_tier_skips_luxury_work;
+    Alcotest.test_case "supervisor recovers from an escaped exception" `Quick
+      test_supervisor_recovers_from_exception;
+    Alcotest.test_case "watchdog stalls trigger supervised recovery" `Quick
+      test_supervisor_watchdog_stall_recovery;
+    Alcotest.test_case "supervisor gives up when the budget is spent" `Quick
+      test_supervisor_gives_up;
   ]
