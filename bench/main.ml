@@ -1240,7 +1240,7 @@ let bench_observability () =
   (* The same pan-storm fixture as pipeline/pan_storm, once with the tracer
      left disabled (the shipping default — this is the overhead the guards
      cost everyone) and once recording (the cost of turning tracing on). *)
-  let mk_pan_storm ?(traced = false) ?(recorder = false) () =
+  let mk_pan_storm ?(traced = false) ?(recorder = false) ?(ledger = true) () =
     let server = Server.create () in
     let wm =
       Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server
@@ -1253,6 +1253,7 @@ let bench_observability () =
     ignore (Wm.step wm);
     if traced then Tracing.start (Server.tracer server);
     if recorder then Swm_xlib.Recorder.start (Server.recorder server);
+    if not ledger then Server.set_ledger server false;
     let flip = ref false in
     fun () ->
       flip := not !flip;
@@ -1297,6 +1298,11 @@ let bench_observability () =
               recorder-off fixture above. *)
            Test.make ~name:"observability/recorder-overhead"
              (Staged.stage (mk_pan_storm ~recorder:true ()));
+           (* The lifecycle ledger ships armed, so the default storm above
+              already pays its cost; this fixture disarms it for the
+              baseline the CI ledger gate divides by. *)
+           Test.make ~name:"observability/pan_storm-ledger-off"
+             (Staged.stage (mk_pan_storm ~ledger:false ()));
            (* By now the enabled ring has wrapped: exports pay full price. *)
            Test.make ~name:"observability/chrome-export-full-ring"
              (Staged.stage (fun () -> ignore (Tracing.to_chrome_json on_tracer)));
@@ -1316,7 +1322,87 @@ let bench_observability () =
     (Tracing.dropped on_tracer);
   results
 
-let write_observability_json ~path results ~pipeline_pan_ns =
+(* -------- SLO: end-to-end event latency per class, per load regime ---- *)
+
+(* The p999 budgets per regime, nanoseconds.  Generous against CI-runner
+   noise, but they pin the order of magnitude: a quiet WM dispatches
+   within 50ms p999, a storm within 250ms, and even an overloaded WM
+   within 1s (shedding and coalescing are what keep the tail bounded). *)
+let slo_budgets_ns = [ ("quiet", 5.0e7); ("storm", 2.5e8); ("overload", 1.0e9) ]
+
+(* Run one scripted regime against a live WM and harvest the per-class
+   event.e2e_ns histograms the dispatch loop fills from ingress stamps. *)
+let measure_slo () =
+  let regime name =
+    let server = Server.create () in
+    let wm =
+      Wm.start ~resources:[ Templates.open_look; "swm*rootPanels:\n" ] server
+    in
+    let ctx = Wm.ctx wm in
+    let apps = Workload.launch_n server 8 in
+    ignore (Wm.step wm);
+    (match name with
+    | "quiet" ->
+        (* A human pottering: a pan and a step at a time, queues near
+           empty, residency dominated by the dispatch itself. *)
+        for i = 1 to 20 do
+          Vdesk.pan_to ctx ~screen:0 (Geom.point (i * 40 mod 800) (i * 30 mod 600));
+          ignore (Wm.step wm)
+        done
+    | "storm" ->
+        (* Motion + expose storms with pan sweeps, drained per round:
+           coalescing holds the queue short but events do wait. *)
+        for round = 1 to 6 do
+          Workload.motion_storm server ~seed:(41 + round) ~steps:200 ();
+          Workload.expose_storm server ~seed:(41 + round) ~rounds:2 apps;
+          for i = 1 to 10 do
+            Vdesk.pan_to ctx ~screen:0 (Geom.point (i * 100) (i * 80))
+          done;
+          ignore (Wm.step wm)
+        done
+    | _ ->
+        (* Overload: whole storm batteries land between drains, so queue
+           residency — not dispatch cost — dominates the tail. *)
+        for round = 1 to 4 do
+          Workload.motion_storm server ~seed:(67 + round) ~steps:2000 ();
+          Workload.expose_storm server ~seed:(67 + round) ~rounds:6 apps;
+          Workload.configure_churn server ~seed:(67 + round) ~rounds:4 apps;
+          ignore (Wm.step wm)
+        done);
+    let m = Server.metrics server in
+    let fam = Metrics.histogram_family m ~key:"event" "event.e2e_ns" in
+    let classes =
+      List.sort_uniq compare
+        (List.init (Event.last_event + 1) Event.name_of_code)
+    in
+    let per_class =
+      List.filter_map
+        (fun cls ->
+          let h = Metrics.labeled_histogram fam cls in
+          if Metrics.hist_count h = 0 then None
+          else
+            Some
+              (Printf.sprintf
+                 "\"%s\": {\"count\": %d, \"p50_ns\": %.0f, \"p99_ns\": %.0f, \
+                  \"p999_ns\": %.0f}"
+                 cls (Metrics.hist_count h) (Metrics.hist_quantile h 0.5)
+                 (Metrics.hist_quantile h 0.99)
+                 (Metrics.hist_quantile h 0.999)))
+        classes
+    in
+    Wm.shutdown wm;
+    Printf.sprintf "    \"%s\": {%s}" name (String.concat ", " per_class)
+  in
+  let budgets =
+    String.concat ", "
+      (List.map
+         (fun (name, ns) -> Printf.sprintf "\"%s\": %.0f" name ns)
+         slo_budgets_ns)
+  in
+  Printf.sprintf "{\n    \"budget_p999_ns\": {%s},\n%s\n  }" budgets
+    (String.concat ",\n" (List.map (fun (n, _) -> regime n) slo_budgets_ns))
+
+let write_observability_json ~path results ~pipeline_pan_ns ~slo =
   let off = find "observability/pan_storm-traced-off" results
   and on = find "observability/pan_storm-traced-on" results
   and span_disabled = find "observability/span-disabled" results
@@ -1347,9 +1433,22 @@ let write_observability_json ~path results ~pipeline_pan_ns =
        "  \"recorder\": {\"record_disabled_ns\": %s, \
         \"record_enabled_ns\": %s, \"pan_storm_recorder_off_ns\": %s, \
         \"pan_storm_recorder_on_ns\": %s, \"armed_ratio\": %s, \
-        \"record_disabled_budget_ns\": 50.0, \"armed_ratio_budget\": 2.0}\n"
+        \"record_disabled_budget_ns\": 50.0, \"armed_ratio_budget\": 2.0},\n"
        (num record_disabled) (num record_enabled) (num off) (num recorder_on)
        (num (recorder_on /. off)));
+  (* The ledger budget, gated like the recorder's: the default storm runs
+     with the ledger armed (it ships on), the -ledger-off fixture is the
+     baseline, and arming must not multiply the storm's cost. *)
+  let ledger_off = find "observability/pan_storm-ledger-off" results in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"ledger\": {\"pan_storm_ledger_off_ns\": %s, \
+        \"pan_storm_ledger_on_ns\": %s, \"armed_ratio\": %s, \
+        \"armed_ratio_budget\": 2.0},\n"
+       (num ledger_off) (num off)
+       (num (off /. ledger_off)));
+  (* The per-class end-to-end latency SLOs, measured from live regimes. *)
+  Buffer.add_string b (Printf.sprintf "  \"slo\": %s\n" slo);
   Buffer.add_string b "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -1833,7 +1932,8 @@ let () =
   write_pipeline_json ~path:(out_path "BENCH_pipeline.json") pipeline;
   write_observability_json ~path:(out_path "BENCH_observability.json")
     (bench_observability ())
-    ~pipeline_pan_ns:(find "pipeline/pan_storm" pipeline_results);
+    ~pipeline_pan_ns:(find "pipeline/pan_storm" pipeline_results)
+    ~slo:(measure_slo ());
   write_sample_trace ~path:(out_path "BENCH_observability.trace.json");
   run_robustness_family ();
   run_replay_family ();

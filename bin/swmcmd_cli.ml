@@ -18,6 +18,12 @@
      swmcmd_cli --top [FRAMES]       refreshing terminal table of counter
                                      rates from f.stats while a scripted
                                      workload runs (default 6 frames)
+     swmcmd_cli --fate [CONN|WIN]    recent event fates from the lifecycle
+                                     ledger (f.fate JSON), optionally
+                                     filtered to a connection or window
+     swmcmd_cli --waterfall FILE     run the scripted session and write the
+                                     recent-dispatch waterfall (ingress ->
+                                     queue -> dispatch -> requests) to FILE
      swmcmd_cli --flightdump FILE    write a flight-recorder report to FILE
      swmcmd_cli --replay FILE        f.replay(FILE): re-execute a crash
                                      report or repro file and print the
@@ -55,6 +61,8 @@ type mode =
   | Slowlog
   | Health
   | Top of int  (* frames to render *)
+  | Fate of string option
+  | Waterfall of string
   | Flightdump of string
   | Replay of string
   | Trace of string
@@ -65,7 +73,8 @@ type mode =
 let usage () =
   prerr_endline
     "usage: swmcmd_cli [COMMAND... | --metrics [--table | --prometheus] | \
-     --slowlog | --health | --top [FRAMES] | --flightdump FILE | \
+     --slowlog | --health | --top [FRAMES] | --fate [CONN|WIN] | \
+     --waterfall FILE | --flightdump FILE | \
      --replay FILE | --trace FILE | --profile | --flame FILE | \
      --chaos SEED]";
   exit 2
@@ -85,6 +94,9 @@ let parse_args () =
       match int_of_string_opt frames with
       | Some n when n > 0 -> Top n
       | Some _ | None -> usage ())
+  | [ "--fate" ] -> Fate None
+  | [ "--fate"; sel ] -> Fate (Some sel)
+  | [ "--waterfall"; file ] -> Waterfall file
   | [ "--flightdump"; file ] -> Flightdump file
   | [ "--replay"; file ] -> Replay file
   | [ "--trace"; file ] -> Trace file
@@ -247,6 +259,31 @@ let run_top frames =
   done;
   print_newline ()
 
+(* --waterfall: run the scripted session so the waterfall ring has a story
+   to tell, then have the WM write it atomically via f.waterfall. *)
+let run_waterfall file =
+  let server, wm = setup () in
+  let sender = Server.connect server ~name:"swmcmd" in
+  scripted_session server wm;
+  roundtrip server wm sender (Printf.sprintf "f.waterfall(%s)" file);
+  let reply = read_reply server in
+  (match Json.parse reply with
+  | Error msg ->
+      Printf.eprintf "swmcmd_cli: unparseable f.waterfall reply: %s\n" msg;
+      exit 1
+  | Ok json -> (
+      match Json.member "error" json with
+      | Some (Json.Str msg) ->
+          Printf.eprintf "swmcmd_cli: f.waterfall failed: %s\n" msg;
+          exit 1
+      | _ ->
+          let int_field name =
+            match Option.bind (Json.member name json) Json.to_int with
+            | Some n -> n
+            | None -> 0
+          in
+          Printf.printf "wrote %s: %d bytes\n" file (int_field "bytes")))
+
 let run_flightdump file =
   let server, wm = setup () in
   let sender = Server.connect server ~name:"swmcmd" in
@@ -377,6 +414,9 @@ let () =
   | Slowlog -> run_introspection "f.slowlog"
   | Health -> run_introspection "f.health"
   | Top frames -> run_top frames
+  | Fate None -> run_introspection "f.fate"
+  | Fate (Some sel) -> run_introspection (Printf.sprintf "f.fate(%s)" sel)
+  | Waterfall file -> run_waterfall file
   | Flightdump file -> run_flightdump file
   | Replay file -> run_introspection (Printf.sprintf "f.replay(%s)" file)
   | Trace file -> run_trace file

@@ -71,6 +71,22 @@ let tier_name = function
   | Tier_reduced -> "reduced"
   | Tier_essential -> "essential"
 
+(* Per-event waterfall: the most recent dispatches with their full
+   ingress -> queue -> dispatch -> f.* -> requests story, filled by
+   [Wm.handle_event_full] while the lifecycle ledger is armed and exported
+   by [f.waterfall].  Bounded ring, like the flight recorder. *)
+type waterfall_rec = {
+  wf_seq : int; (* the triggering event's ingress seq *)
+  wf_code : int;
+  wf_ingress_ns : int; (* 0 when the ledger was disarmed at enqueue *)
+  wf_t0 : int; (* dispatch start, monotonic *)
+  wf_t1 : int; (* dispatch complete *)
+  wf_requests : int; (* output requests issued during this dispatch *)
+  wf_fns : string list; (* f.* verbs the dispatch executed, in order *)
+}
+
+let waterfall_capacity = 64
+
 type mode =
   | Idle
   | Moving of { m_client : client; grab_offset : Geom.point; m_outline : Xid.t }
@@ -122,6 +138,15 @@ type t = {
          increment is one array load instead of a label-hash lookup *)
   h_dispatch_ns : Swm_xlib.Metrics.histogram; (* wm.dispatch_ns, CPU time *)
   h_dispatch_wall_ns : Swm_xlib.Metrics.histogram; (* wm.dispatch_wall_ns *)
+  h_e2e : Swm_xlib.Metrics.histogram array;
+      (* event.e2e_ns{event} resolved per Event.code: ingress ->
+         dispatch-complete wall latency, observed only for events whose
+         entry carries a live ingress stamp (ledger armed) *)
+  wf_ring : waterfall_rec option array; (* recent-dispatch waterfall *)
+  mutable wf_head : int; (* next write slot *)
+  mutable fn_trail : string list;
+      (* f.* verbs run by the dispatch in flight (newest first); reset by
+         Wm per event, appended by Functions.execute_at *)
   c_events_dispatched : Swm_xlib.Metrics.counter; (* wm.events_dispatched *)
   c_watchdog_stalls : Swm_xlib.Metrics.counter; (* watchdog.stalls *)
   atoms : atoms; (* hot ICCCM/SWM property names, interned once *)

@@ -83,6 +83,23 @@ type tier =
 
 val tier_name : tier -> string
 
+(** One recent dispatch in the per-event waterfall: the full ingress ->
+    queue -> dispatch -> f.* -> requests story for one delivered event,
+    filled by {!Wm.handle_event_full} while the lifecycle ledger is armed
+    and exported by [f.waterfall].  Bounded ring, like the flight
+    recorder. *)
+type waterfall_rec = {
+  wf_seq : int;  (** the triggering event's ingress seq *)
+  wf_code : int;
+  wf_ingress_ns : int;  (** 0 when the ledger was disarmed at enqueue *)
+  wf_t0 : int;  (** dispatch start, monotonic *)
+  wf_t1 : int;  (** dispatch complete *)
+  wf_requests : int;  (** output requests issued during this dispatch *)
+  wf_fns : string list;  (** f.* verbs the dispatch executed, in order *)
+}
+
+val waterfall_capacity : int
+
 type mode =
   | Idle
   | Moving of {
@@ -165,6 +182,16 @@ type t = {
       (** [wm.dispatch_ns] (CPU time), resolved once *)
   h_dispatch_wall_ns : Swm_xlib.Metrics.histogram;
       (** [wm.dispatch_wall_ns] (monotonic wall time), resolved once *)
+  h_e2e : Swm_xlib.Metrics.histogram array;
+      (** [event.e2e_ns{event}] resolved per {!Event.code}: ingress ->
+          dispatch-complete wall latency, observed only for events whose
+          queue entry carries a live ingress stamp (ledger armed) *)
+  wf_ring : waterfall_rec option array;
+      (** recent-dispatch waterfall, {!waterfall_capacity} slots *)
+  mutable wf_head : int;  (** next waterfall write slot *)
+  mutable fn_trail : string list;
+      (** f.* verbs run by the dispatch in flight (newest first); reset by
+          {!Wm} per event, appended by {!Functions.execute_at} *)
   c_events_dispatched : Swm_xlib.Metrics.counter;
   c_watchdog_stalls : Swm_xlib.Metrics.counter;
   atoms : atoms;  (** hot ICCCM/SWM property names, interned at startup *)

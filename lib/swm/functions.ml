@@ -6,6 +6,7 @@ module Wobj = Swm_oi.Wobj
 module Menu = Swm_oi.Menu
 module Panel_spec = Swm_oi.Panel_spec
 module Metrics = Swm_xlib.Metrics
+module Event = Swm_xlib.Event
 module Tracing = Swm_xlib.Tracing
 module Recorder = Swm_xlib.Recorder
 module Replay = Swm_xlib.Replay
@@ -30,6 +31,7 @@ let data_arg_functions =
     "f.menu"; "f.exec"; "f.places"; "f.autosave"; "f.resizedesktop"; "f.setlabel";
     "f.setbindings"; "f.warpto"; "f.scrollholder"; "f.function"; "f.trace";
     "f.metrics"; "f.flightdump"; "f.replay"; "f.profile"; "f.flame";
+    "f.fate"; "f.waterfall";
   ]
 
 (* f.replay must start a fresh WM, which lives above this module in the
@@ -453,7 +455,7 @@ let health_json (ctx : Ctx.t) =
      \"state_bearing_shed\":%d,\"cap_overruns\":%d,\"quarantined\":%d,\
      \"recovered\":%d,\"evicted\":%d,\"tier_transitions\":%d,\
      \"events_skipped\":%d},\"recorder\":{\"enabled\":%b,\"recorded\":%d,\
-     \"dropped\":%d,\"crash_dumps\":%d}}"
+     \"dropped\":%d,\"crash_dumps\":%d},\"ledger\":%s}"
     (Metrics.json_string (if degraded then "degraded" else "ok"))
     (Metrics.json_string (Ctx.tier_name ctx.tier))
     (c "wm.events_dispatched") (c "wm.xerrors") stalls (c "faults.injected")
@@ -468,6 +470,42 @@ let health_json (ctx : Ctx.t) =
     (c "governor.events_skipped")
     (Recorder.enabled recorder) (Recorder.recorded recorder)
     (Recorder.dropped recorder) (Recorder.dumps recorder)
+    (Server.ledger_json ctx.server)
+
+(* The recent-dispatch waterfall: every retained dispatch with its
+   ingress -> queue -> dispatch timings, the requests it issued, and the
+   f.* verbs it ran — the per-event causality view behind f.waterfall.
+   Entries are emitted oldest-first; queue_ns/e2e_ns are -1 when the event
+   entered the queue while the ledger was disarmed (no ingress stamp). *)
+let waterfall_json (ctx : Ctx.t) =
+  let cap = Array.length ctx.wf_ring in
+  let entries = ref [] in
+  for i = cap - 1 downto 0 do
+    match ctx.wf_ring.((ctx.wf_head + i) mod cap) with
+    | Some r -> entries := r :: !entries
+    | None -> ()
+  done;
+  let entries = List.rev !entries in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"events\":%d,\"waterfall\":[" (List.length entries));
+  List.iteri
+    (fun i (r : Ctx.waterfall_rec) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let queue_ns = if r.wf_ingress_ns > 0 then r.wf_t0 - r.wf_ingress_ns else -1 in
+      let e2e_ns = if r.wf_ingress_ns > 0 then r.wf_t1 - r.wf_ingress_ns else -1 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"seq\":%d,\"event\":%s,\"ingress_ns\":%d,\"queue_ns\":%d,\
+            \"dispatch_ns\":%d,\"e2e_ns\":%d,\"requests\":%d,\"functions\":[%s]}"
+           r.wf_seq
+           (Metrics.json_string (Event.name_of_code r.wf_code))
+           r.wf_ingress_ns queue_ns (r.wf_t1 - r.wf_t0) e2e_ns r.wf_requests
+           (String.concat "," (List.map Metrics.json_string r.wf_fns))))
+    entries;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"ledger\":%s}" (Server.ledger_json ctx.server));
+  Buffer.contents buf
 
 (* The time-series payload: the sampler's retained window plus the derived
    rates.  A sample is taken first so the window always extends to the
@@ -682,6 +720,39 @@ let rec run_data ~depth (ctx : Ctx.t) inv name arg =
                   set_result ctx ~screen (Replay.outcome_json (!replay_runner report))))
       | Some _ | None ->
           set_result ctx ~screen "{\"error\":\"f.replay takes a file path\"}")
+  | "f.fate" -> (
+      (* f.fate([CONN|WINDOW]) — the lifecycle ledger's recent fate records
+         (what happened to each event: delivered, coalesced into a survivor,
+         folded, shed, dropped, skipped, evicted), optionally filtered to a
+         connection name or a window id, plus the running conservation
+         counters.  "Where did my event go?" answered from live state. *)
+      match Option.map String.trim arg with
+      | None | Some "" -> set_result ctx ~screen (Server.fate_json ctx.server ())
+      | Some sel -> (
+          let window_of sel =
+            if String.length sel > 1 && sel.[0] = '#' then
+              int_of_string_opt (String.sub sel 1 (String.length sel - 1))
+            else int_of_string_opt sel
+          in
+          match window_of sel with
+          | Some w -> set_result ctx ~screen (Server.fate_json ctx.server ~window:w ())
+          | None -> set_result ctx ~screen (Server.fate_json ctx.server ~conn:sel ())))
+  | "f.waterfall" -> (
+      (* f.waterfall(FILE) — write the recent-dispatch waterfall JSON
+         atomically and reply with what was written, mirroring f.flightdump. *)
+      match Option.map String.trim arg with
+      | Some path when path <> "" -> (
+          let json = waterfall_json ctx in
+          try
+            Session.write_atomic ~path json;
+            set_result ctx ~screen
+              (Printf.sprintf "{\"waterfall\":%s,\"bytes\":%d}"
+                 (Metrics.json_string path) (String.length json))
+          with Sys_error msg ->
+            set_result ctx ~screen
+              (Printf.sprintf "{\"error\":%s}" (Metrics.json_string msg)))
+      | Some _ | None ->
+          set_result ctx ~screen "{\"error\":\"f.waterfall takes a file path\"}")
   | "f.warpto" -> (
       match arg with
       | Some class_arg -> (
@@ -715,13 +786,18 @@ and execute_at ~depth (ctx : Ctx.t) inv (funcs : Bindings.func_call list) =
          stay out so a typo storm cannot burn label slots. *)
       (* max_series must clear the full f.* vocabulary (~44 names) so no
          legitimate verb lands in "other". *)
-      if known name then
+      if known name then begin
         Metrics.incr
           (Metrics.labeled_counter
              (Metrics.counter_family
                 (Server.metrics ctx.server)
                 ~max_series:64 ~key:"fn" "functions.calls")
              name);
+        (* The dispatch-in-flight trail: Wm resets it per event and copies
+           it (reversed) into the waterfall record, linking f.* activity to
+           the triggering event. *)
+        ctx.fn_trail <- name :: ctx.fn_trail
+      end;
       let tracer = Server.tracer ctx.server in
       if List.mem name nullary_functions then begin
         (if Tracing.enabled tracer then Tracing.span tracer name

@@ -833,16 +833,22 @@ let governor_tick (ctx : Ctx.t) =
     Server.with_journal_suspended ctx.server (fun () -> Governor.tick ctx)
   end
 
-let handle_event_full (ctx : Ctx.t) event =
+let handle_event_full (ctx : Ctx.t) event (stamp : Server.stamp) =
   let metrics = Server.metrics ctx.server in
   let tracer = Server.tracer ctx.server in
   let recorder = Server.recorder ctx.server in
   let code = Event.code event in
   let kind = Event.name_of_code code in
-  if Recorder.enabled recorder then Recorder.record recorder ~kind:"event" kind;
+  if Recorder.enabled recorder then
+    (* The seq exemplar links this recorder entry (and every request the
+       dispatch issues) back to the triggering event's ingress record. *)
+    Recorder.record recorder ~kind:"event"
+      ~attrs:[ ("seq", string_of_int stamp.Server.seq) ]
+      kind;
   Metrics.incr ctx.dispatch_counters.(code);
   (if Tracing.enabled tracer then
-     Tracing.span tracer "wm.dispatch" ~attrs:span_attrs.(code)
+     Tracing.span tracer "wm.dispatch"
+       ~attrs:(("seq", string_of_int stamp.Server.seq) :: span_attrs.(code))
    else fun f -> f ())
   @@ fun () ->
   (* The profiler's GC probe sits inside the wm.dispatch span: the span's
@@ -852,6 +858,8 @@ let handle_event_full (ctx : Ctx.t) event =
   @@ fun () ->
   let t0 = Metrics.now_mono_ns () in
   let c0 = Sys.time () in
+  let req0 = Server.request_count ctx.server in
+  ctx.fn_trail <- [];
   (match
      (try
         Xguard.protect ctx ~where:dispatch_where.(code) (fun () ->
@@ -875,8 +883,28 @@ let handle_event_full (ctx : Ctx.t) event =
      (dispatch_ns, "how much work") and monotonic wall time
      (dispatch_wall_ns, "how long the loop stalled"). *)
   Metrics.observe ctx.h_dispatch_ns (int_of_float ((Sys.time () -. c0) *. 1e9));
-  let elapsed = Metrics.now_mono_ns () - t0 in
+  let t1 = Metrics.now_mono_ns () in
+  let elapsed = t1 - t0 in
   Metrics.observe ctx.h_dispatch_wall_ns elapsed;
+  (* Ingress -> dispatch-complete wall latency, per event class.  A zero
+     ingress stamp means the ledger was disarmed when this event entered
+     the queue: no residency baseline, so no sample. *)
+  if stamp.Server.ingress_ns > 0 then
+    Metrics.observe ctx.h_e2e.(code) (t1 - stamp.Server.ingress_ns);
+  if Server.ledger_enabled ctx.server then begin
+    ctx.wf_ring.(ctx.wf_head) <-
+      Some
+        {
+          Ctx.wf_seq = stamp.Server.seq;
+          wf_code = code;
+          wf_ingress_ns = stamp.Server.ingress_ns;
+          wf_t0 = t0;
+          wf_t1 = t1;
+          wf_requests = Server.request_count ctx.server - req0;
+          wf_fns = List.rev ctx.fn_trail;
+        };
+    ctx.wf_head <- (ctx.wf_head + 1) mod Array.length ctx.wf_ring
+  end;
   if elapsed >= ctx.watchdog_threshold_ns then begin
     Metrics.incr ctx.c_watchdog_stalls;
     let attrs =
@@ -891,17 +919,18 @@ let handle_event_full (ctx : Ctx.t) event =
   stats_tick ctx;
   autosave_tick ctx
 
-let handle_event_timed (ctx : Ctx.t) event =
+let handle_event_timed (ctx : Ctx.t) event (stamp : Server.stamp) =
   if ctx.tier = Ctx.Tier_essential && Event.droppable_code (Event.code event)
   then begin
     (* Essential tier: latest-wins events are not worth their dispatch cost
        while overloaded.  The governor still ticks on skipped events, so
        recovery happens even under a pure motion storm. *)
     Metrics.incr ctx.c_gov_skipped;
+    Server.ledger_skip ctx.conn event stamp;
     governor_tick ctx;
     stats_tick ctx
   end
-  else handle_event_full ctx event
+  else handle_event_full ctx event stamp
 
 (* The flight recorder's compact state snapshot: the window table, the
    per-screen viewport, and the iconic/sticky id sets — enough to place
@@ -982,13 +1011,13 @@ let step (ctx : Ctx.t) =
   let count = ref 0 in
   let rec drain () =
     if ctx.running || Server.pending ctx.conn > 0 then
-      match Server.read_events ctx.conn ~max:batch_size with
+      match Server.read_events_stamped ctx.conn ~max:batch_size with
       | [] -> ()
       | events ->
           List.iter
-            (fun event ->
+            (fun (event, stamp) ->
               incr count;
-              handle_event_timed ctx event)
+              handle_event_timed ctx event stamp)
             events;
           drain ()
   in
@@ -1003,15 +1032,18 @@ let run (ctx : Ctx.t) ~max_events =
   let count = ref 0 in
   let continue = ref true in
   while !continue && ctx.running && !count < max_events do
-    match Server.read_events ctx.conn ~max:(min batch_size (max_events - !count)) with
+    match
+      Server.read_events_stamped ctx.conn
+        ~max:(min batch_size (max_events - !count))
+    with
     | [] -> continue := false
     | events ->
         (* A whole batch is dequeued at once, so events already read are
            handled even if a handler clears [running] mid-batch. *)
         List.iter
-          (fun event ->
+          (fun (event, stamp) ->
             incr count;
-            handle_event_timed ctx event)
+            handle_event_timed ctx event stamp)
           events
   done;
   if Recorder.enabled recorder then
@@ -1134,6 +1166,13 @@ let start ?(resources = []) ?(host = "localhost") ?(display = ":0") server =
       dispatch_counters;
       h_dispatch_ns = Metrics.histogram metrics "wm.dispatch_ns";
       h_dispatch_wall_ns = Metrics.histogram metrics "wm.dispatch_wall_ns";
+      h_e2e =
+        (let fam = Metrics.histogram_family metrics ~key:"event" "event.e2e_ns" in
+         Array.init (Event.last_event + 1) (fun code ->
+             Metrics.labeled_histogram fam (Event.name_of_code code)));
+      wf_ring = Array.make Ctx.waterfall_capacity None;
+      wf_head = 0;
+      fn_trail = [];
       c_events_dispatched = Metrics.counter metrics "wm.events_dispatched";
       c_watchdog_stalls = Metrics.counter metrics "watchdog.stalls";
       atoms;

@@ -251,8 +251,9 @@ let hist_json h =
         Printf.sprintf "[%d,%d]" (bucket_upper i) h.counts.(i) :: !bucket_list
   done;
   Printf.sprintf
-    "{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%.1f,\"p99\":%.1f,\"buckets\":[%s]}"
+    "{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%.1f,\"p99\":%.1f,\"p999\":%.1f,\"buckets\":[%s]}"
     h.hcount h.hsum h.hmax (hist_quantile h 0.5) (hist_quantile h 0.99)
+    (hist_quantile h 0.999)
     (String.concat "," !bucket_list)
 
 let to_json t =
@@ -472,8 +473,9 @@ let to_table t =
     line "histograms:";
     List.iter
       (fun (name, h) ->
-        line "  %-36s count=%-8d p50=%-10.0f p99=%-10.0f max=%d" name h.hcount
-          (hist_quantile h 0.5) (hist_quantile h 0.99) h.hmax)
+        line "  %-36s count=%-8d p50=%-10.0f p99=%-10.0f p999=%-10.0f max=%d"
+          name h.hcount (hist_quantile h 0.5) (hist_quantile h 0.99)
+          (hist_quantile h 0.999) h.hmax)
       (sorted_bindings t.histograms)
   end;
   if Hashtbl.length t.c_families > 0 then begin

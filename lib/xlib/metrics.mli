@@ -149,11 +149,11 @@ val json_string : string -> string
 val to_json : t -> string
 (** The registry as one JSON object:
     [{"counters": {..}, "gauges": {..},
-      "histograms": {name: {"count","sum","max","p50","p99",
+      "histograms": {name: {"count","sum","max","p50","p99","p999",
       "buckets":[[le,count],..]}},
       "labeled": {family: {"key":k,"series":{label:v,..}},..},
       "labeled_histograms": {family: {"key":k,"series":{label:hist,..}},..}]
-    [p50]/[p99] are {!hist_quantile} estimates.  Series are sorted by name
+    [p50]/[p99]/[p999] are {!hist_quantile} estimates.  Series are sorted by name
     so dumps diff cleanly, and names are escaped with {!json_string} so the
     dump is always valid JSON. *)
 
@@ -173,8 +173,8 @@ val to_prometheus : t -> string
 
 val to_table : t -> string
 (** A human-readable table: name-sorted counters and gauges with their
-    values, histograms with count/p50/p99/max — what [swmcmd_cli --metrics
-    --table] prints. *)
+    values, histograms with count/p50/p99/p999/max — what [swmcmd_cli
+    --metrics --table] prints. *)
 
 (** {1 Time-series sampler}
 

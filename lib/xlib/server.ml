@@ -1,20 +1,158 @@
 exception Bad_window of Xid.t
 exception Bad_access of string
 
+(* -------- lifecycle ledger --------
+
+   Every event is stamped at ingress ([deliver]) with a monotonic
+   timestamp and a sequence id carried in its queue entry, and every exit
+   from the pipeline records a fate: delivery, one of the coalescer /
+   shed-ladder outcomes (with the surviving entry's seq for merges, so
+   coalescing lineage is queryable), the governor's essential-tier skip,
+   or eviction with the owning connection.  The fate counters always run
+   — they are plain ints, and conservation
+   ([enqueued = delivered + sum of fates + pending]) must hold whether or
+   not anyone is watching — while the timestamps, the bounded ring of
+   recent fate records behind [f.fate], and the [event.queue_ns{event}]
+   residency histograms are taken only while the ledger is armed
+   ({!set_ledger}, default on). *)
+
+type fate =
+  | Delivered
+  | Coalesced_into
+  | Folded
+  | Dropped_oldest
+  | Shed
+  | Skipped
+  | Evicted_with_conn
+
+let fate_name = function
+  | Delivered -> "delivered"
+  | Coalesced_into -> "coalesced_into"
+  | Folded -> "folded"
+  | Dropped_oldest -> "dropped_oldest"
+  | Shed -> "shed"
+  | Skipped -> "skipped"
+  | Evicted_with_conn -> "evicted_with_conn"
+
+type fate_record = {
+  fr_seq : int;
+  fr_survivor : int; (* the surviving entry's seq for merges; -1 otherwise *)
+  fr_conn : string;
+  fr_code : int;
+  fr_window : int;
+  fr_fate : fate;
+  fr_t_in : int;
+  fr_t_fate : int;
+}
+
+(* Recent-fates window behind [f.fate]; like the flight recorder's ring,
+   it never grows, so a storm costs one slot overwrite per event. *)
+let fate_ring_capacity = 512
+
+type ledger = {
+  mutable lg_armed : bool;
+  mutable lg_seq : int;
+  mutable lg_enqueued : int;
+  mutable lg_delivered : int;
+  mutable lg_coalesced : int;
+  mutable lg_folded : int;
+  mutable lg_dropped : int;
+  mutable lg_shed : int;
+  mutable lg_skipped : int;
+  mutable lg_evicted : int;
+  mutable lg_last_skip : int;
+      (* a multi-rect Damage entry expands to several events sharing one
+         seq; reclassifying delivered->skipped must count the entry once *)
+  lg_fates : fate_record option array;
+  mutable lg_head : int; (* next write slot *)
+  lg_queue_hist : Metrics.histogram array;
+      (* event.queue_ns{event} indexed by Event.code, cached at create *)
+}
+
+type stamp = { seq : int; ingress_ns : int }
+
+let mk_ledger metrics =
+  let fam = Metrics.histogram_family metrics ~key:"event" "event.queue_ns" in
+  {
+    lg_armed = true;
+    lg_seq = 0;
+    lg_enqueued = 0;
+    lg_delivered = 0;
+    lg_coalesced = 0;
+    lg_folded = 0;
+    lg_dropped = 0;
+    lg_shed = 0;
+    lg_skipped = 0;
+    lg_evicted = 0;
+    lg_last_skip = 0;
+    lg_fates = Array.make fate_ring_capacity None;
+    lg_head = 0;
+    lg_queue_hist =
+      Array.init (Event.last_event + 1) (fun code ->
+          Metrics.labeled_histogram fam (Event.name_of_code code));
+  }
+
+let fate_bump lg = function
+  | Delivered -> lg.lg_delivered <- lg.lg_delivered + 1
+  | Coalesced_into -> lg.lg_coalesced <- lg.lg_coalesced + 1
+  | Folded -> lg.lg_folded <- lg.lg_folded + 1
+  | Dropped_oldest -> lg.lg_dropped <- lg.lg_dropped + 1
+  | Shed -> lg.lg_shed <- lg.lg_shed + 1
+  | Skipped -> lg.lg_skipped <- lg.lg_skipped + 1
+  | Evicted_with_conn -> lg.lg_evicted <- lg.lg_evicted + 1
+
+let record_fate lg ~cname ~seq ?(survivor = -1) ~code ~window ~t_in fate =
+  fate_bump lg fate;
+  if lg.lg_armed then begin
+    lg.lg_fates.(lg.lg_head) <-
+      Some
+        {
+          fr_seq = seq;
+          fr_survivor = survivor;
+          fr_conn = cname;
+          fr_code = code;
+          fr_window = window;
+          fr_fate = fate;
+          fr_t_in = t_in;
+          fr_t_fate = Metrics.now_mono_ns ();
+        };
+    lg.lg_head <- (lg.lg_head + 1) mod fate_ring_capacity
+  end
+
+(* Damage entries surface as Expose on delivery; fate records use the same
+   class so lineage queries line up with what the client would have seen. *)
+let expose_code = Event.code (Event.Expose { window = Xid.none; damage = None })
+
 (* Queue entries: most events sit as [Plain]; pending expose damage on a
    window is accumulated as a region so overlapping rectangles merge
-   instead of queueing one event each. *)
+   instead of queueing one event each.  Each entry carries its ingress
+   stamp; coalescing builds fresh entries, so a merge decides explicitly
+   which stamp survives (latest-wins for Plain replacement, the original
+   for region accumulation). *)
 type entry =
-  | Plain of Event.t
-  | Damage of { dwindow : Xid.t; mutable region : Region.t option (* None = whole window *) }
+  | Plain of { ev : Event.t; seq : int; t_in : int }
+  | Damage of {
+      dwindow : Xid.t;
+      mutable region : Region.t option; (* None = whole window *)
+      seq : int;
+      t_in : int;
+    }
+
+let entry_meta = function
+  | Plain { ev; seq; t_in } ->
+      (seq, t_in, Event.code ev, Xid.to_int (Event.window_of ev))
+  | Damage { dwindow; seq; t_in; _ } ->
+      (seq, t_in, expose_code, Xid.to_int dwindow)
 
 type conn = {
   cid : int;
   cname : string;
   ring : entry Ring.t;
-  mutable overflow : Event.t list;
+  mutable overflow : (Event.t * stamp) list;
       (* events expanded out of a multi-rect [Damage] entry but not yet
-         handed to the client; always delivered before the ring *)
+         handed to the client; always delivered before the ring.  They
+         share the entry's stamp: the entry was accounted once at pop, so
+         spilled rects add nothing to the ledger *)
   mutable overflow_len : int;
       (* tracked incrementally so queue-depth accounting never walks the
          spillover list *)
@@ -47,6 +185,7 @@ type conn = {
   m_depth : Metrics.gauge;
   m_batch : Metrics.histogram;
   c_tracer : Tracing.t;
+  c_ledger : ledger; (* shared with the server: one ledger fleet-wide *)
 }
 
 type window = {
@@ -95,6 +234,7 @@ type t = {
   s_tracer : Tracing.t;
   s_recorder : Recorder.t;
   s_profiler : Profile.t;
+  s_ledger : ledger;
   delivered_by_conn : Metrics.counter_family;
   mutable queue_cap : int;
   mutable health_th : Health.thresholds;
@@ -185,6 +325,7 @@ let create ?(screens = [ default_screen ]) () =
     s_tracer;
     s_recorder = Recorder.create ();
     s_profiler = Profile.create ~metrics ~tracer:s_tracer ();
+    s_ledger = mk_ledger metrics;
     delivered_by_conn =
       Metrics.counter_family metrics ~key:"conn" "events.delivered.by_conn";
     queue_cap = default_queue_cap;
@@ -235,6 +376,7 @@ let connect server ~name =
       m_depth = Metrics.gauge server.metrics "queue.depth";
       m_batch = Metrics.histogram server.metrics "delivery.batch_size";
       c_tracer = server.s_tracer;
+      c_ledger = server.s_ledger;
     }
   in
   Hashtbl.replace server.conns cid conn;
@@ -314,25 +456,43 @@ let atoms server = server.atom_table
    latest position, redundant ConfigureNotify sequences (same window, same
    synthetic flag) fold to the final geometry, and consecutive Expose
    damage on the same window merges via Region.union. *)
-let try_coalesce conn event =
+let try_coalesce conn ~seq ~t_in event =
   conn.coalesce
   &&
   match (event, Ring.peek_back conn.ring) with
   | ( Event.Motion_notify { window; _ },
-      Some (Plain (Event.Motion_notify { window = prev; _ })) )
+      Some (Plain { ev = Event.Motion_notify { window = prev; _ }; seq = oseq; t_in = ot }) )
     when Xid.equal window prev ->
-      Ring.replace_back conn.ring (Plain event);
+      (* Latest-wins replacement: the old observation dies, the incoming
+         one (and its stamp) survives. *)
+      record_fate conn.c_ledger ~cname:conn.cname ~seq:oseq ~survivor:seq
+        ~code:(Event.code event) ~window:(Xid.to_int window) ~t_in:ot
+        Coalesced_into;
+      Ring.replace_back conn.ring (Plain { ev = event; seq; t_in });
       true
   | ( Event.Configure_notify { window; synthetic; _ },
-      Some (Plain (Event.Configure_notify { window = prev; synthetic = sprev; _ })) )
+      Some
+        (Plain
+           {
+             ev = Event.Configure_notify { window = prev; synthetic = sprev; _ };
+             seq = oseq;
+             t_in = ot;
+           }) )
     when Xid.equal window prev && synthetic = sprev ->
-      Ring.replace_back conn.ring (Plain event);
+      record_fate conn.c_ledger ~cname:conn.cname ~seq:oseq ~survivor:seq
+        ~code:(Event.code event) ~window:(Xid.to_int window) ~t_in:ot
+        Coalesced_into;
+      Ring.replace_back conn.ring (Plain { ev = event; seq; t_in });
       true
   | Event.Expose { window; damage }, Some (Damage d) when Xid.equal window d.dwindow ->
       (match (d.region, damage) with
       | None, _ -> () (* a whole-window expose already subsumes any rect *)
       | _, None -> d.region <- None
       | Some acc, Some r -> d.region <- Some (Region.union acc (Region.of_rect r)));
+      (* Region accumulation: the incoming rect merges into the existing
+         damage entry, which keeps its original stamp. *)
+      record_fate conn.c_ledger ~cname:conn.cname ~seq ~survivor:d.seq
+        ~code:expose_code ~window:(Xid.to_int window) ~t_in Coalesced_into;
       true
   | _, (Some _ | None) -> false
 
@@ -351,12 +511,12 @@ let try_coalesce conn event =
 let queue_depth conn = conn.overflow_len + Ring.length conn.ring
 
 let entry_droppable = function
-  | Plain event -> Event.droppable event
+  | Plain { ev; _ } -> Event.droppable ev
   | Damage _ -> true
 
 (* Fold [event] into any same-window ring entry of its own class.  Only
    called for droppable classes, at the cap. *)
-let coalesce_harder conn event =
+let coalesce_harder conn ~seq ~t_in event =
   let n = Ring.length conn.ring in
   match event with
   | Event.Motion_notify { window; _ } ->
@@ -364,9 +524,12 @@ let coalesce_harder conn event =
         i >= 0
         &&
         match Ring.get conn.ring i with
-        | Some (Plain (Event.Motion_notify { window = prev; _ }))
+        | Some (Plain { ev = Event.Motion_notify { window = prev; _ }; seq = oseq; t_in = ot })
           when Xid.equal prev window ->
-            Ring.set conn.ring i (Plain event);
+            record_fate conn.c_ledger ~cname:conn.cname ~seq:oseq ~survivor:seq
+              ~code:(Event.code event) ~window:(Xid.to_int window) ~t_in:ot
+              Folded;
+            Ring.set conn.ring i (Plain { ev = event; seq; t_in });
             true
         | _ -> scan (i - 1)
       in
@@ -381,15 +544,20 @@ let coalesce_harder conn event =
             | None, _ -> ()
             | _, None -> d.region <- None
             | Some acc, Some r -> d.region <- Some (Region.union acc (Region.of_rect r)));
+            record_fate conn.c_ledger ~cname:conn.cname ~seq ~survivor:d.seq
+              ~code:expose_code ~window:(Xid.to_int window) ~t_in Folded;
             true
         | _ -> scan (i - 1)
       in
       scan (n - 1)
   | _ -> false
 
-let note_shed server conn event =
+let note_shed server conn ~seq ~t_in event =
   Metrics.incr server.m_shed;
   conn.h_shed <- conn.h_shed + 1;
+  record_fate conn.c_ledger ~cname:conn.cname ~seq ~code:(Event.code event)
+    ~window:(Xid.to_int (Event.window_of event))
+    ~t_in Shed;
   (* First shed per connection gets a recorder entry; after that, metrics
      carry the count so a sustained storm cannot wipe the flight ring. *)
   if conn.h_shed = 1 && Recorder.enabled server.s_recorder then
@@ -401,8 +569,9 @@ let note_shed server conn event =
       ~attrs:[ ("event", Event.kind_name event); ("conn", conn.cname) ]
 
 (* Remove the oldest droppable entry; false when the ring holds only
-   state-bearing events. *)
-let shed_oldest_droppable server conn =
+   state-bearing events.  [survivor] is the seq of the incoming event
+   whose slot the victim yields. *)
+let shed_oldest_droppable server conn ~survivor =
   let n = Ring.length conn.ring in
   let rec scan i =
     i < n
@@ -410,40 +579,46 @@ let shed_oldest_droppable server conn =
     match Ring.get conn.ring i with
     | Some entry when entry_droppable entry ->
         ignore (Ring.remove conn.ring i);
-        let kind =
-          match entry with
-          | Plain event -> Event.kind_name event
-          | Damage _ -> "Expose"
-        in
+        let oseq, ot, code, window = entry_meta entry in
+        record_fate conn.c_ledger ~cname:conn.cname ~seq:oseq ~survivor ~code
+          ~window ~t_in:ot Dropped_oldest;
         Metrics.incr server.m_shed;
         conn.h_shed <- conn.h_shed + 1;
         if Tracing.enabled conn.c_tracer then
           Tracing.instant conn.c_tracer "server.shed"
-            ~attrs:[ ("event", kind); ("conn", conn.cname) ];
+            ~attrs:[ ("event", Event.name_of_code code); ("conn", conn.cname) ];
         true
     | _ -> scan (i + 1)
   in
   scan 0
 
-let push_entry conn event =
+let push_entry conn ~seq ~t_in event =
   (match event with
   | Event.Expose { window; damage } when conn.coalesce ->
       let region = Option.map Region.of_rect damage in
-      Ring.push conn.ring (Damage { dwindow = window; region })
-  | _ -> Ring.push conn.ring (Plain event));
+      Ring.push conn.ring (Damage { dwindow = window; region; seq; t_in })
+  | _ -> Ring.push conn.ring (Plain { ev = event; seq; t_in }));
   Metrics.record_max conn.m_depth (queue_depth conn)
 
 let deliver server cid event =
   match Hashtbl.find_opt server.conns cid with
   | Some conn when conn.alive ->
       Metrics.incr conn.m_enqueued;
+      (* Ingress stamp: the seq always advances (fate conservation runs
+         unconditionally); the clock is only read while the ledger is
+         armed. *)
+      let lg = conn.c_ledger in
+      lg.lg_seq <- lg.lg_seq + 1;
+      lg.lg_enqueued <- lg.lg_enqueued + 1;
+      let seq = lg.lg_seq in
+      let t_in = if lg.lg_armed then Metrics.now_mono_ns () else 0 in
       let droppable = Event.droppable event in
       if conn.throttled && droppable then
         (* Quarantined: latest-wins classes are shed outright; the client
            still sees every state-bearing event, so its session model stays
            correct while its delivery budget shrinks. *)
-        note_shed server conn event
-      else if try_coalesce conn event then begin
+        note_shed server conn ~seq ~t_in event
+      else if try_coalesce conn ~seq ~t_in event then begin
         Metrics.incr conn.m_coalesced;
         if Tracing.enabled conn.c_tracer then
           Tracing.instant conn.c_tracer "server.coalesce"
@@ -451,26 +626,27 @@ let deliver server cid event =
       end
       else if queue_depth conn >= conn.cap then begin
         if droppable then begin
-          if coalesce_harder conn event then Metrics.incr conn.m_coalesced
-          else if shed_oldest_droppable server conn then
+          if coalesce_harder conn ~seq ~t_in event then Metrics.incr conn.m_coalesced
+          else if shed_oldest_droppable server conn ~survivor:seq then
             (* drop-oldest: the stalest droppable observation yields its
                slot to the newest one *)
-            push_entry conn event
-          else note_shed server conn event
+            push_entry conn ~seq ~t_in event
+          else note_shed server conn ~seq ~t_in event
         end
-        else if shed_oldest_droppable server conn then push_entry conn event
+        else if shed_oldest_droppable server conn ~survivor:seq then
+          push_entry conn ~seq ~t_in event
         else begin
           (* Every queued entry is state-bearing too: overrun the cap
              rather than lose session state. *)
           Metrics.incr server.m_overrun;
-          push_entry conn event
+          push_entry conn ~seq ~t_in event
         end
       end
       else begin
         if Tracing.enabled conn.c_tracer then
           Tracing.instant conn.c_tracer "server.enqueue"
             ~attrs:[ ("event", Event.kind_name event); ("conn", conn.cname) ];
-        push_entry conn event
+        push_entry conn ~seq ~t_in event
       end
   | Some _ | None -> ()
 
@@ -820,6 +996,22 @@ let disconnect server conn =
   server.journal_busy <- true;
   Fun.protect ~finally:(fun () -> server.journal_busy <- was_busy) @@ fun () ->
   conn.alive <- false;
+  (* Still-queued entries leave through the ledger, not silently: without
+     this flush an eviction strands enqueued-but-never-delivered events and
+     the fate-conservation invariant breaks fleet-wide.  Overflow events
+     were already accounted when their entry was popped. *)
+  let rec flush_evicted () =
+    match Ring.pop conn.ring with
+    | None -> ()
+    | Some entry ->
+        let seq, t_in, code, window = entry_meta entry in
+        record_fate conn.c_ledger ~cname:conn.cname ~seq ~code ~window ~t_in
+          Evicted_with_conn;
+        flush_evicted ()
+  in
+  flush_evicted ();
+  conn.overflow <- [];
+  conn.overflow_len <- 0;
   (* Save-set rescue: windows this client reparented away from the root are
      put back, preserving root-relative position. *)
   let rescued =
@@ -961,44 +1153,78 @@ let pending conn = conn.overflow_len + Ring.length conn.ring
    of its region: the union of delivered damage is exactly the union of the
    damage enqueued. *)
 let events_of_entry = function
-  | Plain event -> [ event ]
-  | Damage { dwindow; region = None } ->
+  | Plain { ev; _ } -> [ ev ]
+  | Damage { dwindow; region = None; _ } ->
       [ Event.Expose { window = dwindow; damage = None } ]
-  | Damage { dwindow; region = Some region } ->
+  | Damage { dwindow; region = Some region; _ } ->
       List.map
         (fun r -> Event.Expose { window = dwindow; damage = Some r })
         (Region.rects region)
 
-let rec next_event conn =
+let stamp_of_entry = function
+  | Plain { seq; t_in; _ } | Damage { seq; t_in; _ } -> { seq; ingress_ns = t_in }
+
+(* Delivery-side ledger accounting, once per popped entry (a multi-rect
+   Damage expansion counts once — the unit of conservation is the queue
+   entry): fate counter, queue-residency histogram, fate-ring record. *)
+let delivered_fate conn entry =
+  let lg = conn.c_ledger in
+  lg.lg_delivered <- lg.lg_delivered + 1;
+  if lg.lg_armed then begin
+    let seq, t_in, code, window = entry_meta entry in
+    let t = Metrics.now_mono_ns () in
+    if t_in > 0 then Metrics.observe lg.lg_queue_hist.(code) (t - t_in);
+    lg.lg_fates.(lg.lg_head) <-
+      Some
+        {
+          fr_seq = seq;
+          fr_survivor = -1;
+          fr_conn = conn.cname;
+          fr_code = code;
+          fr_window = window;
+          fr_fate = Delivered;
+          fr_t_in = t_in;
+          fr_t_fate = t;
+        };
+    lg.lg_head <- (lg.lg_head + 1) mod fate_ring_capacity
+  end
+
+let rec next_event_stamped conn =
   if conn.stalled then None
   else
     match conn.overflow with
-  | event :: rest ->
+  | (event, stamp) :: rest ->
       conn.overflow <- rest;
       conn.overflow_len <- conn.overflow_len - 1;
       Metrics.incr conn.m_delivered;
       Metrics.incr conn.m_delivered_by;
-      Some event
+      Some (event, stamp)
   | [] -> (
       match Ring.pop conn.ring with
       | None -> None
       | Some entry -> (
+          delivered_fate conn entry;
           match events_of_entry entry with
-          | [] -> next_event conn (* an empty damage region delivers nothing *)
+          | [] ->
+              (* an empty damage region delivers nothing *)
+              next_event_stamped conn
           | event :: rest ->
-              conn.overflow <- rest;
+              let stamp = stamp_of_entry entry in
+              conn.overflow <- List.map (fun e -> (e, stamp)) rest;
               (* [rest] was just materialised from one entry, so the walk is
                  over a handful of damage rects, not the queue *)
               conn.overflow_len <- List.length rest;
               Metrics.incr conn.m_delivered;
               Metrics.incr conn.m_delivered_by;
-              Some event))
+              Some (event, stamp)))
+
+let next_event conn = Option.map fst (next_event_stamped conn)
 
 let rec peek_event conn =
   if conn.stalled then None
   else
     match conn.overflow with
-  | event :: _ -> Some event
+  | (event, _) :: _ -> Some event
   | [] -> (
       match Ring.peek conn.ring with
       | None -> None
@@ -1006,10 +1232,11 @@ let rec peek_event conn =
           match events_of_entry entry with
           | [] ->
               ignore (Ring.pop conn.ring);
+              delivered_fate conn entry;
               peek_event conn
           | event :: _ -> Some event))
 
-let read_events conn ~max =
+let read_events_stamped conn ~max =
   (if Tracing.enabled conn.c_tracer then
      Tracing.span conn.c_tracer "server.deliver" ~attrs:[ ("conn", conn.cname) ]
    else fun f -> f ())
@@ -1017,14 +1244,15 @@ let read_events conn ~max =
   let rec loop acc n =
     if n >= max then List.rev acc
     else
-      match next_event conn with
-      | Some event -> loop (event :: acc) (n + 1)
+      match next_event_stamped conn with
+      | Some pair -> loop (pair :: acc) (n + 1)
       | None -> List.rev acc
   in
   let events = loop [] 0 in
   (match events with [] -> () | _ -> Metrics.observe conn.m_batch (List.length events));
   events
 
+let read_events conn ~max = List.map fst (read_events_stamped conn ~max)
 let flush_batch conn = read_events conn ~max:max_int
 let drain_events conn = flush_batch conn
 
@@ -1372,6 +1600,104 @@ let max_queue_ratio server =
         max acc (float_of_int (pending conn) /. float_of_int (max 1 conn.cap))
       else acc)
     server.conns 0.0
+
+(* -------- lifecycle ledger: queries -------- *)
+
+type ledger_counts = {
+  lc_enqueued : int;
+  lc_delivered : int;
+  lc_coalesced : int;
+  lc_folded : int;
+  lc_dropped : int;
+  lc_shed : int;
+  lc_skipped : int;
+  lc_evicted : int;
+  lc_pending : int;
+  lc_balance : int;
+}
+
+let set_ledger server flag = server.s_ledger.lg_armed <- flag
+let ledger_enabled server = server.s_ledger.lg_armed
+
+(* Pending in conservation terms is ring entries only: overflow events were
+   accounted (once, as their entry) when the entry was popped. *)
+let ledger_counts server =
+  let lg = server.s_ledger in
+  let pending =
+    Hashtbl.fold
+      (fun _ conn acc -> if conn.alive then acc + Ring.length conn.ring else acc)
+      server.conns 0
+  in
+  let accounted =
+    lg.lg_delivered + lg.lg_coalesced + lg.lg_folded + lg.lg_dropped + lg.lg_shed
+    + lg.lg_skipped + lg.lg_evicted
+  in
+  {
+    lc_enqueued = lg.lg_enqueued;
+    lc_delivered = lg.lg_delivered;
+    lc_coalesced = lg.lg_coalesced;
+    lc_folded = lg.lg_folded;
+    lc_dropped = lg.lg_dropped;
+    lc_shed = lg.lg_shed;
+    lc_skipped = lg.lg_skipped;
+    lc_evicted = lg.lg_evicted;
+    lc_pending = pending;
+    lc_balance = lg.lg_enqueued - accounted - pending;
+  }
+
+(* The governor's essential-tier skip happens after delivery, in the WM:
+   reclassify the entry from delivered to skipped.  Expanded damage rects
+   share one seq, so the reclassification fires once per entry no matter
+   how many of its rects the tier refuses. *)
+let ledger_skip conn event (stamp : stamp) =
+  let lg = conn.c_ledger in
+  if stamp.seq <> lg.lg_last_skip then begin
+    lg.lg_last_skip <- stamp.seq;
+    lg.lg_delivered <- lg.lg_delivered - 1;
+    record_fate lg ~cname:conn.cname ~seq:stamp.seq ~code:(Event.code event)
+      ~window:(Xid.to_int (Event.window_of event))
+      ~t_in:stamp.ingress_ns Skipped
+  end
+
+let ledger_json server =
+  let c = ledger_counts server in
+  Printf.sprintf
+    "{\"armed\": %b, \"enqueued\": %d, \"delivered\": %d, \"coalesced\": %d, \
+     \"folded\": %d, \"dropped_oldest\": %d, \"shed\": %d, \"skipped\": %d, \
+     \"evicted_with_conn\": %d, \"pending\": %d, \"balance\": %d}"
+    server.s_ledger.lg_armed c.lc_enqueued c.lc_delivered c.lc_coalesced
+    c.lc_folded c.lc_dropped c.lc_shed c.lc_skipped c.lc_evicted c.lc_pending
+    c.lc_balance
+
+let fate_json server ?conn:cfilter ?window () =
+  let lg = server.s_ledger in
+  let keep r =
+    (match cfilter with None -> true | Some c -> String.equal r.fr_conn c)
+    && match window with None -> true | Some w -> r.fr_window = w
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"fates\": [";
+  let first = ref true in
+  (* Oldest-first: the write head is also the oldest retained slot. *)
+  for i = 0 to fate_ring_capacity - 1 do
+    match lg.lg_fates.((lg.lg_head + i) mod fate_ring_capacity) with
+    | Some r when keep r ->
+        if not !first then Buffer.add_string b ", ";
+        first := false;
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"seq\": %d, \"event\": %s, \"fate\": %s, \"conn\": %s, \
+              \"window\": %d, \"survivor\": %d, \"t_in_ns\": %d, \
+              \"t_fate_ns\": %d}"
+             r.fr_seq
+             (Metrics.json_string (Event.name_of_code r.fr_code))
+             (Metrics.json_string (fate_name r.fr_fate))
+             (Metrics.json_string r.fr_conn)
+             r.fr_window r.fr_survivor r.fr_t_in r.fr_t_fate)
+    | Some _ | None -> ()
+  done;
+  Buffer.add_string b (Printf.sprintf "], \"ledger\": %s}" (ledger_json server));
+  Buffer.contents b
 
 (* One health tick: fold each live connection's pressure signals into its
    score and act on state transitions — quarantine throttles delivery,

@@ -197,6 +197,18 @@ val pending : conn -> int
 val next_event : conn -> Event.t option
 val peek_event : conn -> Event.t option
 
+type stamp = { seq : int; ingress_ns : int }
+(** An event's ingress identity: the fleet-wide sequence id allocated at
+    enqueue and the monotonic enqueue time ([0] while the ledger is
+    disarmed).  Every event expanded from one coalesced Damage entry
+    shares that entry's stamp. *)
+
+val next_event_stamped : conn -> (Event.t * stamp) option
+val read_events_stamped : conn -> max:int -> (Event.t * stamp) list
+(** {!next_event} / {!read_events} with each event's ingress stamp — what
+    the WM drains so dispatch can measure ingress-to-effect latency and
+    tag spans, recorder entries and waterfalls with the triggering seq. *)
+
 val read_events : conn -> max:int -> Event.t list
 (** Drain up to [max] events in one call — the batched counterpart of
     {!next_event}.  Records the batch size in [delivery.batch_size]. *)
@@ -345,6 +357,63 @@ val conn_health_score : conn -> float
 val is_throttled : conn -> bool
 val shed_count : conn -> int
 (** Events shed from this connection's queue so far. *)
+
+(** {1 Lifecycle ledger}
+
+    Every event is stamped at ingress (sequence id + monotonic timestamp
+    carried in its queue entry) and every exit from the pipeline records a
+    fate: [delivered], [coalesced_into] / [folded] (with the surviving
+    entry's seq, so coalescing lineage is queryable), [dropped_oldest] /
+    [shed] from the overload ladder, [skipped] by the governor's essential
+    tier, or [evicted_with_conn] when quarantine closes the connection.
+    The unit of accounting is the queue entry — a multi-rectangle Damage
+    expansion counts once — and the conservation invariant
+
+    [enqueued = delivered + coalesced + folded + dropped_oldest + shed
+     + skipped + evicted_with_conn + pending]
+
+    holds at every quiescent point ({!ledger_counts}[.lc_balance = 0]),
+    checked in the test suites and exposed in [f.health].  Fate counters
+    always run; timestamps, the bounded recent-fates ring behind [f.fate]
+    and the [event.queue_ns{event}] residency histograms are taken only
+    while the ledger is armed (default on). *)
+
+type ledger_counts = {
+  lc_enqueued : int;
+  lc_delivered : int;
+  lc_coalesced : int;
+  lc_folded : int;
+  lc_dropped : int;
+  lc_shed : int;
+  lc_skipped : int;
+  lc_evicted : int;
+  lc_pending : int; (* queue entries still waiting across live conns *)
+  lc_balance : int; (* enqueued minus everything else; 0 when conserved *)
+}
+
+val ledger_counts : t -> ledger_counts
+
+val set_ledger : t -> bool -> unit
+(** Arm/disarm the ledger's measurement half (clock reads, fate-ring
+    records, residency histograms).  Fate {e counters} are unconditional:
+    conservation holds either way. *)
+
+val ledger_enabled : t -> bool
+
+val ledger_skip : conn -> Event.t -> stamp -> unit
+(** Reclassify a delivered entry as governor-skipped ([delivered] was
+    counted at pop; the essential tier then refused to dispatch it).
+    Idempotent per seq, so an expanded Damage entry reclassifies once no
+    matter how many of its rects are refused. *)
+
+val ledger_json : t -> string
+(** {!ledger_counts} as one JSON object (plus ["armed"]) — the ["ledger"]
+    section of [f.health]. *)
+
+val fate_json : t -> ?conn:string -> ?window:int -> unit -> string
+(** The retained fate records, oldest first, optionally filtered by
+    connection name or window id, plus the ledger totals — the payload
+    behind [f.fate(CONN|WINDOW)]. *)
 
 (** {1 Replay journal}
 

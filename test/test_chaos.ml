@@ -309,6 +309,14 @@ let test_flood_storm_overload () =
   check Alcotest.bool "queue depth stayed bounded" true
     (Metrics.gauge_value m "queue.depth"
     <= cap + Metrics.counter_value m "queue.cap_overruns");
+  (* The lifecycle ledger must account for every event even under the
+     storm: flood, shed, kill-connection eviction and coalescing all leave
+     exactly one fate (or a pending entry) per enqueue. *)
+  let lc = Server.ledger_counts server in
+  check Alcotest.int "fate accounting balances under the flood storm" 0
+    lc.Server.lc_balance;
+  check Alcotest.bool "the storm exercised the lossy fates" true
+    (lc.lc_shed + lc.lc_dropped + lc.lc_evicted > 0);
   Server.disarm_faults server;
   let _late = Workload.launch_n server 3 in
   wm_step ~seed wm;

@@ -1,0 +1,291 @@
+(* The event lifecycle ledger: every event that enters a queue must be
+   accounted for by exactly one fate — delivered, coalesced into a
+   survivor, folded, dropped as the oldest droppable, shed at the cap,
+   skipped by the governor, or evicted with its connection — or still be
+   pending.  The conservation invariant
+
+     enqueued = delivered + coalesced + folded + dropped_oldest + shed
+                + skipped + evicted_with_conn + pending
+
+   is checked here across every path that can consume an event, and a
+   qcheck property replays seeded storms to show the fate counts are
+   deterministic. *)
+
+module Server = Swm_xlib.Server
+module Metrics = Swm_xlib.Metrics
+module Event = Swm_xlib.Event
+module Geom = Swm_xlib.Geom
+module Region = Swm_xlib.Region
+
+let check = Alcotest.check
+
+let balance_is_zero what (lc : Server.ledger_counts) =
+  if lc.lc_balance <> 0 then
+    Alcotest.failf
+      "%s: ledger out of balance by %d (enqueued %d, delivered %d, coalesced \
+       %d, folded %d, dropped %d, shed %d, skipped %d, evicted %d, pending %d)"
+      what lc.lc_balance lc.lc_enqueued lc.lc_delivered lc.lc_coalesced
+      lc.lc_folded lc.lc_dropped lc.lc_shed lc.lc_skipped lc.lc_evicted
+      lc.lc_pending
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i =
+    i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1))
+  in
+  at 0
+
+let motion_setup () =
+  let server = Server.create () in
+  let conn = Server.connect server ~name:"watcher" in
+  let root = Server.root server ~screen:0 in
+  Server.select_input server conn root [ Event.Pointer_motion_mask ];
+  (server, conn, root)
+
+(* -------- per-path conservation -------- *)
+
+let test_motion_coalescing_balances () =
+  let server, conn, _root = motion_setup () in
+  for i = 1 to 100 do
+    Server.warp_pointer server ~screen:0 (Geom.point i (i * 2))
+  done;
+  let lc = Server.ledger_counts server in
+  check Alcotest.int "all 100 motions entered the ledger" 100 lc.lc_enqueued;
+  check Alcotest.bool "the storm coalesced" true (lc.lc_coalesced > 0);
+  balance_is_zero "queued storm" lc;
+  let events = Server.flush_batch conn in
+  let lc = Server.ledger_counts server in
+  check Alcotest.int "flush delivered the survivors" (List.length events)
+    lc.lc_delivered;
+  check Alcotest.int "nothing left pending" 0 lc.lc_pending;
+  balance_is_zero "drained storm" lc;
+  (* The fate records name the survivor each victim merged into. *)
+  let fates = Server.fate_json server () in
+  check Alcotest.bool "fate records show the coalesce lineage" true
+    (contains fates "\"fate\": \"coalesced_into\"");
+  check Alcotest.bool "fate records show deliveries" true
+    (contains fates "\"fate\": \"delivered\"")
+
+let test_expose_merge_balances () =
+  let server = Server.create () in
+  let conn = Server.connect server ~name:"app" in
+  let root = Server.root server ~screen:0 in
+  let win =
+    Server.create_window server conn ~parent:root ~geom:(Geom.rect 0 0 200 200)
+      ()
+  in
+  Server.select_input server conn win [ Event.Exposure_mask ];
+  List.iter
+    (Server.damage_window server win)
+    [ Geom.rect 0 0 50 50; Geom.rect 25 25 50 50; Geom.rect 100 100 20 20 ];
+  let lc = Server.ledger_counts server in
+  check Alcotest.int "three damages entered" 3 lc.lc_enqueued;
+  check Alcotest.int "two merged into the first entry" 2 lc.lc_coalesced;
+  check Alcotest.int "one entry pending" 1 lc.lc_pending;
+  balance_is_zero "merged damage" lc;
+  (* One Damage entry may expand to several Expose rects; the ledger
+     counts the entry once. *)
+  let events = Server.flush_batch conn in
+  check Alcotest.bool "expansion delivered at least one Expose" true
+    (List.length events >= 1);
+  let lc = Server.ledger_counts server in
+  check Alcotest.int "entry delivered once, not per rect" 1 lc.lc_delivered;
+  balance_is_zero "delivered damage" lc
+
+let test_flood_shed_balances () =
+  let server = Server.create () in
+  Server.set_queue_cap server 64;
+  Server.set_health_thresholds server
+    {
+      Swm_xlib.Health.default_thresholds with
+      quarantine_score = infinity;
+      evict_score = infinity;
+    };
+  let conn = Server.connect server ~name:"hog" in
+  let root = Server.root server ~screen:0 in
+  for _ = 1 to 96 do
+    ignore
+      (Server.create_window server conn ~parent:root
+         ~geom:(Geom.rect 0 0 20 20) ())
+  done;
+  Server.flood_conn server conn ~burst:10_000;
+  let lc = Server.ledger_counts server in
+  check Alcotest.bool "the cap shed events" true
+    (lc.lc_shed > 0 || lc.lc_dropped > 0);
+  balance_is_zero "flooded queue" lc;
+  ignore (Server.flush_batch conn);
+  balance_is_zero "drained flooded queue" (Server.ledger_counts server)
+
+let test_governor_skip_reclassifies () =
+  let server, conn, _root = motion_setup () in
+  Server.warp_pointer server ~screen:0 (Geom.point 5 5);
+  match Server.read_events_stamped conn ~max:4 with
+  | [ (event, stamp) ] ->
+      let lc = Server.ledger_counts server in
+      check Alcotest.int "delivered before the skip" 1 lc.lc_delivered;
+      Server.ledger_skip conn event stamp;
+      (* Reclassifying twice (one seq, several expanded events) must not
+         double-count. *)
+      Server.ledger_skip conn event stamp;
+      let lc = Server.ledger_counts server in
+      check Alcotest.int "delivery reclassified away" 0 lc.lc_delivered;
+      check Alcotest.int "counted as skipped exactly once" 1 lc.lc_skipped;
+      balance_is_zero "skipped event" lc
+  | other -> Alcotest.failf "expected one motion, got %d" (List.length other)
+
+let test_eviction_flushes_pending () =
+  let server, conn, _root = motion_setup () in
+  Server.set_coalesce conn false;
+  for i = 1 to 7 do
+    Server.warp_pointer server ~screen:0 (Geom.point i i)
+  done;
+  check Alcotest.int "seven queued" 7 (Server.pending conn);
+  Server.disconnect server conn;
+  let lc = Server.ledger_counts server in
+  check Alcotest.int "still-queued entries became evictions" 7 lc.lc_evicted;
+  check Alcotest.int "nothing pending after the eviction" 0 lc.lc_pending;
+  balance_is_zero "evicted connection" lc;
+  check Alcotest.bool "fate records name the eviction" true
+    (contains (Server.fate_json server ()) "\"fate\": \"evicted_with_conn\"")
+
+let test_disarmed_ledger_still_balances () =
+  let server, conn, _root = motion_setup () in
+  Server.set_ledger server false;
+  check Alcotest.bool "reads back disarmed" false (Server.ledger_enabled server);
+  for i = 1 to 40 do
+    Server.warp_pointer server ~screen:0 (Geom.point i i)
+  done;
+  ignore (Server.flush_batch conn);
+  (* Conservation is unconditional; only timestamps/records are gated. *)
+  let lc = Server.ledger_counts server in
+  check Alcotest.int "disarmed ledger still counts" 40 lc.lc_enqueued;
+  balance_is_zero "disarmed storm" lc;
+  check Alcotest.bool "no queue-residency samples while disarmed" true
+    (Metrics.hist_count
+       (Metrics.labeled_histogram
+          (Metrics.histogram_family (Server.metrics server) ~key:"event"
+             "event.queue_ns")
+          "MotionNotify")
+    = 0);
+  check Alcotest.bool "json reflects the armed flag" true
+    (contains (Server.ledger_json server) "\"armed\": false")
+
+let test_queue_residency_observed_when_armed () =
+  let server, conn, _root = motion_setup () in
+  for i = 1 to 10 do
+    Server.warp_pointer server ~screen:0 (Geom.point i i)
+  done;
+  ignore (Server.flush_batch conn);
+  check Alcotest.bool "armed ledger measures queue residency" true
+    (Metrics.hist_count
+       (Metrics.labeled_histogram
+          (Metrics.histogram_family (Server.metrics server) ~key:"event"
+             "event.queue_ns")
+          "MotionNotify")
+    > 0)
+
+let test_fate_json_filters () =
+  let server = Server.create () in
+  let a = Server.connect server ~name:"alpha" in
+  let b = Server.connect server ~name:"beta" in
+  let root = Server.root server ~screen:0 in
+  Server.select_input server a root [ Event.Pointer_motion_mask ];
+  let win =
+    Server.create_window server b ~parent:root ~geom:(Geom.rect 0 0 50 50) ()
+  in
+  Server.select_input server b win [ Event.Exposure_mask ];
+  Server.warp_pointer server ~screen:0 (Geom.point 3 3);
+  Server.damage_window server win (Geom.rect 0 0 10 10);
+  ignore (Server.flush_batch a);
+  ignore (Server.flush_batch b);
+  let only_alpha = Server.fate_json server ~conn:"alpha" () in
+  check Alcotest.bool "conn filter keeps alpha" true
+    (contains only_alpha "\"conn\": \"alpha\"");
+  check Alcotest.bool "conn filter drops beta" false
+    (contains only_alpha "\"conn\": \"beta\"");
+  let only_win = Server.fate_json server ~window:(Swm_xlib.Xid.to_int win) () in
+  check Alcotest.bool "window filter keeps the damage" true
+    (contains only_win "\"event\": \"Expose\"");
+  check Alcotest.bool "window filter drops the motion" false
+    (contains only_win "\"event\": \"MotionNotify\"")
+
+(* -------- properties -------- *)
+
+(* A seeded storm: motions, damages and window churn against two client
+   connections, drained partway through and fully at the end. *)
+let run_storm ~seed ~ops =
+  let server = Server.create () in
+  Server.set_queue_cap server 48;
+  Server.set_health_thresholds server
+    {
+      Swm_xlib.Health.default_thresholds with
+      quarantine_score = infinity;
+      evict_score = infinity;
+    };
+  let watcher = Server.connect server ~name:"watcher" in
+  let app = Server.connect server ~name:"app" in
+  let root = Server.root server ~screen:0 in
+  Server.select_input server watcher root [ Event.Pointer_motion_mask ];
+  let win =
+    Server.create_window server app ~parent:root ~geom:(Geom.rect 0 0 300 300)
+      ()
+  in
+  Server.select_input server app win [ Event.Exposure_mask ];
+  let rng = Random.State.make [| seed |] in
+  for _ = 1 to ops do
+    match Random.State.int rng 4 with
+    | 0 ->
+        Server.warp_pointer server ~screen:0
+          (Geom.point (Random.State.int rng 500) (Random.State.int rng 400))
+    | 1 ->
+        Server.damage_window server win
+          (Geom.rect
+             (Random.State.int rng 250)
+             (Random.State.int rng 250)
+             (1 + Random.State.int rng 50)
+             (1 + Random.State.int rng 50))
+    | 2 -> Server.flood_conn server watcher ~burst:(Random.State.int rng 64)
+    | _ ->
+        if Random.State.bool rng then ignore (Server.flush_batch watcher)
+        else ignore (Server.flush_batch app)
+  done;
+  ignore (Server.flush_batch watcher);
+  ignore (Server.flush_batch app);
+  Server.ledger_counts server
+
+let prop_fate_accounting_balances =
+  QCheck2.Test.make ~name:"fate accounting balances exactly under storms"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 10 400))
+    (fun (seed, ops) ->
+      let lc = run_storm ~seed ~ops in
+      lc.Server.lc_balance = 0 && lc.lc_enqueued > 0)
+
+let prop_fate_counts_deterministic =
+  QCheck2.Test.make ~name:"same-seed storms yield identical fate counts"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 10 300))
+    (fun (seed, ops) ->
+      let a = run_storm ~seed ~ops in
+      let b = run_storm ~seed ~ops in
+      a = b)
+
+let suite =
+  [
+    Alcotest.test_case "motion coalescing balances" `Quick
+      test_motion_coalescing_balances;
+    Alcotest.test_case "expose merge balances" `Quick test_expose_merge_balances;
+    Alcotest.test_case "flood shed balances" `Quick test_flood_shed_balances;
+    Alcotest.test_case "governor skip reclassifies once" `Quick
+      test_governor_skip_reclassifies;
+    Alcotest.test_case "eviction flushes pending fates" `Quick
+      test_eviction_flushes_pending;
+    Alcotest.test_case "disarmed ledger still balances" `Quick
+      test_disarmed_ledger_still_balances;
+    Alcotest.test_case "queue residency observed when armed" `Quick
+      test_queue_residency_observed_when_armed;
+    Alcotest.test_case "fate json filters by conn and window" `Quick
+      test_fate_json_filters;
+    QCheck_alcotest.to_alcotest prop_fate_accounting_balances;
+    QCheck_alcotest.to_alcotest prop_fate_counts_deterministic;
+  ]

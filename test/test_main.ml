@@ -8,6 +8,8 @@ let () =
       ("wire", Test_wire.suite);
       ("hotpath", Test_hotpath.suite);
       ("pipeline", Test_pipeline.suite);
+      ("ring", Test_ring.suite);
+      ("ledger", Test_ledger.suite);
       ("bindings", Test_bindings.suite);
       ("oi", Test_oi.suite);
       ("layout-props", Test_layout_props.suite);

@@ -454,7 +454,32 @@ let test_metrics_table () =
         && (String.sub table i (String.length needle) = needle || find (i + 1))
       in
       check Alcotest.bool ("table mentions " ^ needle) true (find 0))
-    [ "counters:"; "events.enqueued"; "queue.depth"; "wm.dispatch_ns"; "p99" ]
+    [
+      "counters:"; "events.enqueued"; "queue.depth"; "wm.dispatch_ns"; "p99";
+      "p999";
+    ]
+
+(* p999 (satellite): emitted by to_json and to_table, monotone above p99,
+   while the Prometheus exposition stays bucket-only (validated above —
+   a pXXX summary line would fail its grammar). *)
+let test_p999_emitted () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for i = 1 to 2000 do
+    Metrics.observe h (if i <= 1990 then 10 else 100_000)
+  done;
+  let json = parse_ok "to_json" (Metrics.to_json m) in
+  let hist =
+    member_exn "histograms" "lat" (member_exn "json" "histograms" json)
+  in
+  let q name =
+    match Json.to_float (member_exn "hist" name hist) with
+    | Some v -> v
+    | None -> Alcotest.failf "histogram %s is not a number" name
+  in
+  check Alcotest.bool "p999 above p99 on a heavy tail" true (q "p999" >= q "p99");
+  check Alcotest.bool "p999 tracks the hist_quantile estimate" true
+    (abs_float (q "p999" -. Metrics.hist_quantile h 0.999) < 1e-6)
 
 (* -------- json_string / hist_quantile edges (satellite c) -------- *)
 
@@ -681,6 +706,124 @@ let test_f_metrics_formats () =
   check Alcotest.bool "bad format is an error reply" true
     (contains "error" (reply_of server wm sender "f.metrics(yaml)"))
 
+(* -------- the lifecycle ledger over swmcmd -------- *)
+
+let test_f_health_ledger () =
+  let server, wm, _ctx = fixture () in
+  let _app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let sender = Server.connect server ~name:"swmcmd" in
+  let health = parse_ok "f.health" (reply_of server wm sender "f.health") in
+  let ledger = member_exn "health" "ledger" health in
+  let n key =
+    match Json.to_int (member_exn "ledger" key ledger) with
+    | Some v -> v
+    | None -> Alcotest.failf "ledger.%s is not a number" key
+  in
+  check Alcotest.bool "ledger armed by default" true
+    (match Json.member "armed" ledger with
+    | Some (Json.Bool b) -> b
+    | _ -> false);
+  check Alcotest.bool "events entered the ledger" true (n "enqueued" > 0);
+  check Alcotest.bool "deliveries accounted" true (n "delivered" > 0);
+  check Alcotest.int "fate accounting balances in f.health" 0 (n "balance")
+
+let test_f_fate () =
+  let server, wm, _ctx = fixture () in
+  let _app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let sender = Server.connect server ~name:"swmcmd" in
+  let reply = parse_ok "f.fate" (reply_of server wm sender "f.fate") in
+  let fates =
+    match Json.to_list (member_exn "fate" "fates" reply) with
+    | Some l -> l
+    | None -> Alcotest.fail "f.fate: fates is not a list"
+  in
+  check Alcotest.bool "fate records present" true (List.length fates > 0);
+  List.iter
+    (fun f ->
+      ignore (member_exn "fate record" "seq" f);
+      ignore (member_exn "fate record" "event" f);
+      ignore (member_exn "fate record" "fate" f);
+      ignore (member_exn "fate record" "conn" f);
+      ignore (member_exn "fate record" "survivor" f))
+    fates;
+  (* Fate records come out oldest-first: seqs ascend. *)
+  let seqs = List.filter_map (fun f -> Json.to_int (member_exn "f" "seq" f)) fates in
+  check Alcotest.bool "records oldest-first" true (List.sort compare seqs = seqs);
+  (match Json.to_int (member_exn "fate" "balance" (member_exn "fate" "ledger" reply)) with
+  | Some b -> check Alcotest.int "embedded ledger balances" 0 b
+  | None -> Alcotest.fail "f.fate: ledger.balance missing");
+  (* The conn filter narrows the records; a nonsense conn yields none. *)
+  let none =
+    parse_ok "f.fate(ghost)" (reply_of server wm sender "f.fate(no-such-conn)")
+  in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.unit))
+    "unknown conn filter matches nothing" (Some [])
+    (Option.map (List.map ignore)
+       (Json.to_list (member_exn "fate" "fates" none)))
+
+let test_f_waterfall () =
+  let path = tmp_path "waterfall.json" in
+  if Sys.file_exists path then Sys.remove path;
+  let server, wm, _ctx = fixture () in
+  let _app = Stock.xterm server () in
+  ignore (Wm.step wm);
+  let sender = Server.connect server ~name:"swmcmd" in
+  (* Some f.* activity inside a dispatch, so the fn trail has content. *)
+  Swmcmd.send server sender ~screen:0 "f.panTo(100,100)";
+  ignore (Wm.step wm);
+  let reply =
+    parse_ok "f.waterfall"
+      (reply_of server wm sender (Printf.sprintf "f.waterfall(%s)" path))
+  in
+  check
+    (Alcotest.option Alcotest.string)
+    "reply names the file" (Some path)
+    (Json.to_string (member_exn "reply" "waterfall" reply));
+  let wf =
+    parse_ok "waterfall" (In_channel.with_open_text path In_channel.input_all)
+  in
+  let entries =
+    match Json.to_list (member_exn "waterfall" "waterfall" wf) with
+    | Some l -> l
+    | None -> Alcotest.fail "waterfall: not a list"
+  in
+  check Alcotest.bool "dispatches retained" true (List.length entries > 0);
+  let int_of e key =
+    match Json.to_int (member_exn "entry" key e) with
+    | Some v -> v
+    | None -> Alcotest.failf "waterfall entry: %s is not a number" key
+  in
+  List.iter
+    (fun e ->
+      check Alcotest.bool "seq links to an ingress record" true (int_of e "seq" > 0);
+      check Alcotest.bool "dispatch_ns non-negative" true (int_of e "dispatch_ns" >= 0);
+      (* A stamped event's end-to-end spans its queue wait and dispatch. *)
+      if int_of e "ingress_ns" > 0 then
+        check Alcotest.bool "e2e >= queue + dispatch parts" true
+          (int_of e "e2e_ns" >= int_of e "dispatch_ns"
+          && int_of e "e2e_ns" >= int_of e "queue_ns"))
+    entries;
+  (* The SWM_COMMAND dispatch links the f.* it executed. *)
+  check Alcotest.bool "some dispatch carries its f.* trail" true
+    (List.exists
+       (fun e ->
+         match Json.to_list (member_exn "entry" "functions" e) with
+         | Some (_ :: _) -> true
+         | _ -> false)
+       entries);
+  (* e2e latency landed in the per-class labeled histogram. *)
+  let m = Server.metrics server in
+  let e2e = Metrics.histogram_family m ~key:"event" "event.e2e_ns" in
+  check Alcotest.bool "event.e2e_ns{PropertyNotify} observed" true
+    (Metrics.hist_count (Metrics.labeled_histogram e2e "PropertyNotify") > 0);
+  Sys.remove path;
+  let err = parse_ok "f.waterfall()" (reply_of server wm sender "f.waterfall") in
+  check Alcotest.bool "missing argument is reported" true
+    (Json.member "error" err <> None)
+
 (* -------- sticky absolute placement (satellite a) -------- *)
 
 let test_sticky_usposition_is_root_absolute () =
@@ -735,6 +878,12 @@ let suite =
     Alcotest.test_case "f.stats" `Quick test_f_stats;
     Alcotest.test_case "f.flightdump" `Quick test_f_flightdump;
     Alcotest.test_case "f.metrics formats" `Quick test_f_metrics_formats;
+    Alcotest.test_case "p999 in json and table exports" `Quick test_p999_emitted;
+    Alcotest.test_case "f.health embeds a balanced ledger" `Quick
+      test_f_health_ledger;
+    Alcotest.test_case "f.fate lists fates with lineage" `Quick test_f_fate;
+    Alcotest.test_case "f.waterfall links events to effects" `Quick
+      test_f_waterfall;
     Alcotest.test_case "sticky USPosition is root-absolute" `Quick
       test_sticky_usposition_is_root_absolute;
   ]
